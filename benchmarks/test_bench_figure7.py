@@ -1,0 +1,48 @@
+"""Benchmark: regenerate the paper's Figure 7 (E-F7a / E-F7b).
+
+Sweeps the area-delay curve for the two panel circuits and prints the
+ASCII rendition plus the numeric series.  The smoke tier uses a reduced
+ratio set and substitutes the light c499eq for the 16x16 multiplier;
+``REPRO_BENCH_TIER=paper`` runs the real c432eq/c6288eq panels on the
+full ratio sweep.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.experiments.figure7 import default_circuits, format_panel, run_panel
+
+_TIER = os.environ.get("REPRO_BENCH_TIER", "smoke")
+_RATIOS = (
+    [0.4, 0.45, 0.5, 0.55, 0.6, 0.7, 0.8, 0.9, 1.0]
+    if _TIER == "paper"
+    else [0.45, 0.6, 0.8, 1.0]
+)
+_CIRCUITS = default_circuits(_TIER)
+
+
+@pytest.mark.parametrize("name", _CIRCUITS)
+def test_figure7_panel(benchmark, name):
+    curve = once(benchmark, run_panel, name, _RATIOS)
+    print()
+    print(format_panel(curve))
+
+    tilos = dict(curve.series("tilos"))
+    minflo = dict(curve.series("minflo"))
+    assert tilos, "no feasible sweep points"
+    for ratio, tilos_area in tilos.items():
+        # MINFLOTRANSIT never above TILOS at any point of the curve.
+        assert minflo[ratio] <= tilos_area + 1e-9
+    # Both curves are non-increasing in the delay ratio (area-delay
+    # trade-off monotonicity) up to warm-start noise.
+    ratios = sorted(tilos)
+    for lo, hi in zip(ratios, ratios[1:]):
+        assert tilos[hi] <= tilos[lo] * 1.02
+        assert minflo[hi] <= minflo[lo] * 1.02
+    # At the loose end the tools agree (nothing to size).
+    assert minflo[ratios[-1]] == pytest.approx(tilos[ratios[-1]], rel=0.02)
+    benchmark.extra_info["points"] = len(curve.points)

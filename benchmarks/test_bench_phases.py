@@ -1,0 +1,74 @@
+"""Micro-benchmarks of the pipeline stages (scaling evidence).
+
+The paper claims near-linear run-time growth for both phases (section
+1).  These benchmarks time one STA pass, one delay balancing, one
+W-phase and one D-phase on circuits of increasing size; extra_info
+carries vertex/edge counts so the scaling trend can be read off the
+saved benchmark JSON.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import get_context
+from repro.balancing import balance
+from repro.sizing import d_phase, w_phase
+
+_SIZES = [("c17", 0.6), ("c432eq", 0.4), ("c880eq", 0.4)]
+_IDS = [name for name, _ in _SIZES]
+
+
+def _prepared(name, spec):
+    context = get_context(name, spec)
+    x = context.seed.x
+    delays = context.dag.delays(x)
+    return context, x, delays
+
+
+@pytest.mark.parametrize("name,spec", _SIZES, ids=_IDS)
+def test_sta_pass(benchmark, name, spec):
+    context, x, delays = _prepared(name, spec)
+    report = benchmark(context.timer.analyze, delays, context.target)
+    benchmark.extra_info["n_vertices"] = context.dag.n
+    benchmark.extra_info["n_edges"] = context.dag.n_edges
+    assert report.critical_path_delay <= context.target * (1 + 1e-9)
+
+
+@pytest.mark.parametrize("name,spec", _SIZES, ids=_IDS)
+def test_balancing_pass(benchmark, name, spec):
+    context, x, delays = _prepared(name, spec)
+    config = benchmark(
+        balance, context.dag, delays, context.target, "asap", context.timer
+    )
+    benchmark.extra_info["n_vertices"] = context.dag.n
+    assert config.total_fsdu >= 0
+
+
+@pytest.mark.parametrize("name,spec", _SIZES, ids=_IDS)
+def test_w_phase_pass(benchmark, name, spec):
+    context, x, delays = _prepared(name, spec)
+    budgets = delays * 1.02
+
+    result = benchmark(w_phase, context.dag, budgets)
+    benchmark.extra_info["n_vertices"] = context.dag.n
+    assert result.feasible
+
+
+@pytest.mark.parametrize("name,spec", _SIZES, ids=_IDS)
+def test_d_phase_pass(benchmark, name, spec):
+    context, x, delays = _prepared(name, spec)
+    config = balance(
+        context.dag, delays, horizon=context.target, timer=context.timer
+    )
+    load = delays - context.dag.model.intrinsic
+
+    def run():
+        return d_phase(
+            context.dag, x, config, -0.25 * load, 0.25 * load
+        )
+
+    result = benchmark(run)
+    benchmark.extra_info["n_vertices"] = context.dag.n
+    assert result.predicted_gain >= 0

@@ -1,0 +1,23 @@
+"""Benchmark: phase-runtime scaling (the paper's near-linear claim)."""
+
+from __future__ import annotations
+
+import os
+
+from benchmarks.conftest import once
+from repro.experiments.scaling import fit_slopes, format_scaling, run_scaling
+
+_TIER = os.environ.get("REPRO_BENCH_TIER", "smoke")
+_WIDTHS = [16, 32, 64, 128] if _TIER == "paper" else [8, 16, 32]
+
+
+def test_phase_scaling(benchmark):
+    points = once(benchmark, run_scaling, _WIDTHS)
+    print()
+    print(format_scaling(points))
+    slopes = fit_slopes(points)
+    for phase, slope in slopes.items():
+        benchmark.extra_info[f"slope_{phase}"] = slope
+        # Near-linear growth: well below quadratic even with Python
+        # constant factors on small instances.
+        assert slope < 2.0, (phase, slope)

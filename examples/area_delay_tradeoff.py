@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Area-delay trade-off curve for any suite circuit (figure 7 style).
+
+Sweeps delay targets from aggressive to relaxed, sizes the circuit
+with TILOS and MINFLOTRANSIT at each point and renders the two curves
+as an ASCII plot — the reproduction of the paper's figure 7.
+
+Run:  python examples/area_delay_tradeoff.py [circuit] [ratios...]
+e.g.  python examples/area_delay_tradeoff.py c432eq 0.4 0.5 0.7 1.0
+"""
+
+import sys
+
+from repro.analysis import area_delay_curve, ascii_plot
+from repro.dag import build_sizing_dag
+from repro.generators import build_circuit
+from repro.tech import default_technology
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "c432eq"
+    ratios = (
+        [float(tok) for tok in sys.argv[2:]]
+        if len(sys.argv) > 2
+        else [0.45, 0.5, 0.6, 0.7, 0.85, 1.0]
+    )
+    circuit = build_circuit(name)
+    dag = build_sizing_dag(circuit, default_technology(), mode="gate")
+    print(f"{name}: {circuit.n_gates} gates; sweeping "
+          f"{len(ratios)} delay targets ...")
+    curve = area_delay_curve(dag, ratios)
+
+    print()
+    print(
+        ascii_plot(
+            [
+                ("TILOS", curve.series("tilos")),
+                ("MINFLOTRANSIT", curve.series("minflo")),
+            ],
+            x_label="(Delay of Ckt)/(Delay of minimum size Ckt)",
+            y_label="(Area of Ckt)/(Area of minimum size Ckt)",
+            title=f"Area-delay trade-off — {name}",
+        )
+    )
+    print()
+    for p in curve.points:
+        if p.tilos_area_ratio is None:
+            print(f"  T/Dmin={p.delay_ratio:.2f}: infeasible")
+        else:
+            print(
+                f"  T/Dmin={p.delay_ratio:.2f}: TILOS "
+                f"{p.tilos_area_ratio:.3f}x  MINFLO "
+                f"{p.minflo_area_ratio:.3f}x  (saves "
+                f"{p.saving_percent:.1f}%)"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Sizing under a non-Elmore delay model.
+
+The paper stresses (section 1, point 3) that MINFLOTRANSIT only needs
+the delay to decompose into *simple monotonic functionals* — any
+monotone-decreasing self-size law works, not just Elmore's 1/x.  This
+example sizes the same circuit under Elmore and under a velocity-
+saturated power law g(x) = x^-0.8, showing the pipeline is oblivious
+to the law (the D-phase works on delays; the W-phase only needs the
+law's inverse).
+
+Run:  python examples/custom_delay_model.py
+"""
+
+from repro import build_sizing_dag, default_technology, minflotransit
+from repro.delay import ElmoreSizeLaw, PowerSizeLaw
+from repro.generators import build_circuit
+from repro.timing import analyze
+
+
+def main() -> None:
+    circuit = build_circuit("c432eq")
+    tech = default_technology()
+    laws = [
+        ("Elmore  g(x) = 1/x", ElmoreSizeLaw()),
+        ("power   g(x) = x^-0.8", PowerSizeLaw(exponent=0.8)),
+        ("power   g(x) = x^-0.6", PowerSizeLaw(exponent=0.6)),
+    ]
+    print(f"{circuit.name}: {circuit.n_gates} gates; "
+          f"target 0.6 * Dmin under each law\n")
+    for label, law in laws:
+        dag = build_sizing_dag(circuit, tech, mode="gate", law=law)
+        d_min = analyze(dag, dag.min_sizes()).critical_path_delay
+        try:
+            result = minflotransit(dag, 0.6 * d_min)
+        except Exception as exc:  # weaker laws raise the delay floor
+            print(f"{label:24s} Dmin {d_min:8.0f} ps  target infeasible "
+                  f"({exc})")
+            continue
+        norm = result.area / dag.area(dag.min_sizes())
+        print(f"{label:24s} Dmin {d_min:8.0f} ps  "
+              f"area {norm:6.3f}x min  "
+              f"({result.n_iterations} iters, "
+              f"saved {100 * result.area_saving_vs_initial:.1f}% vs TILOS)")
+    print("\nWeaker drive improvement (smaller exponent) makes speed "
+          "more expensive: the area at the same relative target grows, "
+          "and the reachable delay floor rises.")
+
+
+if __name__ == "__main__":
+    main()

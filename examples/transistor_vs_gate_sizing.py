@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Gate sizing vs true transistor sizing on the same circuit.
+
+The paper's framework handles both granularities: gate sizing models
+each gate as an equivalent inverter (one variable per gate), while
+transistor sizing gives every device its own variable and works on the
+per-gate DAG of figure 1.  More freedom buys more area at equal delay —
+this example quantifies the gap on a small mapped adder.
+
+Run:  python examples/transistor_vs_gate_sizing.py [width]
+"""
+
+import sys
+
+from repro import build_sizing_dag, default_technology, minflotransit
+from repro.circuit import map_to_primitives
+from repro.generators import ripple_carry_adder
+from repro.timing import analyze
+
+
+def main() -> None:
+    width = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    circuit = map_to_primitives(ripple_carry_adder(width, style="nand"))
+    tech = default_technology()
+    print(f"{circuit.name}: {circuit.n_gates} gates, "
+          f"{circuit.device_count()} transistors\n")
+
+    for mode in ("gate", "transistor"):
+        dag = build_sizing_dag(circuit, tech, mode=mode)
+        d_min = analyze(dag, dag.min_sizes()).critical_path_delay
+        target = 0.5 * d_min
+        result = minflotransit(dag, target)
+        norm = result.area / dag.area(dag.min_sizes())
+        print(f"{mode:>10s} sizing: {dag.n:4d} variables, "
+              f"Dmin {d_min:7.0f} ps, area at 0.5*Dmin = {norm:.3f}x min "
+              f"({result.n_iterations} iterations, "
+              f"{result.runtime_seconds:.1f}s)")
+
+    print("\nTransistor sizing reaches the same target with less area: "
+          "within a gate, only the devices on the critical "
+          "(dis)charging path must grow.")
+
+
+if __name__ == "__main__":
+    main()

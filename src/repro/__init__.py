@@ -1,0 +1,88 @@
+"""MINFLOTRANSIT reproduction — min-cost flow based transistor sizing.
+
+Reproduces Sundararajan, Sapatnekar & Parhi, "MINFLOTRANSIT: Min-Cost
+Flow Based Transistor Sizing Tool", DAC 2000.
+
+Quickstart::
+
+    from repro import (
+        build_sizing_dag, default_technology, minflotransit, tilos_size,
+    )
+    from repro.generators import ripple_carry_adder
+
+    circuit = ripple_carry_adder(8)
+    tech = default_technology()
+    dag = build_sizing_dag(circuit, tech, mode="gate")
+
+    from repro.timing import analyze
+    d_min = analyze(dag, dag.min_sizes()).critical_path_delay
+
+    result = minflotransit(dag, target=0.5 * d_min)
+    print(result.summary())
+"""
+
+from repro.circuit import (
+    Circuit,
+    CircuitBuilder,
+    circuit_stats,
+    load_bench,
+    loads_bench,
+    map_to_primitives,
+    save_bench,
+)
+from repro.dag import SizingDag, build_sizing_dag
+from repro.errors import (
+    ConvergenceError,
+    InfeasibleTimingError,
+    NetlistError,
+    ReproError,
+    SizingError,
+)
+from repro.sizing import (
+    MinfloOptions,
+    SizingResult,
+    TilosOptions,
+    TilosResult,
+    minflotransit,
+    tilos_size,
+)
+from repro.tech import (
+    CellLibrary,
+    Technology,
+    default_library,
+    default_technology,
+)
+from repro.timing import GraphTimer, TimingReport, analyze
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circuit",
+    "CircuitBuilder",
+    "CellLibrary",
+    "ConvergenceError",
+    "GraphTimer",
+    "InfeasibleTimingError",
+    "MinfloOptions",
+    "NetlistError",
+    "ReproError",
+    "SizingDag",
+    "SizingError",
+    "SizingResult",
+    "Technology",
+    "TilosOptions",
+    "TilosResult",
+    "TimingReport",
+    "analyze",
+    "build_sizing_dag",
+    "circuit_stats",
+    "default_library",
+    "default_technology",
+    "load_bench",
+    "loads_bench",
+    "map_to_primitives",
+    "minflotransit",
+    "save_bench",
+    "tilos_size",
+    "__version__",
+]

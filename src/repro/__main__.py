@@ -1,0 +1,182 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``size``      size a circuit (suite name or .bench file) to a delay target
+``stats``     structural statistics of a circuit
+``suite``     list the ISCAS85-equivalent benchmark suite
+``table1``    regenerate the paper's Table 1 (alias of experiments.table1)
+``figure7``   regenerate the paper's Figure 7 (alias of experiments.figure7)
+
+Examples
+--------
+
+    python -m repro size c432eq --spec 0.4
+    python -m repro size my.bench --spec 0.5 --mode transistor
+    python -m repro stats c6288eq
+    python -m repro table1 --tier smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.reporting import format_table
+from repro.circuit import (
+    circuit_stats,
+    load_bench,
+    map_to_primitives,
+    prune_dangling,
+)
+from repro.circuit.mapping import is_primitive_circuit
+from repro.circuit.transform import buffer_high_fanout
+from repro.dag import build_sizing_dag
+from repro.generators.iscas import SUITE, build_circuit
+from repro.sizing import MinfloOptions, minflotransit, tilos_size
+from repro.tech import default_technology
+from repro.timing import analyze
+
+
+def _resolve_circuit(token: str):
+    path = Path(token)
+    if path.suffix == ".bench" or path.exists():
+        circuit = load_bench(path)
+        circuit = prune_dangling(circuit)
+        return buffer_high_fanout(circuit, max_fanout=12)
+    return build_circuit(token)
+
+
+def _cmd_size(args: argparse.Namespace) -> int:
+    circuit = _resolve_circuit(args.circuit)
+    if args.mode == "transistor" and not is_primitive_circuit(circuit):
+        circuit = map_to_primitives(circuit, suffix="")
+    tech = default_technology()
+    dag = build_sizing_dag(
+        circuit, tech, mode=args.mode, size_wires=args.wires
+    )
+    d_min = analyze(dag, dag.min_sizes()).critical_path_delay
+    target = args.spec * d_min
+    print(f"{circuit.name}: {circuit.n_gates} gates, {dag.n} variables, "
+          f"Dmin = {d_min:.0f} ps, target = {target:.0f} ps")
+
+    seed = tilos_size(dag, target)
+    if not seed.feasible:
+        print(f"TILOS stalled at {seed.critical_path_delay:.0f} ps — "
+              f"spec {args.spec} is below this circuit's delay floor")
+        return 1
+    print(f"TILOS: area {seed.area:.1f} "
+          f"({seed.area / dag.area(dag.min_sizes()):.2f}x min), "
+          f"{seed.runtime_seconds:.2f}s")
+    result = minflotransit(
+        dag, target, MinfloOptions(flow_backend=args.backend), x0=seed.x
+    )
+    print(result.summary())
+    print(f"area saved over TILOS: "
+          f"{100 * (1 - result.area / seed.area):.2f}%")
+    if args.out:
+        with open(args.out, "w") as handle:
+            for vertex in dag.vertices:
+                handle.write(
+                    f"{vertex.label}\t{result.x[vertex.index]:.4f}\n"
+                )
+        print(f"sizes written to {args.out}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    circuit = _resolve_circuit(args.circuit)
+    stats = circuit_stats(circuit)
+    print(stats.summary())
+    rows = sorted(stats.cells.items(), key=lambda kv: -kv[1])
+    print(format_table(
+        ["cell", "count"], [[c, str(n)] for c, n in rows]
+    ))
+    return 0
+
+
+def _cmd_suite(_args: argparse.Namespace) -> int:
+    rows = [
+        [
+            spec.name,
+            str(spec.paper_gates),
+            f"{spec.delay_spec:.2f}",
+            f"{spec.paper_area_saving_percent:.1f}%",
+            spec.tier,
+        ]
+        for spec in SUITE
+    ]
+    print(format_table(
+        ["circuit", "paper gates", "spec·Dmin", "paper saving", "tier"],
+        rows,
+        title="ISCAS85-equivalent suite (Table 1 rows)",
+    ))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_size = sub.add_parser("size", help="size a circuit to a delay target")
+    p_size.add_argument("circuit", help="suite name or .bench path")
+    p_size.add_argument("--spec", type=float, default=0.5,
+                        help="delay target as a fraction of Dmin")
+    p_size.add_argument("--mode", choices=["gate", "transistor"],
+                        default="gate")
+    p_size.add_argument("--wires", action="store_true",
+                        help="size wires simultaneously (section 2.1)")
+    p_size.add_argument("--backend", default="auto",
+                        help="D-phase solver (auto/ssp/networkx/scipy)")
+    p_size.add_argument("--out", help="write per-vertex sizes to a file")
+    p_size.set_defaults(func=_cmd_size)
+
+    p_stats = sub.add_parser("stats", help="structural statistics")
+    p_stats.add_argument("circuit")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_suite = sub.add_parser("suite", help="list the benchmark suite")
+    p_suite.set_defaults(func=_cmd_suite)
+
+    p_t1 = sub.add_parser("table1", help="regenerate Table 1")
+    p_t1.add_argument("--tier", default=None, choices=["smoke", "paper"])
+    p_t1.add_argument("--backend", default="auto")
+    p_f7 = sub.add_parser("figure7", help="regenerate Figure 7")
+    p_f7.add_argument("--circuits", default=None)
+    p_f7.add_argument("--ratios", default=None)
+
+    args = parser.parse_args(argv)
+    if args.command == "table1":
+        from repro.experiments.table1 import format_table1, run_table1
+
+        print(format_table1(run_table1(args.tier, args.backend)))
+        return 0
+    if args.command == "figure7":
+        from repro.experiments.figure7 import (
+            DEFAULT_RATIOS,
+            default_circuits,
+            format_panel,
+            run_panel,
+        )
+
+        names = (
+            args.circuits.split(",") if args.circuits else default_circuits()
+        )
+        ratios = (
+            [float(t) for t in args.ratios.split(",")]
+            if args.ratios
+            else DEFAULT_RATIOS
+        )
+        for name in names:
+            print(format_panel(run_panel(name, ratios)))
+        return 0
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""Analysis utilities: trade-off sweeps and plain-text reporting."""
+
+from repro.analysis.reporting import ascii_plot, format_table
+from repro.analysis.tradeoff import CurvePoint, TradeoffCurve, area_delay_curve
+
+__all__ = [
+    "CurvePoint",
+    "TradeoffCurve",
+    "area_delay_curve",
+    "ascii_plot",
+    "format_table",
+]

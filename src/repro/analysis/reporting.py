@@ -1,0 +1,106 @@
+"""Plain-text tables and plots for the experiment harnesses.
+
+The paper's artefacts are one table and one two-panel figure; these
+helpers render both on a terminal (no plotting dependencies), matching
+the rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["format_table", "ascii_plot"]
+
+
+def format_table(
+    headers: list[str],
+    rows: list[list[str]],
+    title: str | None = None,
+) -> str:
+    """Monospace table with column auto-sizing."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+    line = "  ".join(h.ljust(widths[k]) for k, h in enumerate(headers))
+    rule = "-" * len(line)
+    body = [
+        "  ".join(cell.ljust(widths[k]) for k, cell in enumerate(row))
+        for row in rows
+    ]
+    parts = []
+    if title:
+        parts += [title, "=" * len(title)]
+    parts += [line, rule, *body]
+    return "\n".join(parts)
+
+
+@dataclass
+class _Series:
+    label: str
+    marker: str
+    points: list[tuple[float, float]]
+
+
+def ascii_plot(
+    series: list[tuple[str, list[tuple[float, float]]]],
+    width: int = 68,
+    height: int = 22,
+    x_label: str = "",
+    y_label: str = "",
+    title: str | None = None,
+) -> str:
+    """Scatter/line plot on a character grid (the figure-7 renderer).
+
+    ``series`` is a list of (label, [(x, y), ...]); each series gets a
+    distinct marker.  Axis ranges cover all points with a small margin.
+    """
+    markers = "ox+*#@"
+    data = [
+        _Series(label, markers[i % len(markers)], pts)
+        for i, (label, pts) in enumerate(series)
+        if pts
+    ]
+    if not data:
+        return "(no data)"
+    xs = [p[0] for s in data for p in s.points]
+    ys = [p[1] for s in data for p in s.points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_pad = 0.05 * (x_hi - x_lo or 1.0)
+    y_pad = 0.05 * (y_hi - y_lo or 1.0)
+    x_lo, x_hi = x_lo - x_pad, x_hi + x_pad
+    y_lo, y_hi = y_lo - y_pad, y_hi + y_pad
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, marker: str) -> None:
+        col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = marker
+
+    for s in data:
+        for x, y in sorted(s.points):
+            place(x, y, s.marker)
+
+    lines = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(y_label)
+    for r, row in enumerate(grid):
+        tag = ""
+        if r == 0:
+            tag = f"{y_hi:.2f}"
+        elif r == height - 1:
+            tag = f"{y_lo:.2f}"
+        lines.append(f"{tag:>7s} |" + "".join(row))
+    lines.append(" " * 8 + "+" + "-" * width)
+    lines.append(
+        " " * 8 + f"{x_lo:.2f}" + " " * (width - 12) + f"{x_hi:.2f}"
+    )
+    if x_label:
+        lines.append(" " * 8 + x_label.center(width))
+    legend = "   ".join(f"{s.marker} = {s.label}" for s in data)
+    lines.append(" " * 8 + legend)
+    return "\n".join(lines)

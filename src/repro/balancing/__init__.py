@@ -1,0 +1,10 @@
+"""Delay balancing and FSDU displacement (paper section 2.3.1)."""
+
+from repro.balancing.fsdu import (
+    FsduConfiguration,
+    balance,
+    displace,
+    verify_configuration,
+)
+
+__all__ = ["FsduConfiguration", "balance", "displace", "verify_configuration"]

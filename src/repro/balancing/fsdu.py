@@ -1,0 +1,235 @@
+"""Delay balancing with Fictitious Specific Delay Units (FSDUs).
+
+A circuit DAG is *delay balanced* when fictitious delay units on its
+edges make every source-to-sink path take exactly the horizon ``H``
+(the critical path delay, or the delay target).  The FSDUs capture all
+slack in the circuit; the D-phase then *displaces* them (equation (9))
+to move delay budget where it buys the most area.
+
+Balanced configurations are produced from a *schedule* θ — a potential
+with ``θ(v) >= θ(u) + delay(u)`` on every edge:
+
+    FSDU(u -> v)    = θ(v) - θ(u) - delay(u)     >= 0
+    FSDU(leaf -> O) = H - θ(leaf) - delay(leaf)  >= 0
+
+* ``asap`` uses θ = arrival times (FSDUs pushed late),
+* ``alap`` uses θ = required times (FSDUs pushed early),
+* ``dfs``  uses the depth-first insertion heuristic of reference [13]:
+  θ(v) is fixed to the arrival time of a depth-first spanning forest
+  walk, which concentrates FSDUs on non-tree edges.
+
+Theorem 1 (all legal balanced configurations are FSDU-displacements of
+each other) and theorem 2 (path-delay change equals r(j) - r(i)) are
+exercised by the test suite through :func:`displace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dag.circuit_dag import SizingDag
+from repro.errors import BalancingError
+from repro.timing.sta import GraphTimer
+
+__all__ = ["FsduConfiguration", "balance", "displace", "verify_configuration"]
+
+_METHODS = ("asap", "alap", "dfs")
+
+
+@dataclass
+class FsduConfiguration:
+    """FSDU values for one balanced configuration of a DAG.
+
+    Arrays align with ``dag.edges`` (wire edges), ``dag.po_vertices``
+    (edges into the common sink O) and vertices (the ``i -> Dmy(i)``
+    delay edges of the transformed DAG, zero for a fresh balance).
+    """
+
+    dag: SizingDag
+    delay: np.ndarray
+    horizon: float
+    theta: np.ndarray
+    wire_fsdu: np.ndarray
+    po_fsdu: np.ndarray
+    delay_fsdu: np.ndarray
+
+    @property
+    def total_fsdu(self) -> float:
+        """Total fictitious delay inserted (a measure of captured slack)."""
+        return float(
+            self.wire_fsdu.sum() + self.po_fsdu.sum() + self.delay_fsdu.sum()
+        )
+
+    def effective_delay(self) -> np.ndarray:
+        """Vertex delays including any displaced delay-edge FSDU.
+
+        After the D-phase displacement, the FSDU on ``i -> Dmy(i)``
+        *is* the change of vertex i's delay budget.
+        """
+        return self.delay + self.delay_fsdu
+
+
+def balance(
+    dag: SizingDag,
+    delay: np.ndarray,
+    horizon: float | None = None,
+    method: str = "asap",
+    timer: GraphTimer | None = None,
+) -> FsduConfiguration:
+    """Produce a delay-balanced configuration.
+
+    Raises :class:`BalancingError` if the circuit misses the horizon
+    (some path longer than ``H`` — balancing needs a safe circuit).
+    """
+    if method not in _METHODS:
+        raise BalancingError(
+            f"unknown balancing method {method!r}; pick from {_METHODS}"
+        )
+    delay = np.asarray(delay, dtype=float)
+    timer = timer or GraphTimer(dag)
+    report = timer.analyze(delay)
+    if horizon is None:
+        horizon = report.critical_path_delay
+    if report.critical_path_delay > horizon * (1 + 1e-9):
+        raise BalancingError(
+            f"critical path {report.critical_path_delay:.6g} exceeds "
+            f"horizon {horizon:.6g}; circuit is not safe"
+        )
+
+    if method == "asap":
+        theta = report.at
+    elif method == "alap":
+        rt = timer.required_times(delay, horizon)
+        # Dangling vertices have infinite required time; schedule them
+        # as early as possible instead.
+        theta = np.where(np.isfinite(rt), rt, report.at)
+        theta = np.maximum(theta, report.at)  # numerical safety
+        # Every complete path starts at time zero (corollary 1 pins the
+        # source potentials), so sources stay at schedule zero and their
+        # slack lands on their outgoing edges.
+        theta[dag.sources] = 0.0
+    else:
+        theta = _dfs_schedule(dag, delay, report.at)
+
+    src, dst = dag.edge_src, dag.edge_dst
+    wire = theta[dst] - theta[src] - delay[src]
+    po = np.array(
+        [horizon - theta[leaf] - delay[leaf] for leaf in dag.po_vertices]
+    )
+    config = FsduConfiguration(
+        dag=dag,
+        delay=delay,
+        horizon=float(horizon),
+        theta=theta,
+        wire_fsdu=_clip_tiny(wire, horizon),
+        po_fsdu=_clip_tiny(po, horizon),
+        delay_fsdu=np.zeros(dag.n),
+    )
+    verify_configuration(config)
+    return config
+
+
+def _dfs_schedule(
+    dag: SizingDag, delay: np.ndarray, at: np.ndarray
+) -> np.ndarray:
+    """Depth-first schedule: θ equals AT (tree edges get zero FSDU on the
+    first-visited deep path), matching the effect of the depth-first
+    insertion heuristic of [13] on tree edges while remaining legal on
+    reconvergent edges."""
+    theta = np.full(dag.n, -1.0)
+    for source in dag.sources:
+        stack = [(source, 0.0)]
+        while stack:
+            vertex, time = stack.pop()
+            if theta[vertex] >= 0:
+                continue
+            # A vertex is scheduled at its arrival time; depth-first
+            # order only affects tie-breaking of equal-length paths.
+            theta[vertex] = at[vertex]
+            for succ in dag.fanout[vertex]:
+                if theta[succ] < 0:
+                    stack.append((succ, theta[vertex] + delay[vertex]))
+    theta[theta < 0] = at[theta < 0]
+    return theta
+
+
+def _clip_tiny(values: np.ndarray, horizon: float) -> np.ndarray:
+    """Zero out numerical noise; negative beyond tolerance is an error."""
+    tol = 1e-9 * max(horizon, 1.0)
+    if np.any(values < -tol):
+        worst = float(values.min())
+        raise BalancingError(f"negative FSDU {worst:.3g} produced")
+    return np.maximum(values, 0.0)
+
+
+def displace(
+    config: FsduConfiguration,
+    r_vertex: np.ndarray,
+    r_dummy: np.ndarray,
+    r_sink: float = 0.0,
+) -> FsduConfiguration:
+    """Apply an FSDU displacement (paper equation (9)).
+
+    ``r_vertex[i]`` is r(i) for original vertices, ``r_dummy[i]`` is
+    r(Dmy(i)); the common sink O has potential ``r_sink``.  Returns the
+    displaced configuration (raises if any FSDU would go negative).
+    """
+    dag = config.dag
+    src, dst = dag.edge_src, dag.edge_dst
+    wire = config.wire_fsdu + r_vertex[dst] - r_dummy[src]
+    po = config.po_fsdu + r_sink - r_dummy[np.array(dag.po_vertices)]
+    delay_edge = config.delay_fsdu + r_dummy - r_vertex
+    horizon = config.horizon
+    return FsduConfiguration(
+        dag=dag,
+        delay=config.delay,
+        horizon=horizon,
+        theta=config.theta,  # schedule of the pre-displacement config
+        wire_fsdu=_clip_tiny(wire, horizon),
+        po_fsdu=_clip_tiny(po, horizon),
+        delay_fsdu=delay_edge,  # may be negative: it is a delay *change*
+    )
+
+
+def verify_configuration(
+    config: FsduConfiguration, tol: float = 1e-6
+) -> None:
+    """Check legality: every source-to-sink path totals the horizon.
+
+    Propagates a schedule from the sources using the balance equalities
+    and confirms consistency at reconvergence points and at the sink.
+    Raises :class:`BalancingError` on violation.
+    """
+    dag = config.dag
+    scale = max(config.horizon, 1.0)
+    bound = tol * scale
+    effective = config.effective_delay()
+    if np.any(config.wire_fsdu < -bound) or np.any(config.po_fsdu < -bound):
+        raise BalancingError("configuration has negative FSDUs")
+
+    theta = np.full(dag.n, np.nan)
+    edge_lookup = {edge: k for k, edge in enumerate(dag.edges)}
+    for source in dag.sources:
+        theta[source] = 0.0
+    for u in dag.topo_order:
+        if np.isnan(theta[u]):
+            raise BalancingError(f"vertex {u} unreachable from sources")
+        departure = theta[u] + effective[u]
+        for v in dag.fanout[u]:
+            arrival = departure + config.wire_fsdu[edge_lookup[(u, v)]]
+            if np.isnan(theta[v]):
+                theta[v] = arrival
+            elif abs(theta[v] - arrival) > bound:
+                raise BalancingError(
+                    f"unbalanced reconvergence at vertex {v}: "
+                    f"{theta[v]:.6g} vs {arrival:.6g}"
+                )
+    for position, leaf in enumerate(dag.po_vertices):
+        finish = theta[leaf] + effective[leaf] + config.po_fsdu[position]
+        if abs(finish - config.horizon) > bound:
+            raise BalancingError(
+                f"path through output leaf {leaf} totals {finish:.6g}, "
+                f"horizon is {config.horizon:.6g}"
+            )

@@ -1,0 +1,26 @@
+"""Circuit substrate: netlists, builders, validation, ``.bench`` I/O."""
+
+from repro.circuit.bench_io import dumps_bench, load_bench, loads_bench, save_bench
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.mapping import is_primitive_circuit, map_to_primitives
+from repro.circuit.netlist import Circuit, Gate
+from repro.circuit.stats import CircuitStats, circuit_stats
+from repro.circuit.transform import prune_dangling
+from repro.circuit.validate import Lint, validate_circuit
+
+__all__ = [
+    "Circuit",
+    "CircuitBuilder",
+    "CircuitStats",
+    "Gate",
+    "Lint",
+    "circuit_stats",
+    "dumps_bench",
+    "is_primitive_circuit",
+    "load_bench",
+    "loads_bench",
+    "map_to_primitives",
+    "prune_dangling",
+    "save_bench",
+    "validate_circuit",
+]

@@ -1,0 +1,167 @@
+"""Fluent construction helper for circuits.
+
+Generators build netlists from logic expressions; writing explicit gate
+and net names for every instance is noisy, so :class:`CircuitBuilder`
+auto-names gates/nets and offers one method per logic function.  Each
+method returns the output net name, letting expressions compose:
+
+    b = CircuitBuilder("half_adder")
+    a, c = b.input("a"), b.input("c")
+    b.output(b.xor(a, c), name="sum")
+    b.output(b.and_(a, c), name="carry")
+    circuit = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.circuit.netlist import Circuit
+from repro.errors import NetlistError
+from repro.tech.cells import CellLibrary
+
+__all__ = ["CircuitBuilder"]
+
+
+class CircuitBuilder:
+    """Incrementally constructs a :class:`~repro.circuit.netlist.Circuit`."""
+
+    #: Widest AND/OR/NAND/NOR cell in the default library.
+    MAX_FAN_IN = 4
+
+    def __init__(self, name: str, library: CellLibrary | None = None):
+        self._circuit = Circuit(name, library=library)
+        self._counter = 0
+
+    # -- io -------------------------------------------------------------
+
+    def input(self, name: str) -> str:
+        return self._circuit.add_input(name)
+
+    def inputs(self, names: Iterable[str]) -> list[str]:
+        return [self.input(name) for name in names]
+
+    def input_bus(self, prefix: str, width: int) -> list[str]:
+        return [self.input(f"{prefix}[{i}]") for i in range(width)]
+
+    def output(self, net: str, name: str | None = None) -> str:
+        """Mark ``net`` as a primary output, optionally via a named alias.
+
+        ``.bench`` files name outputs after nets, so aliasing inserts a
+        buffer only when a distinct name is requested.
+        """
+        if name is not None and name != net:
+            net = self.buf(net, out=name)
+        self._circuit.mark_output(net)
+        return net
+
+    # -- gates ------------------------------------------------------------
+
+    def gate(self, cell: str, inputs: Sequence[str], out: str | None = None) -> str:
+        """Instantiate an arbitrary library cell; returns the output net."""
+        out = out or self._fresh_net()
+        name = f"g{self._counter}_{cell.lower()}"
+        self._counter += 1
+        self._circuit.add_gate(name, cell, inputs, out)
+        return out
+
+    def _fresh_net(self) -> str:
+        net = f"n{self._counter}"
+        self._counter += 1
+        return net
+
+    def reserve_names(self, count: int) -> None:
+        """Advance the auto-name counter by ``count``.
+
+        Needed when gates/nets from another circuit (which used the same
+        ``n<k>``/``g<k>`` naming scheme) are copied into this builder —
+        otherwise freshly generated names would collide with them.
+        """
+        if count < 0:
+            raise NetlistError(f"cannot reserve {count} names")
+        self._counter += count
+
+    def not_(self, a: str, out: str | None = None) -> str:
+        return self.gate("INV", [a], out)
+
+    inv = not_
+
+    def buf(self, a: str, out: str | None = None) -> str:
+        return self.gate("BUF", [a], out)
+
+    def _tree(self, cell_prefix: str, nets: Sequence[str], out: str | None) -> str:
+        """Balanced reduction tree for wide AND/OR/NAND/NOR terms."""
+        nets = list(nets)
+        if not nets:
+            raise NetlistError(f"{cell_prefix}: needs at least one input")
+        if len(nets) == 1:
+            return self.buf(nets[0], out) if out else nets[0]
+        invert = cell_prefix in ("NAND", "NOR")
+        base = {"NAND": "AND", "NOR": "OR"}.get(cell_prefix, cell_prefix)
+        while len(nets) > self.MAX_FAN_IN:
+            grouped: list[str] = []
+            for i in range(0, len(nets), self.MAX_FAN_IN):
+                chunk = nets[i : i + self.MAX_FAN_IN]
+                if len(chunk) == 1:
+                    grouped.append(chunk[0])
+                else:
+                    grouped.append(self.gate(f"{base}{len(chunk)}", chunk))
+            nets = grouped
+        final = f"{cell_prefix}{len(nets)}" if invert else f"{base}{len(nets)}"
+        return self.gate(final, nets, out)
+
+    def and_(self, *nets: str, out: str | None = None) -> str:
+        return self._tree("AND", nets, out)
+
+    def or_(self, *nets: str, out: str | None = None) -> str:
+        return self._tree("OR", nets, out)
+
+    def nand(self, *nets: str, out: str | None = None) -> str:
+        return self._tree("NAND", nets, out)
+
+    def nor(self, *nets: str, out: str | None = None) -> str:
+        return self._tree("NOR", nets, out)
+
+    def xor(self, a: str, b: str, out: str | None = None) -> str:
+        return self.gate("XOR2", [a, b], out)
+
+    def xnor(self, a: str, b: str, out: str | None = None) -> str:
+        return self.gate("XNOR2", [a, b], out)
+
+    def aoi21(self, a: str, b: str, c: str, out: str | None = None) -> str:
+        return self.gate("AOI21", [a, b, c], out)
+
+    def oai21(self, a: str, b: str, c: str, out: str | None = None) -> str:
+        return self.gate("OAI21", [a, b, c], out)
+
+    def mux(self, sel: str, a: str, b: str, out: str | None = None) -> str:
+        """2:1 multiplexer: ``sel ? b : a`` from AOI/INV primitives."""
+        nsel = self.not_(sel)
+        term = self.gate(
+            "AOI22", [a, nsel, b, sel]
+        )  # not(a·~sel + b·sel)
+        return self.not_(term, out)
+
+    # -- multi-bit helpers --------------------------------------------------
+
+    def half_adder(self, a: str, b: str) -> tuple[str, str]:
+        """Returns (sum, carry)."""
+        return self.xor(a, b), self.and_(a, b)
+
+    def full_adder(self, a: str, b: str, cin: str) -> tuple[str, str]:
+        """Returns (sum, carry-out); standard two-half-adder structure."""
+        s1 = self.xor(a, b)
+        total = self.xor(s1, cin)
+        c1 = self.and_(a, b)
+        c2 = self.and_(s1, cin)
+        return total, self.or_(c1, c2)
+
+    # -- finish -----------------------------------------------------------
+
+    @property
+    def circuit(self) -> Circuit:
+        return self._circuit
+
+    def build(self) -> Circuit:
+        """Freeze and return the circuit."""
+        return self._circuit.freeze()

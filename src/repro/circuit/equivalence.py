@@ -1,0 +1,95 @@
+"""Randomized combinational equivalence checking.
+
+Circuit transforms (technology mapping, fanout buffering, pruning) must
+preserve logic function.  This module provides the library-grade
+checker the transforms' test suites use: random input vectors plus
+optional exhaustive mode for small input counts.
+
+Randomized checking is sound for refutation and probabilistically
+complete for confirmation; ``exhaustive=True`` (or few inputs) makes it
+a proof.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.circuit.netlist import Circuit
+from repro.errors import NetlistError
+
+__all__ = ["EquivalenceResult", "check_equivalence"]
+
+
+@dataclass(frozen=True)
+class EquivalenceResult:
+    equivalent: bool
+    vectors_checked: int
+    exhaustive: bool
+    #: First failing assignment and output, when not equivalent.
+    counterexample: dict | None = None
+    failing_output: str | None = None
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+
+def check_equivalence(
+    first: Circuit,
+    second: Circuit,
+    n_vectors: int = 64,
+    seed: int = 0,
+    exhaustive: bool | None = None,
+) -> EquivalenceResult:
+    """Compare two circuits on their common interface.
+
+    Both circuits must have identical input and output sets.  With
+    ``exhaustive=None`` the mode is chosen automatically: exhaustive
+    when the input count allows at most ``n_vectors`` assignments.
+    """
+    if set(first.inputs) != set(second.inputs):
+        raise NetlistError(
+            "circuits expose different inputs: "
+            f"{sorted(set(first.inputs) ^ set(second.inputs))[:6]}"
+        )
+    if set(first.outputs) != set(second.outputs):
+        raise NetlistError(
+            "circuits expose different outputs: "
+            f"{sorted(set(first.outputs) ^ set(second.outputs))[:6]}"
+        )
+    inputs = list(first.inputs)
+    n = len(inputs)
+    if exhaustive is None:
+        exhaustive = n <= 16 and 2**n <= n_vectors * 4
+
+    if exhaustive:
+        assignments = (
+            {name: bool(bits >> k & 1) for k, name in enumerate(inputs)}
+            for bits in range(2**n)
+        )
+        total = 2**n
+    else:
+        rng = random.Random(seed)
+        assignments = (
+            {name: rng.random() < 0.5 for name in inputs}
+            for _ in range(n_vectors)
+        )
+        total = n_vectors
+
+    checked = 0
+    for assignment in assignments:
+        va = first.evaluate(assignment)
+        vb = second.evaluate(assignment)
+        checked += 1
+        for out in first.outputs:
+            if va[out] != vb[out]:
+                return EquivalenceResult(
+                    equivalent=False,
+                    vectors_checked=checked,
+                    exhaustive=exhaustive,
+                    counterexample=assignment,
+                    failing_output=out,
+                )
+    return EquivalenceResult(
+        equivalent=True, vectors_checked=total, exhaustive=exhaustive
+    )

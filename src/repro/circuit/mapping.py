@@ -1,0 +1,86 @@
+"""Technology mapping of macro cells onto primitive cells.
+
+True transistor sizing needs explicit transistor networks, which only
+primitive cells (INV, NANDk, NORk, AOI/OAI) carry.
+:func:`map_to_primitives` rewrites a circuit so every gate is primitive:
+
+* ``BUF``      -> INV, INV
+* ``ANDk``     -> NANDk, INV
+* ``ORk``      -> NORk, INV
+* ``XOR2``     -> the classic 4-NAND2 network
+* ``XNOR2``    -> 4-NAND2 XOR followed by INV
+
+The rewrite preserves the boolean function (checked by randomized
+equivalence tests) and primary input/output names.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.netlist import Circuit, Gate
+from repro.errors import NetlistError
+from repro.tech.cells import CellLibrary
+
+__all__ = ["map_to_primitives", "is_primitive_circuit"]
+
+
+def is_primitive_circuit(circuit: Circuit) -> bool:
+    """True when every gate instantiates a primitive cell."""
+    return all(
+        circuit.library.cell(gate.cell).is_primitive for gate in circuit.gates
+    )
+
+
+def map_to_primitives(
+    circuit: Circuit, suffix: str = "_mapped"
+) -> Circuit:
+    """Return a functionally equivalent all-primitive circuit."""
+    circuit.freeze()
+    mapped = Circuit(circuit.name + suffix, library=circuit.library)
+    for net in circuit.inputs:
+        mapped.add_input(net)
+    for gate in circuit.topological_gates():
+        _map_gate(mapped, circuit.library, gate)
+    for net in circuit.outputs:
+        mapped.mark_output(net)
+    return mapped.freeze()
+
+
+def _map_gate(target: Circuit, library: CellLibrary, gate: Gate) -> None:
+    cell = library.cell(gate.cell)
+    if cell.is_primitive:
+        target.add_gate(gate.name, gate.cell, gate.inputs, gate.output)
+        return
+    name = gate.name
+    ins = gate.inputs
+    out = gate.output
+    if cell.name == "BUF":
+        mid = f"{name}__m0"
+        target.add_gate(f"{name}__i0", "INV", ins, mid)
+        target.add_gate(f"{name}__i1", "INV", (mid,), out)
+    elif cell.function == "AND":
+        mid = f"{name}__m0"
+        target.add_gate(f"{name}__n", f"NAND{len(ins)}", ins, mid)
+        target.add_gate(f"{name}__i", "INV", (mid,), out)
+    elif cell.function == "OR":
+        mid = f"{name}__m0"
+        target.add_gate(f"{name}__n", f"NOR{len(ins)}", ins, mid)
+        target.add_gate(f"{name}__i", "INV", (mid,), out)
+    elif cell.name == "XOR2":
+        _emit_xor(target, name, ins[0], ins[1], out)
+    elif cell.name == "XNOR2":
+        mid = f"{name}__x"
+        _emit_xor(target, name, ins[0], ins[1], mid)
+        target.add_gate(f"{name}__i", "INV", (mid,), out)
+    else:
+        raise NetlistError(f"no primitive mapping for cell {cell.name!r}")
+
+
+def _emit_xor(target: Circuit, name: str, a: str, b: str, out: str) -> None:
+    """The 4-NAND2 XOR: n1=NAND(a,b); out=NAND(NAND(a,n1), NAND(n1,b))."""
+    n1 = f"{name}__n1"
+    n2 = f"{name}__n2"
+    n3 = f"{name}__n3"
+    target.add_gate(f"{name}__g1", "NAND2", (a, b), n1)
+    target.add_gate(f"{name}__g2", "NAND2", (a, n1), n2)
+    target.add_gate(f"{name}__g3", "NAND2", (n1, b), n3)
+    target.add_gate(f"{name}__g4", "NAND2", (n2, n3), out)

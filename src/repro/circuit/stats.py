@@ -1,0 +1,61 @@
+"""Summary statistics of a circuit's structure.
+
+Used by the benchmark suite to document how closely the generated
+ISCAS85-equivalent circuits match the gate counts quoted in the paper's
+Table 1, and by tests asserting topology character (depth, fanout
+distribution, reconvergence).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.circuit.netlist import Circuit
+
+__all__ = ["CircuitStats", "circuit_stats"]
+
+
+@dataclass(frozen=True)
+class CircuitStats:
+    name: str
+    n_gates: int
+    n_inputs: int
+    n_outputs: int
+    n_devices: int
+    logic_depth: int
+    max_fanout: int
+    mean_fanout: float
+    cells: dict[str, int] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: {self.n_gates} gates, {self.n_devices} devices, "
+            f"{self.n_inputs} PI, {self.n_outputs} PO, depth {self.logic_depth}, "
+            f"max fanout {self.max_fanout}"
+        )
+
+
+def circuit_stats(circuit: Circuit) -> CircuitStats:
+    """Compute structural statistics (freezes the circuit)."""
+    circuit.freeze()
+    depth: dict[str, int] = {net: 0 for net in circuit.inputs}
+    logic_depth = 0
+    for gate in circuit.topological_gates():
+        level = 1 + max((depth.get(net, 0) for net in gate.inputs), default=0)
+        depth[gate.output] = level
+        logic_depth = max(logic_depth, level)
+    fanouts = [circuit.fanout_count(gate.output) for gate in circuit.gates]
+    fanouts += [circuit.fanout_count(net) for net in circuit.inputs]
+    cells = Counter(gate.cell for gate in circuit.gates)
+    return CircuitStats(
+        name=circuit.name,
+        n_gates=circuit.n_gates,
+        n_inputs=len(circuit.inputs),
+        n_outputs=len(circuit.outputs),
+        n_devices=circuit.device_count(),
+        logic_depth=logic_depth,
+        max_fanout=max(fanouts, default=0),
+        mean_fanout=(sum(fanouts) / len(fanouts)) if fanouts else 0.0,
+        cells=dict(cells),
+    )

@@ -1,0 +1,142 @@
+"""Structural circuit transforms.
+
+:func:`prune_dangling` removes logic that drives neither a primary
+output nor any other gate.  The sizing optimizers require load on every
+vertex (a zero-load vertex has no delay attribute and makes the
+``(D - A)`` system singular), so netlists imported from ``.bench``
+files or hand-built circuits should be pruned first.
+
+:func:`buffer_high_fanout` splits nets with excessive fanout across a
+tree of buffers.  Sizing cannot change topology, so a net with dozens
+of loads puts a hard floor on the achievable delay even at the maximum
+size; real netlists (including the ISCAS85 suite) contain buffer trees
+for exactly this reason.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.netlist import Circuit
+
+__all__ = ["buffer_high_fanout", "prune_dangling"]
+
+
+def prune_dangling(circuit: Circuit, suffix: str = "") -> Circuit:
+    """Return a copy without gates whose fanout cone reaches no output.
+
+    Iterates to a fixed point (removing one dangling gate can strand its
+    drivers).  Primary inputs are kept even if unused, preserving the
+    interface.
+    """
+    circuit.freeze()
+    keep = {net: True for net in circuit.outputs}
+    live: set[str] = set()
+    # Walk backwards from the outputs marking live gates.
+    worklist = [
+        circuit.driver_of(net)
+        for net in circuit.outputs
+        if circuit.driver_of(net) is not None
+    ]
+    while worklist:
+        gate = worklist.pop()
+        assert gate is not None
+        if gate.name in live:
+            continue
+        live.add(gate.name)
+        for net in gate.inputs:
+            driver = circuit.driver_of(net)
+            if driver is not None and driver.name not in live:
+                worklist.append(driver)
+
+    if len(live) == circuit.n_gates:
+        return circuit
+
+    pruned = Circuit(circuit.name + suffix, library=circuit.library)
+    for net in circuit.inputs:
+        pruned.add_input(net)
+    for gate in circuit.topological_gates():
+        if gate.name in live:
+            pruned.add_gate(gate.name, gate.cell, gate.inputs, gate.output)
+    for net in circuit.outputs:
+        pruned.mark_output(net)
+    return pruned.freeze()
+
+
+def buffer_high_fanout(
+    circuit: Circuit, max_fanout: int = 8, suffix: str = ""
+) -> Circuit:
+    """Rebuild the circuit with buffer trees on nets over ``max_fanout``.
+
+    Loads beyond ``max_fanout`` are grouped under BUF cells, recursively,
+    so no net drives more than ``max_fanout`` pins.  Primary outputs stay
+    attached to the original net.  Logic function is preserved (BUF is
+    the identity), which the test suite checks by simulation.
+    """
+    if max_fanout < 2:
+        raise ValueError(f"max_fanout must be >= 2, got {max_fanout}")
+    circuit.freeze()
+    rebuilt = Circuit(circuit.name + suffix, library=circuit.library)
+    for net in circuit.inputs:
+        rebuilt.add_input(net)
+
+    # Buffer trees must be created before the loads that read them, but
+    # a BUF reading net X must come after X's driver; emitting trees
+    # lazily per driven net in topological order satisfies both.
+    replacement: dict[tuple[str, str, int], str] = {}
+
+    def emit_tree(net: str) -> None:
+        loads = circuit.loads_of(net)
+        if len(loads) <= max_fanout:
+            return
+        root_budget = max_fanout
+        if net in circuit.outputs:
+            # Keep one slot of the root for the primary-output load.
+            root_budget = max(2, max_fanout - 1)
+        nets_out = _spread_tree(rebuilt, net, len(loads), max_fanout, root_budget)
+        for (gate, position), new_net in zip(loads, nets_out):
+            replacement[(net, gate.name, position)] = new_net
+
+    for net in circuit.inputs:
+        emit_tree(net)
+    for gate in circuit.topological_gates():
+        new_inputs = tuple(
+            replacement.get((net, gate.name, position), net)
+            for position, net in enumerate(gate.inputs)
+        )
+        rebuilt.add_gate(gate.name, gate.cell, new_inputs, gate.output)
+        emit_tree(gate.output)
+    for net in circuit.outputs:
+        rebuilt.mark_output(net)
+    return rebuilt.freeze()
+
+
+def _spread_tree(
+    rebuilt: Circuit,
+    net: str,
+    n_loads: int,
+    max_fanout: int,
+    root_budget: int,
+) -> list[str]:
+    """Emit a buffer tree under ``net`` serving ``n_loads`` consumers.
+
+    Returns one replacement net per load (in load order).
+    """
+    counter = 0
+
+    def expand(source: str, count: int, budget: int) -> list[str]:
+        nonlocal counter
+        if count <= budget:
+            return [source] * count
+        legs: list[str] = []
+        for _ in range(budget):
+            leg = f"{source}__fb{counter}"
+            counter += 1
+            rebuilt.add_gate(f"fb_{leg}", "BUF", (source,), leg)
+            legs.append(leg)
+        out: list[str] = []
+        base, extra = divmod(count, budget)
+        for i, leg in enumerate(legs):
+            share = base + (1 if i < extra else 0)
+            out.extend(expand(leg, share, max_fanout))
+        return out
+
+    return expand(net, n_loads, root_budget)

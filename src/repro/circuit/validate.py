@@ -1,0 +1,100 @@
+"""Structural validation and linting of circuits.
+
+:func:`validate_circuit` raises :class:`~repro.errors.NetlistError` on
+hard violations and returns a list of :class:`Lint` records for
+soft issues (dangling gate outputs, unused inputs, excessive fanout)
+that the sizing algorithms tolerate but a designer would want to know
+about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.netlist import Circuit
+from repro.errors import NetlistError
+
+__all__ = ["Lint", "validate_circuit"]
+
+
+@dataclass(frozen=True)
+class Lint:
+    """One soft finding. ``kind`` is a stable machine-readable tag."""
+
+    kind: str
+    subject: str
+    message: str
+
+
+def validate_circuit(
+    circuit: Circuit, max_fanout_warning: int = 32
+) -> list[Lint]:
+    """Check structure; raise on hard errors, return lints otherwise.
+
+    Hard errors (duplicate drivers, undriven nets, cycles, arity
+    mismatches) are detected by :meth:`Circuit.freeze`, which this calls.
+    """
+    circuit.freeze()
+    lints: list[Lint] = []
+
+    outputs = set(circuit.outputs)
+    for gate in circuit.gates:
+        if not circuit.loads_of(gate.output) and gate.output not in outputs:
+            lints.append(
+                Lint(
+                    kind="dangling-output",
+                    subject=gate.name,
+                    message=(
+                        f"gate {gate.name!r} output {gate.output!r} drives "
+                        "nothing and is not a primary output"
+                    ),
+                )
+            )
+    for net in circuit.inputs:
+        if not circuit.loads_of(net) and net not in outputs:
+            lints.append(
+                Lint(
+                    kind="unused-input",
+                    subject=net,
+                    message=f"primary input {net!r} drives nothing",
+                )
+            )
+    for net in circuit.nets:
+        fanout = circuit.fanout_count(net)
+        if fanout > max_fanout_warning:
+            lints.append(
+                Lint(
+                    kind="high-fanout",
+                    subject=net,
+                    message=f"net {net!r} has fanout {fanout}",
+                )
+            )
+    seen_pairs: set[tuple[str, str]] = set()
+    for gate in circuit.gates:
+        for net in gate.inputs:
+            pair = (net, gate.name)
+            if pair in seen_pairs:
+                lints.append(
+                    Lint(
+                        kind="multi-pin-net",
+                        subject=gate.name,
+                        message=(
+                            f"net {net!r} feeds multiple pins of gate "
+                            f"{gate.name!r}"
+                        ),
+                    )
+                )
+            seen_pairs.add(pair)
+    return lints
+
+
+def require_clean(circuit: Circuit, allow: tuple[str, ...] = ()) -> None:
+    """Raise if the circuit has lints other than the allowed kinds."""
+    findings = [
+        lint for lint in validate_circuit(circuit) if lint.kind not in allow
+    ]
+    if findings:
+        summary = "; ".join(lint.message for lint in findings[:5])
+        raise NetlistError(
+            f"circuit {circuit.name!r} has {len(findings)} lint(s): {summary}"
+        )

@@ -1,0 +1,47 @@
+"""Circuit DAG construction for gate- and transistor-level sizing."""
+
+from repro.circuit.netlist import Circuit
+from repro.dag.circuit_dag import DagVertex, SizingDag
+from repro.dag.gate_mode import build_gate_dag
+from repro.dag.transform import TransformedDag, transform_dag
+from repro.dag.transistor_mode import build_transistor_dag
+from repro.delay.monotonic import SizeLaw
+from repro.errors import NetlistError
+from repro.tech.parameters import Technology
+
+__all__ = [
+    "DagVertex",
+    "SizingDag",
+    "TransformedDag",
+    "build_gate_dag",
+    "build_sizing_dag",
+    "build_transistor_dag",
+    "transform_dag",
+]
+
+
+def build_sizing_dag(
+    circuit: Circuit,
+    tech: Technology,
+    mode: str = "gate",
+    law: SizeLaw | None = None,
+    size_wires: bool = False,
+) -> SizingDag:
+    """Build the circuit DAG for the requested sizing granularity.
+
+    ``mode`` is ``"gate"`` (one equivalent-inverter vertex per gate — the
+    relaxed problem evaluated in the paper's section 3) or
+    ``"transistor"`` (one vertex per device, the general problem).
+    ``size_wires=True`` (gate mode only) adds one width variable per net
+    — the simultaneous wire-sizing extension of paper section 2.1.
+    """
+    if mode == "gate":
+        return build_gate_dag(circuit, tech, law=law, size_wires=size_wires)
+    if mode == "transistor":
+        if size_wires:
+            raise NetlistError(
+                "wire sizing is implemented for gate mode; map the "
+                "circuit and size wires at the gate level first"
+            )
+        return build_transistor_dag(circuit, tech, law=law)
+    raise NetlistError(f"unknown sizing mode {mode!r}")

@@ -1,0 +1,150 @@
+"""Gate-sizing DAG builder (the paper's relaxed problem).
+
+Each gate is modelled as an equivalent inverter with one size variable.
+The vertex delay is
+
+    delay(i) = intrinsic_i + (r_eq_i / x_i) *
+               (sum over driven pins  cin_pin * x_fanout
+                + c_wire * branches + c_load[if PO])
+
+which is the simple monotonic form of paper equation (4) with
+``a_ij = r_eq_i * cin_j`` (summed over pins of gate j driven by gate i)
+and ``b_i`` collecting the constant wire and output loads.
+
+With ``size_wires=True`` the builder also realizes the paper's section
+2.1 extension: every driven net becomes an additional vertex whose size
+is the wire width.  A wire of width ``s`` has resistance ``r_wire / s``
+and a capacitance whose area component scales with ``s`` (the fringe
+component does not), so the wire delay is again a simple monotonic
+functional and the whole MINFLOTRANSIT machinery applies unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.netlist import Circuit
+from repro.dag.circuit_dag import DagVertex, SizingDag
+from repro.delay.model import VertexDelayModel
+from repro.delay.monotonic import SizeLaw
+from repro.errors import NetlistError
+from repro.tech.parameters import Technology
+
+__all__ = ["build_gate_dag"]
+
+
+def build_gate_dag(
+    circuit: Circuit,
+    tech: Technology,
+    law: SizeLaw | None = None,
+    size_wires: bool = False,
+) -> SizingDag:
+    """Build the gate-mode :class:`SizingDag` for ``circuit``.
+
+    ``size_wires=True`` adds one wire vertex per driven net and sizes
+    gates and wires simultaneously (paper section 2.1).
+    """
+    circuit.freeze()
+    if circuit.n_gates == 0:
+        raise NetlistError(f"circuit {circuit.name!r} has no gates")
+    library = circuit.library
+
+    gates = circuit.topological_gates()
+    index = {gate.name: i for i, gate in enumerate(gates)}
+    eq = [library.equivalent_inverter(gate.cell, tech) for gate in gates]
+    outputs = set(circuit.outputs)
+
+    vertices = [
+        DagVertex(index=i, label=gate.name, gate=gate.name, kind="gate", block=i)
+        for i, gate in enumerate(gates)
+    ]
+    n_gates = len(gates)
+
+    # Wire vertices (one per gate-driven net with any load).
+    wire_index: dict[str, int] = {}
+    if size_wires:
+        for i, gate in enumerate(gates):
+            net = gate.output
+            if circuit.fanout_count(net) == 0:
+                continue
+            w = len(vertices)
+            wire_index[net] = w
+            vertices.append(
+                DagVertex(
+                    index=w,
+                    label=f"wire:{net}",
+                    gate=gate.name,
+                    kind="wire",
+                    block=w,
+                )
+            )
+
+    n = len(vertices)
+    edges: list[tuple[int, int]] = []
+    rows: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+    b = np.zeros(n)
+    intrinsic = np.zeros(n)
+    lower = np.full(n, tech.min_size)
+    upper = np.full(n, tech.max_size)
+    area_weight = np.ones(n)
+    po_vertices: list[int] = []
+
+    for i, gate in enumerate(gates):
+        intrinsic[i] = eq[i].intrinsic
+        area_weight[i] = eq[i].area
+        drive = eq[i].r_eq
+        net = gate.output
+        loads = circuit.loads_of(net)
+        branches = len(loads) + (1 if net in outputs else 0)
+        wire_cap = tech.c_wire * branches
+        is_po = net in outputs
+
+        for load_gate, _pin in loads:
+            j = index[load_gate.name]
+            # Elmore: the driver discharges the receiver gate caps too.
+            rows[i].append((j, drive * eq[j].cin))
+        if is_po:
+            b[i] += drive * tech.c_load
+        b[i] += eq[i].internal_load_delay
+
+        if size_wires and net in wire_index:
+            w = wire_index[net]
+            scaling = (1.0 - tech.wire_fringe_fraction) * wire_cap
+            fringe = tech.wire_fringe_fraction * wire_cap
+            # Driver: wire area cap scales with the wire size.
+            rows[i].append((w, drive * scaling))
+            b[i] += drive * fringe
+            edges.append((i, w))
+            # Wire vertex: drives the receivers through r_wire / s; half
+            # of its own capacitance is charged through itself.
+            intrinsic[w] = 0.5 * tech.r_wire * scaling
+            b[w] += 0.5 * tech.r_wire * fringe
+            for load_gate, _pin in loads:
+                j = index[load_gate.name]
+                rows[w].append((j, tech.r_wire * eq[j].cin))
+                edges.append((w, j))
+            if is_po:
+                b[w] += tech.r_wire * tech.c_load
+                po_vertices.append(w)
+            lower[w] = tech.wire_min_size
+            upper[w] = tech.wire_max_size
+            area_weight[w] = 1.0
+        else:
+            b[i] += drive * wire_cap
+            for load_gate, _pin in loads:
+                edges.append((i, index[load_gate.name]))
+            if is_po:
+                po_vertices.append(i)
+
+    model = VertexDelayModel.from_rows(rows, b, intrinsic, law=law)
+    return SizingDag(
+        name=circuit.name,
+        mode="gate",
+        vertices=vertices,
+        edges=edges,
+        model=model,
+        po_vertices=po_vertices,
+        lower=lower,
+        upper=upper,
+        area_weight=area_weight,
+    )

@@ -1,0 +1,83 @@
+"""Dummy-vertex transform of the circuit DAG (paper figure 5).
+
+The D-phase needs, for every vertex ``i``, a dummy vertex ``Dmy(i)`` of
+zero delay at its output; every fanout edge of ``i`` is re-rooted at
+``Dmy(i)``, and the FSDU on the new ``i -> Dmy(i)`` "delay edge" models
+the *change* of vertex i's delay.  All leaf vertices driving primary
+outputs additionally connect to one common sink ``O`` (corollary 1),
+whose potential — like that of every source vertex — is pinned to zero
+so the critical path cannot silently lengthen.
+
+Node numbering of the transformed DAG with ``n`` original vertices:
+
+* ``0 .. n-1``      — original vertices,
+* ``n .. 2n-1``     — ``Dmy(i) = n + i``,
+* ``2n``            — the common output sink ``O``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dag.circuit_dag import SizingDag
+
+__all__ = ["TransformedDag", "transform_dag"]
+
+
+@dataclass(frozen=True)
+class TransformedArc:
+    """One edge of the transformed DAG.
+
+    ``kind`` is ``"delay"`` (i -> Dmy(i)), ``"wire"`` (Dmy(i) -> j) or
+    ``"po"`` (Dmy(leaf) -> O).  Wire arcs remember the original edge.
+    """
+
+    src: int
+    dst: int
+    kind: str
+    origin: tuple[int, int] | None = None
+
+
+@dataclass(frozen=True)
+class TransformedDag:
+    """The dummy-vertex graph the D-phase optimizes over."""
+
+    n_original: int
+    arcs: tuple[TransformedArc, ...]
+    #: Vertices whose potential r(.) is pinned to zero: DAG sources
+    #: (primary-input vertices) and the common sink O.
+    pinned: frozenset[int]
+    output_sink: int
+
+    @property
+    def n_nodes(self) -> int:
+        return 2 * self.n_original + 1
+
+    def dummy(self, i: int) -> int:
+        """Node id of Dmy(i)."""
+        return self.n_original + i
+
+    def is_dummy(self, node: int) -> bool:
+        return self.n_original <= node < 2 * self.n_original
+
+
+def transform_dag(dag: SizingDag) -> TransformedDag:
+    """Apply the figure-5 transform to a sizing DAG."""
+    n = dag.n
+    arcs: list[TransformedArc] = []
+    for i in range(n):
+        arcs.append(TransformedArc(src=i, dst=n + i, kind="delay"))
+    for u, v in dag.edges:
+        arcs.append(
+            TransformedArc(src=n + u, dst=v, kind="wire", origin=(u, v))
+        )
+    sink = 2 * n
+    for leaf in dag.po_vertices:
+        arcs.append(TransformedArc(src=n + leaf, dst=sink, kind="po"))
+    pinned = frozenset(dag.sources) | {sink}
+    return TransformedDag(
+        n_original=n,
+        arcs=tuple(arcs),
+        pinned=pinned,
+        output_sink=sink,
+    )

@@ -1,0 +1,341 @@
+"""Transistor-sizing DAG builder (paper figures 1, 2 and equation (3)).
+
+Every transistor becomes a vertex.  Within a gate, edges follow each
+conducting (dis)charging path from the device adjacent to the output
+node down to the device adjacent to the rail; across gates, edges run
+from the leaf vertices of the driving gate's PMOS (NMOS) component to
+the root vertices of the driven gate's NMOS (PMOS) component that reach
+the transistor gated by the wire.
+
+The per-device delay attribute is the simple monotonic projection of the
+worst-case path Elmore delay onto the device's own size:
+
+    attr(m) = (r_unit / x_m) * sum of caps at every node between the
+              output node and m's output-side terminal
+
+Capacitances are structural: each device deposits its drain cap on its
+output-side node and its source cap on its rail-side node; the output
+node additionally carries the external load (fanout gate caps, wire and
+primary-output caps).  Grouping equation (2) by resistor in this way is
+exactly how the paper reaches equation (3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuit.mapping import is_primitive_circuit
+from repro.circuit.netlist import Circuit, Gate
+from repro.dag.circuit_dag import DagVertex, SizingDag
+from repro.delay.model import VertexDelayModel
+from repro.delay.monotonic import SizeLaw
+from repro.errors import NetlistError
+from repro.tech.networks import SPNetwork
+from repro.tech.parameters import Technology
+
+__all__ = ["build_transistor_dag"]
+
+
+@dataclass
+class _Device:
+    """One transistor during elaboration (gate-local bookkeeping)."""
+
+    local: int            # index within the gate elaboration
+    pin: str
+    polarity: str         # "nmos" | "pmos"
+    top_node: int         # output-side node id
+    bot_node: int         # rail-side node id
+    nodes_above: tuple[int, ...]  # output node .. top_node inclusive
+
+
+@dataclass
+class _Component:
+    """An elaborated pullup or pulldown network."""
+
+    polarity: str
+    devices: list[_Device] = field(default_factory=list)
+    edges: list[tuple[int, int]] = field(default_factory=list)  # local ids
+    roots: list[int] = field(default_factory=list)
+    leaves: list[int] = field(default_factory=list)
+
+
+class _GateElaboration:
+    """All transistor-level structure of one gate instance."""
+
+    OUTPUT = 0
+    RAIL = -1
+
+    def __init__(self, gate: Gate, pulldown: SPNetwork, pullup: SPNetwork):
+        self.gate = gate
+        self._next_node = 1
+        self.devices: list[_Device] = []
+        self.nmos = self._elaborate(pulldown, "nmos")
+        self.pmos = self._elaborate(pullup, "pmos")
+
+    def _new_node(self) -> int:
+        node = self._next_node
+        self._next_node += 1
+        return node
+
+    def _elaborate(self, network: SPNetwork, polarity: str) -> _Component:
+        component = _Component(polarity=polarity)
+        entry, exit_ = self._walk(
+            network, self.OUTPUT, self.RAIL, (self.OUTPUT,), polarity, component
+        )
+        component.roots = entry
+        component.leaves = exit_
+        return component
+
+    def _walk(
+        self,
+        network: SPNetwork,
+        top: int,
+        bot: int,
+        above: tuple[int, ...],
+        polarity: str,
+        component: _Component,
+    ) -> tuple[list[int], list[int]]:
+        """Recursively elaborate; returns (entry devices, exit devices)."""
+        if network.kind == "leaf":
+            device = _Device(
+                local=len(self.devices),
+                pin=network.pin or "",
+                polarity=polarity,
+                top_node=top,
+                bot_node=bot,
+                nodes_above=above,
+            )
+            self.devices.append(device)
+            component.devices.append(device)
+            return [device.local], [device.local]
+        if network.kind == "parallel":
+            entries: list[int] = []
+            exits: list[int] = []
+            for child in network.children:
+                entry, exit_ = self._walk(
+                    child, top, bot, above, polarity, component
+                )
+                entries += entry
+                exits += exit_
+            return entries, exits
+        # series: children are ordered output side first.
+        current_top = top
+        current_above = above
+        first_entry: list[int] | None = None
+        previous_exit: list[int] = []
+        for position, child in enumerate(network.children):
+            is_last = position == len(network.children) - 1
+            child_bot = bot if is_last else self._new_node()
+            entry, exit_ = self._walk(
+                child, current_top, child_bot, current_above, polarity, component
+            )
+            if first_entry is None:
+                first_entry = entry
+            else:
+                component.edges += [
+                    (u, v) for u in previous_exit for v in entry
+                ]
+            previous_exit = exit_
+            if not is_last:
+                current_top = child_bot
+                current_above = current_above + (child_bot,)
+        assert first_entry is not None
+        return first_entry, previous_exit
+
+    # -- queries ------------------------------------------------------------
+
+    def devices_on_pin(self, pin: str, polarity: str) -> list[_Device]:
+        return [
+            device
+            for device in self.devices
+            if device.pin == pin and device.polarity == polarity
+        ]
+
+    def roots_reaching(self, component: _Component, target: int) -> list[int]:
+        """Roots of ``component`` with a path to local device ``target``."""
+        parents: dict[int, list[int]] = {}
+        for u, v in component.edges:
+            parents.setdefault(v, []).append(u)
+        seen = {target}
+        frontier = [target]
+        while frontier:
+            node = frontier.pop()
+            for parent in parents.get(node, []):
+                if parent not in seen:
+                    seen.add(parent)
+                    frontier.append(parent)
+        return [root for root in component.roots if root in seen]
+
+
+def build_transistor_dag(
+    circuit: Circuit,
+    tech: Technology,
+    law: SizeLaw | None = None,
+) -> SizingDag:
+    """Build the transistor-mode :class:`SizingDag` for ``circuit``.
+
+    The circuit must contain only primitive cells; run
+    :func:`repro.circuit.mapping.map_to_primitives` first otherwise.
+    """
+    circuit.freeze()
+    if not is_primitive_circuit(circuit):
+        raise NetlistError(
+            f"circuit {circuit.name!r} contains macro cells; apply "
+            "map_to_primitives() before transistor sizing"
+        )
+    library = circuit.library
+    gates = circuit.topological_gates()
+
+    elaborations: dict[str, _GateElaboration] = {}
+    global_index: dict[tuple[str, int], int] = {}
+    vertices: list[DagVertex] = []
+    for block, gate in enumerate(gates):
+        cell = library.cell(gate.cell)
+        assert cell.pulldown is not None and cell.pullup is not None
+        elaboration = _GateElaboration(gate, cell.pulldown, cell.pullup)
+        elaborations[gate.name] = elaboration
+        for device in elaboration.devices:
+            i = len(vertices)
+            global_index[(gate.name, device.local)] = i
+            vertices.append(
+                DagVertex(
+                    index=i,
+                    label=f"{gate.name}/{device.polarity[0].upper()}:{device.pin}",
+                    gate=gate.name,
+                    kind=device.polarity,
+                    block=block,
+                )
+            )
+
+    n = len(vertices)
+    rows: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+    b = np.zeros(n)
+    intrinsic = np.zeros(n)
+    edges: list[tuple[int, int]] = []
+    po_vertices: list[int] = []
+    outputs = set(circuit.outputs)
+
+    for gate in gates:
+        elab = elaborations[gate.name]
+        # node -> [(global vertex, cap coefficient)], node -> constant cap
+        node_coefs: dict[int, list[tuple[int, float]]] = {}
+        node_const: dict[int, float] = {}
+        for device in elab.devices:
+            g_idx = global_index[(gate.name, device.local)]
+            drain = (
+                tech.c_drain_n if device.polarity == "nmos" else tech.c_drain_p
+            )
+            source = (
+                tech.c_source_n
+                if device.polarity == "nmos"
+                else tech.c_source_p
+            )
+            node_coefs.setdefault(device.top_node, []).append((g_idx, drain))
+            if device.bot_node != _GateElaboration.RAIL:
+                node_coefs.setdefault(device.bot_node, []).append(
+                    (g_idx, source)
+                )
+        for node in node_coefs:
+            if node != _GateElaboration.OUTPUT:
+                node_const[node] = node_const.get(node, 0.0) + tech.c_internal
+
+        # External load on the output node: driven transistor gates, wire
+        # branches and the primary-output load.
+        branches = 0
+        out_coefs: list[tuple[int, float]] = []
+        out_const = 0.0
+        for load_gate, pin_pos in circuit.loads_of(gate.output):
+            load_elab = elaborations[load_gate.name]
+            pin_name = library.cell(load_gate.cell).inputs[pin_pos]
+            for device in load_elab.devices_on_pin(pin_name, "nmos"):
+                out_coefs.append(
+                    (
+                        global_index[(load_gate.name, device.local)],
+                        tech.c_gate_n,
+                    )
+                )
+            for device in load_elab.devices_on_pin(pin_name, "pmos"):
+                out_coefs.append(
+                    (
+                        global_index[(load_gate.name, device.local)],
+                        tech.c_gate_p,
+                    )
+                )
+            branches += 1
+        if gate.output in outputs:
+            out_const += tech.c_load
+            branches += 1
+        out_const += tech.c_wire * branches
+        node_coefs.setdefault(_GateElaboration.OUTPUT, []).extend(out_coefs)
+        node_const[_GateElaboration.OUTPUT] = (
+            node_const.get(_GateElaboration.OUTPUT, 0.0) + out_const
+        )
+
+        # Per-device delay attribute: r_unit * (caps on nodes above).
+        for device in elab.devices:
+            g_idx = global_index[(gate.name, device.local)]
+            r_unit = tech.r_nmos if device.polarity == "nmos" else tech.r_pmos
+            for node in device.nodes_above:
+                for j, cap in node_coefs.get(node, []):
+                    if j == g_idx:
+                        # Self-loading term (A*B style constants of eq. 3).
+                        intrinsic[g_idx] += r_unit * cap
+                    else:
+                        rows[g_idx].append((j, r_unit * cap))
+                b[g_idx] += r_unit * node_const.get(node, 0.0)
+
+        # Intra-gate structural edges.
+        for component in (elab.nmos, elab.pmos):
+            for u, v in component.edges:
+                edges.append(
+                    (
+                        global_index[(gate.name, u)],
+                        global_index[(gate.name, v)],
+                    )
+                )
+
+        # Inter-gate edges: driver PMOS leaves -> driven NMOS roots (and
+        # symmetrically), targeting roots that reach the driven device.
+        for load_gate, pin_pos in circuit.loads_of(gate.output):
+            load_elab = elaborations[load_gate.name]
+            pin_name = library.cell(load_gate.cell).inputs[pin_pos]
+            pairs = (
+                ("pmos", "nmos", load_elab.nmos),
+                ("nmos", "pmos", load_elab.pmos),
+            )
+            for src_pol, dst_pol, dst_component in pairs:
+                src_component = elab.pmos if src_pol == "pmos" else elab.nmos
+                for driven in load_elab.devices_on_pin(pin_name, dst_pol):
+                    roots = load_elab.roots_reaching(
+                        dst_component, driven.local
+                    )
+                    for leaf_local in src_component.leaves:
+                        for root_local in roots:
+                            edges.append(
+                                (
+                                    global_index[(gate.name, leaf_local)],
+                                    global_index[(load_gate.name, root_local)],
+                                )
+                            )
+
+        if gate.output in outputs:
+            for component in (elab.nmos, elab.pmos):
+                po_vertices += [
+                    global_index[(gate.name, leaf_local)]
+                    for leaf_local in component.leaves
+                ]
+
+    model = VertexDelayModel.from_rows(rows, b, intrinsic, law=law)
+    return SizingDag(
+        name=circuit.name,
+        mode="transistor",
+        vertices=vertices,
+        edges=edges,
+        model=model,
+        po_vertices=po_vertices,
+        lower=np.full(n, tech.min_size),
+        upper=np.full(n, tech.max_size),
+        area_weight=np.ones(n),
+    )

@@ -1,0 +1,17 @@
+"""Delay models: simple monotonic functionals and the Elmore special case."""
+
+from repro.delay.model import VertexDelayModel
+from repro.delay.monotonic import (
+    ElmoreSizeLaw,
+    PowerSizeLaw,
+    SizeLaw,
+    check_decomposition,
+)
+
+__all__ = [
+    "ElmoreSizeLaw",
+    "PowerSizeLaw",
+    "SizeLaw",
+    "VertexDelayModel",
+    "check_decomposition",
+]

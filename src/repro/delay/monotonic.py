@@ -1,0 +1,118 @@
+"""Simple monotonic functionals (paper definitions 1 and 2).
+
+A vertex delay is a *simple monotonic functional* when it can be written
+``D_i = g(x_i) * q(x_1, ..., x_{i-1}, x_{i+1}, ..., x_n)`` with ``g``
+monotone decreasing in the vertex's own size and ``q`` monotone
+increasing in every other size.  A delay model is admissible for
+MINFLOTRANSIT when every vertex delay decomposes into a sum of such
+functionals (definition 2).
+
+In this library the concrete representation is
+
+    delay(i) = intrinsic_i + g(x_i) * (sum_j a_ij x_j + b_i)
+
+with ``a_ij >= 0``, ``b_i >= 0`` and ``g`` from a :class:`SizeLaw`.  The
+Elmore model is the special case ``g(x) = 1/x`` (paper equation (4));
+:class:`PowerSizeLaw` generalizes to ``g(x) = 1/x**p`` which exercises
+the paper's claim that the approach extends beyond Elmore delays.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import DelayModelError
+
+__all__ = ["SizeLaw", "ElmoreSizeLaw", "PowerSizeLaw", "check_decomposition"]
+
+
+@dataclass(frozen=True)
+class SizeLaw:
+    """The monotone-decreasing self-size law ``g`` and its inverse.
+
+    Subclasses must guarantee ``g`` is positive and strictly decreasing
+    on ``x > 0`` so that the W-phase fixed point map stays monotone.
+    """
+
+    def g(self, x: float) -> float:
+        raise NotImplementedError
+
+    def g_inverse(self, value: float) -> float:
+        """Solve ``g(x) = value`` for x (value > 0)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ElmoreSizeLaw(SizeLaw):
+    """``g(x) = 1/x`` — the Elmore delay model of paper equation (4)."""
+
+    def g(self, x: float) -> float:
+        return 1.0 / x
+
+    def g_inverse(self, value: float) -> float:
+        return 1.0 / value
+
+
+@dataclass(frozen=True)
+class PowerSizeLaw(SizeLaw):
+    """``g(x) = 1/x**p`` with ``p > 0``.
+
+    ``p = 1`` reproduces Elmore; ``p < 1`` models sub-linear drive
+    improvement (velocity-saturated devices).  Demonstrates the
+    "more general delay models" claim of the paper's section 1.
+    """
+
+    exponent: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.exponent <= 0:
+            raise DelayModelError(
+                f"size-law exponent must be positive, got {self.exponent}"
+            )
+
+    def g(self, x: float) -> float:
+        return x ** (-self.exponent)
+
+    def g_inverse(self, value: float) -> float:
+        return value ** (-1.0 / self.exponent)
+
+
+def check_decomposition(
+    rows: list[list[tuple[int, float]]],
+    b,
+    intrinsic,
+    n: int,
+) -> None:
+    """Validate that coefficients form a simple monotonic decomposition.
+
+    Raises :class:`DelayModelError` when any ``a_ij`` or ``b_i`` is
+    negative, an index is out of range, a row references its own vertex
+    (self-loading must be folded into ``intrinsic``), or an intrinsic
+    delay is negative.
+    """
+    if len(rows) != n or len(b) != n or len(intrinsic) != n:
+        raise DelayModelError(
+            f"coefficient arrays disagree on vertex count "
+            f"({len(rows)}, {len(b)}, {len(intrinsic)} vs n={n})"
+        )
+    for i, row in enumerate(rows):
+        for j, coefficient in row:
+            if not 0 <= j < n:
+                raise DelayModelError(f"row {i}: index {j} out of range")
+            if j == i:
+                raise DelayModelError(
+                    f"row {i}: self coefficient must be folded into "
+                    "the intrinsic delay"
+                )
+            if coefficient < 0 or not math.isfinite(coefficient):
+                raise DelayModelError(
+                    f"row {i}: coefficient a[{i},{j}]={coefficient} "
+                    "violates monotonicity (must be finite and >= 0)"
+                )
+        if b[i] < 0 or not math.isfinite(b[i]):
+            raise DelayModelError(f"row {i}: constant load b={b[i]} invalid")
+        if intrinsic[i] < 0 or not math.isfinite(intrinsic[i]):
+            raise DelayModelError(
+                f"row {i}: intrinsic delay {intrinsic[i]} invalid"
+            )

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the MINFLOTRANSIT reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class NetlistError(ReproError):
+    """Raised for structurally invalid circuits (dangling nets, cycles,
+    duplicate names, unknown cells, arity mismatches)."""
+
+
+class BenchFormatError(NetlistError):
+    """Raised when an ISCAS ``.bench`` file cannot be parsed."""
+
+
+class TechnologyError(ReproError):
+    """Raised for inconsistent technology parameters (non-positive R/C,
+    bad size bounds)."""
+
+
+class DelayModelError(ReproError):
+    """Raised when a delay model violates the simple monotonic
+    decomposition requirements (negative coefficients, zero loads)."""
+
+
+class TimingError(ReproError):
+    """Raised by static timing analysis on malformed timing graphs."""
+
+
+class BalancingError(ReproError):
+    """Raised when a delay-balanced configuration cannot be produced or
+    fails verification (negative FSDU, unbalanced path)."""
+
+
+class FlowError(ReproError):
+    """Base class for min-cost-flow solver failures."""
+
+
+class InfeasibleFlowError(FlowError):
+    """Raised when a flow instance has no feasible solution."""
+
+
+class UnboundedFlowError(FlowError):
+    """Raised when a flow instance has unbounded optimum (negative-cost
+    cycle with infinite capacity)."""
+
+
+class SizingError(ReproError):
+    """Base class for sizing-optimization failures."""
+
+
+class InfeasibleTimingError(SizingError):
+    """Raised when a delay target cannot be met within the size bounds."""
+
+
+class ConvergenceError(SizingError):
+    """Raised when an iterative sizer exceeds its iteration budget without
+    satisfying its convergence criterion."""

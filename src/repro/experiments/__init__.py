@@ -1,0 +1,27 @@
+"""Experiment harnesses reproducing the paper's table and figures."""
+
+from repro.experiments.figure7 import (
+    DEFAULT_RATIOS,
+    default_circuits,
+    format_panel,
+    run_panel,
+)
+from repro.experiments.table1 import (
+    Table1Row,
+    format_table1,
+    run_row,
+    run_table1,
+    select_specs,
+)
+
+__all__ = [
+    "DEFAULT_RATIOS",
+    "Table1Row",
+    "default_circuits",
+    "format_panel",
+    "format_table1",
+    "run_panel",
+    "run_row",
+    "run_table1",
+    "select_specs",
+]

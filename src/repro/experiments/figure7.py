@@ -1,0 +1,98 @@
+"""Figure 7 harness: comparative area-delay curves.
+
+The paper plots normalized area (vs. the minimum-sized circuit) against
+normalized delay for c432 and c6288, TILOS vs MINFLOTRANSIT.  This
+harness sweeps the same delay ratios on the equivalent circuits and
+renders an ASCII version of each panel plus the underlying series.
+
+Run as a module::
+
+    python -m repro.experiments.figure7 [--circuits c432eq,c6288eq]
+                                        [--ratios 0.4,0.5,...]
+
+The c6288 panel is heavy (a 16x16 multiplier swept over many targets);
+the default circuit list honours the ``REPRO_BENCH_TIER`` environment
+variable: the smoke tier substitutes the small c499eq panel.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+
+from repro.analysis.reporting import ascii_plot, format_table
+from repro.analysis.tradeoff import TradeoffCurve, area_delay_curve
+from repro.dag import build_sizing_dag
+from repro.generators.iscas import build_circuit
+from repro.tech import default_technology
+
+__all__ = ["run_panel", "format_panel", "default_circuits", "DEFAULT_RATIOS"]
+
+DEFAULT_RATIOS = [0.4, 0.45, 0.5, 0.55, 0.6, 0.7, 0.8, 0.9, 1.0]
+
+
+def default_circuits(tier: str | None = None) -> list[str]:
+    tier = tier or os.environ.get("REPRO_BENCH_TIER", "smoke")
+    if tier == "paper":
+        return ["c432eq", "c6288eq"]
+    return ["c432eq", "c499eq"]
+
+
+def run_panel(
+    name: str, ratios: list[float] | None = None
+) -> TradeoffCurve:
+    """Sweep one circuit; returns the trade-off curve."""
+    circuit = build_circuit(name)
+    dag = build_sizing_dag(circuit, default_technology(), mode="gate")
+    return area_delay_curve(dag, ratios or DEFAULT_RATIOS)
+
+
+def format_panel(curve: TradeoffCurve) -> str:
+    """One figure-7 panel: ASCII plot plus the numeric series."""
+    plot = ascii_plot(
+        [
+            (f"{curve.name} (TILOS)", curve.series("tilos")),
+            (f"{curve.name} (MINFLOTRANSIT)", curve.series("minflo")),
+        ],
+        x_label="(Delay of Ckt)/(Delay of minimum size Ckt)",
+        y_label="(Area of Ckt)/(Area of minimum size Ckt)",
+        title=f"Figure 7 panel — {curve.name}",
+    )
+    rows = []
+    for p in curve.points:
+        rows.append(
+            [
+                f"{p.delay_ratio:.2f}",
+                "--" if p.tilos_area_ratio is None else f"{p.tilos_area_ratio:.3f}",
+                "--" if p.minflo_area_ratio is None else f"{p.minflo_area_ratio:.3f}",
+                "--" if p.saving_percent is None else f"{p.saving_percent:.1f}%",
+            ]
+        )
+    table = format_table(
+        ["T/Dmin", "TILOS area", "MINFLO area", "saving"],
+        rows,
+    )
+    return plot + "\n\n" + table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--circuits", default=None)
+    parser.add_argument("--ratios", default=None)
+    args = parser.parse_args()
+    names = (
+        args.circuits.split(",") if args.circuits else default_circuits()
+    )
+    ratios = (
+        [float(tok) for tok in args.ratios.split(",")]
+        if args.ratios
+        else DEFAULT_RATIOS
+    )
+    for name in names:
+        curve = run_panel(name, ratios)
+        print(format_panel(curve))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,168 @@
+"""Table 1 harness: area savings of MINFLOTRANSIT over TILOS.
+
+Reproduces the paper's Table 1 row by row: circuit, gate count, delay
+specification (fraction of the minimum-sized circuit's delay), the area
+saving of MINFLOTRANSIT over the TILOS seed, TILOS CPU time and the
+extra time MINFLOTRANSIT needs on top (the paper reports both columns).
+
+Run as a module::
+
+    python -m repro.experiments.table1 [--tier smoke|paper] [--backend auto]
+
+or through the pytest-benchmark wrapper in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+from dataclasses import dataclass
+
+from repro.analysis.reporting import format_table
+from repro.dag import build_sizing_dag
+from repro.generators.iscas import SUITE, BenchmarkSpec
+from repro.sizing import MinfloOptions, minflotransit, tilos_size
+from repro.tech import default_technology
+from repro.timing import GraphTimer
+
+__all__ = ["Table1Row", "run_row", "run_table1", "format_table1", "select_specs"]
+
+#: Environment variable choosing the benchmark tier.
+TIER_ENV = "REPRO_BENCH_TIER"
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One measured row next to the paper's reference numbers."""
+
+    name: str
+    n_gates: int
+    paper_gates: int
+    delay_spec: float
+    feasible: bool
+    area_saving_percent: float
+    paper_saving_percent: float
+    tilos_seconds: float
+    minflo_extra_seconds: float
+    minflo_iterations: int
+    area_ratio_vs_min: float
+
+
+def select_specs(tier: str | None = None) -> list[BenchmarkSpec]:
+    """Suite subset for a tier ('smoke' default, 'paper' = all rows)."""
+    tier = tier or os.environ.get(TIER_ENV, "smoke")
+    if tier == "paper":
+        return list(SUITE)
+    if tier == "smoke":
+        return [spec for spec in SUITE if spec.tier == "smoke"]
+    raise ValueError(f"unknown tier {tier!r} (use 'smoke' or 'paper')")
+
+
+def run_row(
+    spec: BenchmarkSpec,
+    flow_backend: str = "auto",
+) -> Table1Row:
+    """Build, seed with TILOS and refine with MINFLOTRANSIT."""
+    circuit = spec.builder()
+    tech = default_technology()
+    dag = build_sizing_dag(circuit, tech, mode="gate")
+    timer = GraphTimer(dag)
+    x_min = dag.min_sizes()
+    d_min = timer.analyze(dag.delays(x_min)).critical_path_delay
+    target = spec.delay_spec * d_min
+
+    start = time.perf_counter()
+    seed = tilos_size(dag, target, timer=timer)
+    tilos_seconds = time.perf_counter() - start
+    if not seed.feasible:
+        return Table1Row(
+            name=spec.name,
+            n_gates=circuit.n_gates,
+            paper_gates=spec.paper_gates,
+            delay_spec=spec.delay_spec,
+            feasible=False,
+            area_saving_percent=float("nan"),
+            paper_saving_percent=spec.paper_area_saving_percent,
+            tilos_seconds=tilos_seconds,
+            minflo_extra_seconds=float("nan"),
+            minflo_iterations=0,
+            area_ratio_vs_min=float("nan"),
+        )
+
+    start = time.perf_counter()
+    result = minflotransit(
+        dag,
+        target,
+        options=MinfloOptions(flow_backend=flow_backend),
+        x0=seed.x,
+    )
+    minflo_seconds = time.perf_counter() - start
+    return Table1Row(
+        name=spec.name,
+        n_gates=circuit.n_gates,
+        paper_gates=spec.paper_gates,
+        delay_spec=spec.delay_spec,
+        feasible=True,
+        area_saving_percent=100.0 * (1.0 - result.area / seed.area),
+        paper_saving_percent=spec.paper_area_saving_percent,
+        tilos_seconds=tilos_seconds,
+        minflo_extra_seconds=minflo_seconds,
+        minflo_iterations=result.n_iterations,
+        area_ratio_vs_min=result.area / dag.area(x_min),
+    )
+
+
+def run_table1(
+    tier: str | None = None, flow_backend: str = "auto"
+) -> list[Table1Row]:
+    return [run_row(spec, flow_backend) for spec in select_specs(tier)]
+
+
+def format_table1(rows: list[Table1Row]) -> str:
+    headers = [
+        "Circuit",
+        "Gates",
+        "(paper)",
+        "Spec",
+        "Saving%",
+        "(paper%)",
+        "CPU TILOS",
+        "CPU extra (OURS)",
+        "Iters",
+        "Area/min",
+    ]
+    body = []
+    for row in rows:
+        body.append(
+            [
+                row.name,
+                str(row.n_gates),
+                str(row.paper_gates),
+                f"{row.delay_spec:.2f}·Dmin",
+                "--" if not row.feasible else f"{row.area_saving_percent:.1f}",
+                f"{row.paper_saving_percent:.1f}",
+                f"{row.tilos_seconds:.2f}s",
+                "--" if not row.feasible else f"{row.minflo_extra_seconds:.2f}s",
+                str(row.minflo_iterations),
+                "--" if not row.feasible else f"{row.area_ratio_vs_min:.2f}",
+            ]
+        )
+    return format_table(
+        headers,
+        body,
+        title="Table 1 — area savings of MINFLOTRANSIT over TILOS",
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tier", default=None, choices=["smoke", "paper"])
+    parser.add_argument("--backend", default="auto")
+    args = parser.parse_args()
+    rows = run_table1(tier=args.tier, flow_backend=args.backend)
+    print(format_table1(rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,183 @@
+"""Difference-constraint LPs and their min-cost-flow duals.
+
+The D-phase optimization (paper equation (10)) has the form
+
+    maximize    sum_v w_v * r(v)
+    subject to  r(u) - r(v) <= c_uv          for every constraint arc
+                r(v) = 0                     for pinned v (PIs, sink O)
+
+Its LP dual is a min-cost network flow: each constraint becomes an arc
+``u -> v`` with cost ``c_uv``; conservation requires
+``outflow(v) - inflow(v) = w_v``, i.e. a supply of ``w_v`` at ``v``.
+Pinned nodes have no conservation constraint — they merge into one
+*ground* node that absorbs the residual imbalance.  Optimal node
+potentials of the flow are (up to sign and the ground offset) an
+optimal primal ``r``:  ``r(v) = π(ground) - π(v)``.
+
+:func:`solve_difference_lp` dispatches between three backends that are
+cross-checked in the test suite:
+
+* ``"ssp"``       — this library's successive-shortest-path solver,
+* ``"networkx"``  — ``networkx.network_simplex`` (closest in spirit to
+  the paper's network simplex reference [9]),
+* ``"scipy"``     — HiGHS on the primal LP (fast path for big graphs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import FlowError, InfeasibleFlowError
+from repro.flow.network import FlowProblem
+from repro.flow.ssp import solve_ssp
+
+__all__ = [
+    "DifferenceConstraintLP",
+    "GroundedFlow",
+    "LpSolution",
+    "ground_flow",
+    "solve_difference_lp",
+]
+
+BACKENDS = ("ssp", "networkx", "scipy")
+
+
+@dataclass
+class DifferenceConstraintLP:
+    """``max w^T r`` subject to difference constraints and pins."""
+
+    n_nodes: int
+    weights: np.ndarray
+    pinned: frozenset[int]
+    #: (u, v, c) meaning r(u) - r(v) <= c.
+    constraints: list[tuple[int, int, float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.weights = np.asarray(self.weights, dtype=float)
+        if self.weights.shape != (self.n_nodes,):
+            raise FlowError(
+                f"weights shape {self.weights.shape} != ({self.n_nodes},)"
+            )
+        if not self.pinned:
+            raise FlowError("difference LP needs at least one pinned node")
+
+    def add(self, u: int, v: int, c: float) -> None:
+        self.constraints.append((u, v, float(c)))
+
+    def objective(self, r: np.ndarray) -> float:
+        return float(self.weights @ r)
+
+    def check_feasible(self, r: np.ndarray, tol: float = 1e-6) -> None:
+        """Raise if ``r`` violates a constraint or a pin."""
+        scale = 1.0 + max(
+            (abs(c) for _, _, c in self.constraints), default=0.0
+        )
+        for node in self.pinned:
+            if abs(r[node]) > tol * scale:
+                raise FlowError(f"pinned node {node} has r = {r[node]:.3g}")
+        for u, v, c in self.constraints:
+            if r[u] - r[v] > c + tol * scale:
+                raise FlowError(
+                    f"constraint r({u}) - r({v}) <= {c:.6g} violated by "
+                    f"{r[u] - r[v] - c:.3g}"
+                )
+
+
+@dataclass
+class GroundedFlow:
+    """The dual flow instance with pinned nodes merged into ``ground``."""
+
+    problem: FlowProblem
+    ground: int
+    #: LP node -> flow node.
+    node_map: np.ndarray
+
+
+@dataclass
+class LpSolution:
+    r: np.ndarray
+    objective: float
+    backend: str
+
+
+def ground_flow(lp: DifferenceConstraintLP) -> GroundedFlow:
+    """Build the dual min-cost flow instance of a difference LP."""
+    node_map = np.full(lp.n_nodes, -1, dtype=np.int64)
+    free_nodes = [v for v in range(lp.n_nodes) if v not in lp.pinned]
+    for new_id, node in enumerate(free_nodes):
+        node_map[node] = new_id
+    ground = len(free_nodes)
+    for node in lp.pinned:
+        node_map[node] = ground
+
+    problem = FlowProblem(n_nodes=ground + 1)
+    # Uncapacitated parallel arcs: only the cheapest can carry flow.
+    cheapest: dict[tuple[int, int], float] = {}
+    for u, v, c in lp.constraints:
+        mu, mv = int(node_map[u]), int(node_map[v])
+        if mu == mv:
+            if c < -1e-12:
+                raise InfeasibleFlowError(
+                    f"constraint between pinned nodes violated: "
+                    f"r({u}) - r({v}) <= {c:.6g}"
+                )
+            continue
+        key = (mu, mv)
+        if key not in cheapest or c < cheapest[key]:
+            cheapest[key] = c
+    for (mu, mv), c in sorted(cheapest.items()):
+        problem.add_arc(mu, mv, cost=c)
+
+    for node in free_nodes:
+        problem.add_supply(int(node_map[node]), float(lp.weights[node]))
+    assert problem.supply is not None
+    problem.supply[ground] = -problem.supply[:ground].sum()
+    return GroundedFlow(problem=problem, ground=ground, node_map=node_map)
+
+
+def recover_r(
+    grounded: GroundedFlow, potentials: np.ndarray, n_nodes: int
+) -> np.ndarray:
+    """``r(v) = π(ground) - π(v)`` mapped back to LP node ids."""
+    r = np.zeros(n_nodes)
+    ground_potential = potentials[grounded.ground]
+    for node in range(n_nodes):
+        r[node] = ground_potential - potentials[grounded.node_map[node]]
+    return r
+
+
+def solve_difference_lp(
+    lp: DifferenceConstraintLP, backend: str = "auto"
+) -> LpSolution:
+    """Solve the LP; verifies feasibility of the returned ``r``."""
+    if backend == "auto":
+        backend = "scipy" if _scipy_available() else "networkx"
+    if backend not in BACKENDS:
+        raise FlowError(f"unknown backend {backend!r}; pick from {BACKENDS}")
+    if backend == "scipy":
+        from repro.flow.scipy_backend import solve_lp_scipy
+
+        solution = solve_lp_scipy(lp)
+    elif backend == "networkx":
+        from repro.flow.networkx_backend import solve_lp_networkx
+
+        solution = solve_lp_networkx(lp)
+    else:
+        grounded = ground_flow(lp)
+        flow = solve_ssp(grounded.problem, allow_negative=True)
+        r = recover_r(grounded, flow.potentials, lp.n_nodes)
+        solution = LpSolution(
+            r=r, objective=lp.objective(r), backend="ssp"
+        )
+    lp.check_feasible(solution.r)
+    return solution
+
+
+def _scipy_available() -> bool:
+    try:
+        from scipy.optimize import linprog  # noqa: F401
+    except ImportError:  # pragma: no cover - scipy is a hard dependency
+        return False
+    return True

@@ -1,0 +1,113 @@
+"""networkx ``network_simplex`` backend.
+
+Closest in spirit to the paper's solver (a network simplex variant,
+reference [9]).  ``network_simplex`` returns flows only, so the primal
+potentials ``r`` are recovered by a shortest-path pass over the
+*residual* graph from the ground node: at optimality the residual
+graph has no negative cycle, and residual distances ``d`` satisfy every
+reduced-cost constraint, making ``r(v) = -d(v)`` an optimal primal
+solution (complementary slackness holds where flow is positive).
+
+networkx's simplex requires integer-valued data for exactness; the
+D-phase integerizes costs and supplies before reaching this module
+(paper section 2.3.1: "integerized by appropriate scaling ... powers of
+10"), and this backend rounds defensively.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import FlowError, InfeasibleFlowError, UnboundedFlowError
+from repro.flow.duality import (
+    DifferenceConstraintLP,
+    GroundedFlow,
+    LpSolution,
+    ground_flow,
+    recover_r,
+)
+
+__all__ = ["solve_lp_networkx", "residual_distances"]
+
+
+def solve_lp_networkx(lp: DifferenceConstraintLP) -> LpSolution:
+    grounded = ground_flow(lp)
+    problem = grounded.problem
+    assert problem.supply is not None
+
+    supplies = np.rint(problem.supply).astype(np.int64)
+    # Repair rounding drift so demands still balance (dump on ground).
+    supplies[grounded.ground] -= supplies.sum()
+
+    graph = nx.DiGraph()
+    for node in range(problem.n_nodes):
+        graph.add_node(node, demand=-int(supplies[node]))
+    for arc in problem.arcs:
+        weight = int(round(arc.cost))
+        if (arc.src, arc.dst) in graph.edges:
+            weight = min(weight, graph.edges[arc.src, arc.dst]["weight"])
+        graph.add_edge(arc.src, arc.dst, weight=weight)
+
+    try:
+        _cost, flow_dict = nx.network_simplex(graph)
+    except nx.NetworkXUnfeasible as exc:
+        raise InfeasibleFlowError(str(exc)) from exc
+    except nx.NetworkXUnbounded as exc:
+        raise UnboundedFlowError(str(exc)) from exc
+
+    distances = residual_distances(graph, flow_dict, grounded.ground)
+    potentials = distances  # r(v) = -d(v); recover_r negates via ground.
+    r = recover_r(grounded, potentials, lp.n_nodes)
+    # recover_r computes π(g) - π(v) = d(g) - d(v) = -d(v) since d(g)=0.
+    return LpSolution(r=r, objective=lp.objective(r), backend="networkx")
+
+
+def residual_distances(
+    graph: nx.DiGraph, flow_dict: dict, ground: int
+) -> np.ndarray:
+    """Shortest distances from ``ground`` in the residual graph (SPFA).
+
+    Residual arcs: every graph arc forward at its weight; backward at
+    negated weight wherever flow is positive.  The optimal flow has no
+    negative residual cycle, so SPFA terminates.
+    """
+    arcs: dict[int, list[tuple[int, float]]] = {}
+    for u, v, attributes in graph.edges(data=True):
+        weight = float(attributes.get("weight", 0.0))
+        arcs.setdefault(u, []).append((v, weight))
+        if flow_dict.get(u, {}).get(v, 0) > 0:
+            arcs.setdefault(v, []).append((u, -weight))
+
+    n = graph.number_of_nodes()
+    dist = np.full(n, np.inf)
+    dist[ground] = 0.0
+    in_queue = np.zeros(n, dtype=bool)
+    queue: deque[int] = deque([ground])
+    in_queue[ground] = True
+    relaxations = 0
+    limit = 4 * n * max(1, graph.number_of_edges())
+    while queue:
+        u = queue.popleft()
+        in_queue[u] = False
+        for v, weight in arcs.get(u, []):
+            candidate = dist[u] + weight
+            if candidate < dist[v] - 1e-9:
+                dist[v] = candidate
+                relaxations += 1
+                if relaxations > limit:
+                    raise FlowError(
+                        "residual graph relaxation did not converge "
+                        "(negative cycle?)"
+                    )
+                if not in_queue[v]:
+                    queue.append(v)
+                    in_queue[v] = True
+    if np.any(np.isinf(dist)):
+        unreachable = int(np.flatnonzero(np.isinf(dist))[0])
+        raise FlowError(
+            f"node {unreachable} unreachable from ground in residual graph"
+        )
+    return dist

@@ -1,0 +1,25 @@
+"""Benchmark circuit generators (ISCAS85 equivalents, adders, multipliers)."""
+
+from repro.generators.adders import ripple_carry_adder
+from repro.generators.alu import alu
+from repro.generators.comparators import adder_comparator
+from repro.generators.control import interrupt_controller
+from repro.generators.ecc import sec_corrector, sec_ded_corrector
+from repro.generators.iscas import SUITE, BenchmarkSpec, build_circuit, c17
+from repro.generators.multipliers import array_multiplier
+from repro.generators.random_logic import random_logic
+
+__all__ = [
+    "BenchmarkSpec",
+    "SUITE",
+    "adder_comparator",
+    "alu",
+    "array_multiplier",
+    "build_circuit",
+    "c17",
+    "interrupt_controller",
+    "random_logic",
+    "ripple_carry_adder",
+    "sec_corrector",
+    "sec_ded_corrector",
+]

@@ -1,0 +1,179 @@
+"""Parameterized ALU generator (c880 / c3540 / c5315 equivalents).
+
+A classic bit-sliced ALU: an operand-conditioning stage (invert /
+mask), a ripple-carry add/subtract core, a logic unit (AND / OR / XOR),
+an output multiplexer driven by decoded opcode lines, and status flags
+(zero, carry-out, overflow, parity).  Width, number of logic functions
+and an optional second datapath tune the gate count to the Table 1 row
+being matched:
+
+* c880-eq  — 8-bit, single datapath (~380 gates mapped)
+* c3540-eq — 8-bit, dual datapath + BCD-style correction (~1700)
+* c5315-eq — 9-bit, dual datapath, wide status (~2300)
+"""
+
+from __future__ import annotations
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.mapping import map_to_primitives
+from repro.circuit.transform import buffer_high_fanout
+from repro.circuit.netlist import Circuit
+from repro.errors import NetlistError
+
+__all__ = ["alu"]
+
+
+def _xor_tree(builder: CircuitBuilder, terms: list[str]) -> str:
+    level = list(terms)
+    while len(level) > 1:
+        nxt = [
+            builder.xor(level[i], level[i + 1])
+            for i in range(0, len(level) - 1, 2)
+        ]
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+def _prefix_carries(
+    builder: CircuitBuilder,
+    g: list[str],
+    p: list[str],
+    cin: str,
+) -> list[str]:
+    """Sklansky prefix tree over (generate, propagate) pairs.
+
+    Returns carries c[0..width]: c[0] = cin, c[i+1] into bit i+1.
+    Combine: (g_hi | p_hi & g_lo, p_hi & p_lo) — log-depth, matching the
+    shallow carry structure of the ISCAS85 ALUs.
+    """
+    width = len(g)
+    # spans[i] = (G, P) over bits [start..i] — grown by doubling.
+    gg = list(g)
+    pp = list(p)
+    distance = 1
+    while distance < width:
+        for i in range(width - 1, distance - 1, -1):
+            j = i - distance
+            gg[i] = builder.or_(gg[i], builder.and_(pp[i], gg[j]))
+            pp[i] = builder.and_(pp[i], pp[j])
+        distance *= 2
+    carries = [cin]
+    for i in range(width):
+        # c[i+1] = G[0..i] | P[0..i] & cin.
+        carries.append(builder.or_(gg[i], builder.and_(pp[i], cin)))
+    return carries
+
+
+def _datapath(
+    builder: CircuitBuilder,
+    a: list[str],
+    b: list[str],
+    sub: str,
+    op0: str,
+    op1: str,
+    tag: str,
+) -> tuple[list[str], str, str]:
+    """One ALU slice stack; returns (result bits, carry, overflow)."""
+    width = len(a)
+    # Operand conditioning: b xor sub implements add/subtract.
+    b_cond = [builder.xor(bit, sub) for bit in b]
+
+    generate = [builder.and_(a[i], b_cond[i]) for i in range(width)]
+    propagate = [builder.xor(a[i], b_cond[i]) for i in range(width)]
+    carries = _prefix_carries(builder, generate, propagate, sub)
+    sums = [builder.xor(propagate[i], carries[i]) for i in range(width)]
+    carry = carries[width]
+    overflow = builder.xor(carries[width], carries[width - 1])
+
+    # Logic unit and the 4:1 result mux per bit:
+    #   00 -> sum, 01 -> AND, 10 -> OR, 11 -> XOR.
+    n_op0 = builder.not_(op0)
+    n_op1 = builder.not_(op1)
+    sel_sum = builder.and_(n_op1, n_op0)
+    sel_and = builder.and_(n_op1, op0)
+    sel_or = builder.and_(op1, n_op0)
+    sel_xor = builder.and_(op1, op0)
+    result: list[str] = []
+    for i in range(width):
+        land = builder.and_(a[i], b[i])
+        lor = builder.or_(a[i], b[i])
+        lxor = builder.xor(a[i], b[i])
+        t0 = builder.and_(sums[i], sel_sum)
+        t1 = builder.and_(land, sel_and)
+        t2 = builder.and_(lor, sel_or)
+        t3 = builder.and_(lxor, sel_xor)
+        result.append(builder.or_(t0, t1, t2, t3, out=f"{tag}_r{i}"))
+    return result, carry, overflow
+
+
+def alu(
+    width: int = 8,
+    dual_datapath: bool = False,
+    correction_stage: bool = False,
+    name: str | None = None,
+    mapped: bool = True,
+) -> Circuit:
+    """Build the parameterized ALU.
+
+    ``dual_datapath`` adds a second operand pair and result merge;
+    ``correction_stage`` adds a BCD-style +6 corrector on the primary
+    result (as in the 8-bit ALU c3540).
+    """
+    if width < 2:
+        raise NetlistError(f"ALU width must be >= 2, got {width}")
+    builder = CircuitBuilder(name or f"alu{width}")
+    a = builder.input_bus("a", width)
+    b = builder.input_bus("b", width)
+    sub = builder.input("sub")
+    op0 = builder.input("op0")
+    op1 = builder.input("op1")
+
+    result, carry, overflow = _datapath(builder, a, b, sub, op0, op1, "dp0")
+
+    if dual_datapath:
+        c_bus = builder.input_bus("c", width)
+        d_bus = builder.input_bus("d", width)
+        merge = builder.input("merge")
+        result2, carry2, overflow2 = _datapath(
+            builder, c_bus, d_bus, sub, op1, op0, "dp1"
+        )
+        merged = [
+            builder.mux(merge, result[i], result2[i]) for i in range(width)
+        ]
+        result = merged
+        carry = builder.mux(merge, carry, carry2)
+        overflow = builder.mux(merge, overflow, overflow2)
+
+    if correction_stage:
+        # BCD-style correction: when the low nibble exceeds 9, add 6.
+        if width >= 4:
+            gt9 = builder.and_(
+                result[3], builder.or_(result[2], result[1])
+            )
+            adjust = builder.or_(gt9, carry)
+            carry_c = None
+            corrected = list(result)
+            for i in (1, 2):  # +6 = 0b0110 touches bits 1 and 2
+                bit_in = corrected[i]
+                add_bit = adjust if carry_c is None else carry_c
+                corrected[i] = builder.xor(bit_in, add_bit)
+                carry_c = builder.and_(bit_in, add_bit)
+            if carry_c is not None and width > 3:
+                corrected[3] = builder.xor(corrected[3], carry_c)
+            result = corrected
+
+    zero = builder.not_(builder.or_(*result))
+    parity = _xor_tree(builder, result)
+    for i, bit in enumerate(result):
+        builder.output(bit, name=f"f[{i}]")
+    builder.output(carry, name="cout")
+    builder.output(overflow, name="ovf")
+    builder.output(zero, name="zero")
+    builder.output(parity, name="par")
+
+    circuit = buffer_high_fanout(builder.build(), max_fanout=8)
+    if mapped:
+        circuit = map_to_primitives(circuit, suffix="")
+    return circuit.freeze()

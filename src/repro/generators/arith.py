@@ -1,0 +1,91 @@
+"""Arithmetic building blocks shared by the circuit generators.
+
+Provides full/half adders in three styles:
+
+* ``"macro"`` — XOR2/AND2/OR2 macro cells (5 gates per full adder),
+* ``"nand"``  — the classic 9-gate NAND2 full adder (primitive cells,
+  the flavour of the ISCAS85 arithmetic circuits),
+* ``"mapped"``— macro style expanded by
+  :func:`repro.circuit.mapping.map_to_primitives` at the circuit level.
+
+The 9-NAND full adder::
+
+    n1 = NAND(a, b)        n4 = NAND(s1, cin)
+    n2 = NAND(a, n1)       n5 = NAND(s1, n4)
+    n3 = NAND(b, n1)       n6 = NAND(cin, n4)
+    s1 = NAND(n2, n3)      sum = NAND(n5, n6)
+    cout = NAND(n1, n4)
+"""
+
+from __future__ import annotations
+
+from repro.circuit.builder import CircuitBuilder
+from repro.errors import NetlistError
+
+__all__ = ["full_adder", "half_adder", "ripple_chain"]
+
+STYLES = ("macro", "nand")
+
+
+def full_adder(
+    builder: CircuitBuilder, a: str, b: str, cin: str, style: str = "nand"
+) -> tuple[str, str]:
+    """Emit one full adder; returns (sum, carry_out)."""
+    if style == "macro":
+        return builder.full_adder(a, b, cin)
+    if style != "nand":
+        raise NetlistError(f"unknown adder style {style!r}")
+    n1 = builder.nand(a, b)
+    n2 = builder.nand(a, n1)
+    n3 = builder.nand(b, n1)
+    s1 = builder.nand(n2, n3)
+    n4 = builder.nand(s1, cin)
+    n5 = builder.nand(s1, n4)
+    n6 = builder.nand(cin, n4)
+    total = builder.nand(n5, n6)
+    carry = builder.nand(n1, n4)
+    return total, carry
+
+
+def half_adder(
+    builder: CircuitBuilder, a: str, b: str, style: str = "nand"
+) -> tuple[str, str]:
+    """Emit one half adder; returns (sum, carry_out)."""
+    if style == "macro":
+        return builder.half_adder(a, b)
+    if style != "nand":
+        raise NetlistError(f"unknown adder style {style!r}")
+    n1 = builder.nand(a, b)
+    n2 = builder.nand(a, n1)
+    n3 = builder.nand(b, n1)
+    total = builder.nand(n2, n3)
+    carry = builder.not_(n1)
+    return total, carry
+
+
+def ripple_chain(
+    builder: CircuitBuilder,
+    a_bits: list[str],
+    b_bits: list[str],
+    cin: str | None,
+    style: str = "nand",
+) -> tuple[list[str], str]:
+    """A ripple-carry adder over two equal-width buses.
+
+    Returns (sum bits, carry out).  With no carry-in the first stage is
+    a half adder.
+    """
+    if len(a_bits) != len(b_bits):
+        raise NetlistError(
+            f"bus widths differ: {len(a_bits)} vs {len(b_bits)}"
+        )
+    sums: list[str] = []
+    carry = cin
+    for a, b in zip(a_bits, b_bits):
+        if carry is None:
+            s, carry = half_adder(builder, a, b, style=style)
+        else:
+            s, carry = full_adder(builder, a, b, carry, style=style)
+        sums.append(s)
+    assert carry is not None
+    return sums, carry

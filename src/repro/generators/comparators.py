@@ -1,0 +1,102 @@
+"""Adder/comparator generator (the c7552 equivalent).
+
+c7552 is a 32-bit adder/comparator with parity checking.  This
+generator builds: a 32-bit ripple-carry adder (9-NAND full adders), a
+magnitude comparator over the operands (ripple greater/less chain), an
+equality tree, and parity trees over inputs and the sum — the same mix
+of long arithmetic chains and wide reduction trees.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.mapping import map_to_primitives
+from repro.circuit.transform import buffer_high_fanout
+from repro.circuit.netlist import Circuit
+from repro.errors import NetlistError
+from repro.generators.arith import ripple_chain
+
+__all__ = ["adder_comparator"]
+
+
+def _xor_tree(builder: CircuitBuilder, terms: list[str]) -> str:
+    level = list(terms)
+    while len(level) > 1:
+        nxt = [
+            builder.xor(level[i], level[i + 1])
+            for i in range(0, len(level) - 1, 2)
+        ]
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+def adder_comparator(
+    width: int = 32,
+    name: str | None = None,
+    mapped: bool = True,
+    dual_bank: bool = False,
+) -> Circuit:
+    """Build the ``width``-bit adder/comparator.
+
+    ``dual_bank=True`` instantiates a second, independent adder over the
+    same operands and cross-checks the two sums — the self-checking
+    duplicated-adder structure of the real c7552.
+    """
+    if width < 2:
+        raise NetlistError(f"width must be >= 2, got {width}")
+    builder = CircuitBuilder(name or f"addcmp{width}")
+    a = builder.input_bus("a", width)
+    b = builder.input_bus("b", width)
+    cin = builder.input("cin")
+
+    # Adder core.
+    sums, cout = ripple_chain(builder, a, b, cin, style="nand")
+    for i, s in enumerate(sums):
+        builder.output(s, name=f"sum[{i}]")
+    builder.output(cout, name="cout")
+
+    if dual_bank:
+        # Checker bank: same function, macro-cell implementation; any
+        # mismatch raises the check output.
+        sums2, cout2 = ripple_chain(builder, a, b, cin, style="macro")
+        mismatches = [
+            builder.xor(sums[i], sums2[i]) for i in range(width)
+        ]
+        mismatches.append(builder.xor(cout, cout2))
+        builder.output(builder.or_(*mismatches), name="check_fail")
+
+    # Per-bit (greater, equal) pairs merged by a log-depth combine tree
+    # (the real c7552 comparator is shallow, ~15 levels, not a 32-stage
+    # ripple): combine(hi, lo) = (hi.gt | hi.eq & lo.gt, hi.eq & lo.eq).
+    pairs = [
+        (builder.and_(a[i], builder.not_(b[i])), builder.xnor(a[i], b[i]))
+        for i in range(width)
+    ]  # index 0 = LSB; tree combines keep MSB significance.
+    while len(pairs) > 1:
+        merged: list[tuple[str, str]] = []
+        for i in range(0, len(pairs) - 1, 2):
+            lo_gt, lo_eq = pairs[i]
+            hi_gt, hi_eq = pairs[i + 1]
+            gt_net = builder.or_(hi_gt, builder.and_(hi_eq, lo_gt))
+            eq_net = builder.and_(hi_eq, lo_eq)
+            merged.append((gt_net, eq_net))
+        if len(pairs) % 2:
+            merged.append(pairs[-1])
+        pairs = merged
+    gt, equal = pairs[0]
+    less = builder.nor(gt, equal)
+    builder.output(gt, name="a_gt_b")
+    builder.output(equal, name="a_eq_b")
+    builder.output(less, name="a_lt_b")
+
+    # Parity trees over each operand and over the sum.
+    builder.output(_xor_tree(builder, list(a)), name="par_a")
+    builder.output(_xor_tree(builder, list(b)), name="par_b")
+    builder.output(_xor_tree(builder, list(sums) + [cout]), name="par_sum")
+
+    circuit = buffer_high_fanout(builder.build(), max_fanout=8)
+    if mapped:
+        circuit = map_to_primitives(circuit, suffix="")
+    return circuit.freeze()

@@ -1,0 +1,102 @@
+"""Priority / interrupt controller generator (the c432 equivalent).
+
+c432 is a 27-channel interrupt controller: three 9-bit request groups
+with enable masks, a priority chain across channels and an encoded
+grant output.  This generator builds that architecture for any group
+geometry: per-channel masking, a ripple priority chain (a channel is
+granted when requesting and no higher-priority channel requests), a
+binary encoder over the grant lines and group-pending flags.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.mapping import map_to_primitives
+from repro.circuit.transform import buffer_high_fanout
+from repro.circuit.netlist import Circuit
+from repro.errors import NetlistError
+
+__all__ = ["interrupt_controller"]
+
+
+def interrupt_controller(
+    n_groups: int = 3,
+    group_width: int = 9,
+    name: str | None = None,
+    mapped: bool = True,
+) -> Circuit:
+    """Build the priority interrupt controller."""
+    if n_groups < 1 or group_width < 1:
+        raise NetlistError("controller needs >= 1 group and width")
+    channels = n_groups * group_width
+    builder = CircuitBuilder(name or f"intctl{channels}")
+
+    requests = [
+        builder.input_bus(f"req{g}", group_width) for g in range(n_groups)
+    ]
+    masks = builder.input_bus("mask", n_groups)
+
+    # Masked requests: group mask gates all channels in the group.
+    masked: list[str] = []
+    for g in range(n_groups):
+        enable = builder.not_(masks[g])
+        for i in range(group_width):
+            masked.append(builder.and_(requests[g][i], enable))
+
+    # Two-level priority: a ripple prefix-OR inside each group plus a
+    # group-level chain — the shallow structure of the real c432
+    # (within-group depth ~ group_width, not n_channels).
+    group_any: list[str] = []
+    higher_group: list[str | None] = [None] * n_groups
+    prefixes: list[str | None] = []
+    for g in range(n_groups):
+        block = masked[g * group_width : (g + 1) * group_width]
+        running: str | None = None
+        for req in block:
+            prefixes.append(running)
+            running = req if running is None else builder.or_(running, req)
+        assert running is not None
+        group_any.append(running)
+        if g + 1 < n_groups:
+            previous = higher_group[g]
+            higher_group[g + 1] = (
+                group_any[g]
+                if previous is None
+                else builder.or_(previous, group_any[g])
+            )
+
+    grants: list[str] = []
+    for i, req in enumerate(masked):
+        g = i // group_width
+        blockers = [
+            net
+            for net in (prefixes[i], higher_group[g])
+            if net is not None
+        ]
+        if not blockers:
+            grants.append(builder.buf(req))
+        elif len(blockers) == 1:
+            grants.append(builder.and_(req, builder.not_(blockers[0])))
+        else:
+            grants.append(
+                builder.and_(req, builder.nor(blockers[0], blockers[1]))
+            )
+
+    # Binary encoder over the (one-hot) grant vector, plus a grant-valid
+    # line (which also consumes grant 0, whose code is all-zero).
+    n_code = max(1, (channels - 1).bit_length())
+    for bit in range(n_code):
+        terms = [grants[i] for i in range(channels) if i >> bit & 1]
+        if terms:
+            builder.output(builder.or_(*terms), name=f"vec[{bit}]")
+    builder.output(builder.or_(*grants), name="gnt")
+    # Group-pending flags (already computed by the priority prefix) and
+    # a global interrupt line.
+    for g in range(n_groups):
+        builder.output(group_any[g], name=f"pend[{g}]")
+    builder.output(builder.or_(*group_any), name="irq")
+
+    circuit = buffer_high_fanout(builder.build(), max_fanout=8)
+    if mapped:
+        circuit = map_to_primitives(circuit, suffix="")
+    return circuit.freeze()

@@ -1,0 +1,135 @@
+"""Error-correction circuit generators (c499 / c1355 / c1908 equivalents).
+
+c499 and c1355 are the same 32-bit single-error-correcting (SEC)
+circuit — c499 with XOR gates, c1355 with the XORs expanded into NANDs.
+This module mirrors that relationship exactly: the c1355 equivalent is
+the c499 equivalent passed through
+:func:`repro.circuit.mapping.map_to_primitives`.
+
+The architecture is a shortened Hamming code: ``k`` syndrome bits are
+XOR trees over data subsets (bit ``i`` participates in syndrome ``j``
+when bit ``j`` of ``i+1`` is set), a decoder matches each data position
+against the syndrome, and correction XORs flip the erroneous bit.
+
+c1908 (16-bit SEC/DED) adds an overall-parity tree for double-error
+detection and error/status outputs.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.mapping import map_to_primitives
+from repro.circuit.transform import buffer_high_fanout
+from repro.circuit.netlist import Circuit
+from repro.errors import NetlistError
+
+__all__ = ["sec_corrector", "sec_ded_corrector"]
+
+
+def _xor_tree(builder: CircuitBuilder, terms: list[str]) -> str:
+    """Balanced XOR reduction."""
+    if not terms:
+        raise NetlistError("empty XOR tree")
+    level = list(terms)
+    while len(level) > 1:
+        nxt = [
+            builder.xor(level[i], level[i + 1])
+            for i in range(0, len(level) - 1, 2)
+        ]
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+def _syndrome_width(data_width: int) -> int:
+    k = 1
+    while (1 << k) < data_width + k + 1:
+        k += 1
+    return k
+
+
+def sec_corrector(
+    data_width: int = 32,
+    name: str | None = None,
+    mapped: bool = False,
+) -> Circuit:
+    """Single-error-correcting decoder over ``data_width`` data bits.
+
+    Inputs: data bits plus received check bits.  Outputs: corrected
+    data.  ``mapped=True`` expands every macro cell into primitives —
+    exactly the c499 -> c1355 relationship.
+    """
+    k = _syndrome_width(data_width)
+    builder = CircuitBuilder(name or f"sec{data_width}")
+    data = builder.input_bus("d", data_width)
+    checks = builder.input_bus("c", k)
+
+    # Syndrome j: parity of data bits whose (i+1) has bit j set, xor the
+    # received check bit.
+    syndromes: list[str] = []
+    for j in range(k):
+        terms = [
+            data[i] for i in range(data_width) if (i + 1) >> j & 1
+        ]
+        terms.append(checks[j])
+        syndromes.append(_xor_tree(builder, terms))
+    syndrome_bar = [builder.not_(s) for s in syndromes]
+
+    # Decode: position i is erroneous when the syndrome equals i+1.
+    for i in range(data_width):
+        pattern = [
+            syndromes[j] if (i + 1) >> j & 1 else syndrome_bar[j]
+            for j in range(k)
+        ]
+        hit = builder.and_(*pattern)
+        builder.output(builder.xor(data[i], hit), name=f"q[{i}]")
+
+    circuit = buffer_high_fanout(builder.build(), max_fanout=8)
+    if mapped:
+        circuit = map_to_primitives(circuit, suffix="")
+    return circuit.freeze()
+
+
+def sec_ded_corrector(
+    data_width: int = 16,
+    name: str | None = None,
+    mapped: bool = True,
+) -> Circuit:
+    """SEC/DED decoder (c1908 flavour): corrects singles, flags doubles.
+
+    Adds an overall-parity input/tree; a double error shows as a
+    non-zero syndrome with even overall parity.
+    """
+    k = _syndrome_width(data_width)
+    builder = CircuitBuilder(name or f"secded{data_width}")
+    data = builder.input_bus("d", data_width)
+    checks = builder.input_bus("c", k)
+    overall = builder.input("p")
+
+    syndromes: list[str] = []
+    for j in range(k):
+        terms = [data[i] for i in range(data_width) if (i + 1) >> j & 1]
+        terms.append(checks[j])
+        syndromes.append(_xor_tree(builder, terms))
+    syndrome_bar = [builder.not_(s) for s in syndromes]
+
+    parity = _xor_tree(builder, list(data) + list(checks) + [overall])
+    syndrome_nonzero = builder.or_(*syndromes)
+    single = builder.and_(syndrome_nonzero, parity)
+    double = builder.and_(syndrome_nonzero, builder.not_(parity))
+
+    for i in range(data_width):
+        pattern = [
+            syndromes[j] if (i + 1) >> j & 1 else syndrome_bar[j]
+            for j in range(k)
+        ]
+        hit = builder.and_(*pattern, single)
+        builder.output(builder.xor(data[i], hit), name=f"q[{i}]")
+    builder.output(single, name="err_single")
+    builder.output(double, name="err_double")
+
+    circuit = buffer_high_fanout(builder.build(), max_fanout=8)
+    if mapped:
+        circuit = map_to_primitives(circuit, suffix="")
+    return circuit.freeze()

@@ -1,0 +1,122 @@
+"""Seeded random combinational logic.
+
+Two uses: a *filler* that pads an ISCAS-equivalent circuit up to the
+paper's quoted gate count with realistic random logic, and a standalone
+generator for property-based tests (arbitrary valid DAGs with
+controlled depth and fanout statistics).
+
+Determinism: everything derives from ``random.Random(seed)``; the same
+arguments always produce the identical netlist.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.netlist import Circuit
+from repro.errors import NetlistError
+
+__all__ = ["random_logic", "append_random_logic"]
+
+# Weighted cell palette: mostly 2-input NAND/NOR with occasional wide
+# and inverting cells, resembling mapped control logic.
+_PALETTE: list[tuple[str, int, float]] = [
+    ("NAND2", 2, 0.30),
+    ("NOR2", 2, 0.20),
+    ("NAND3", 3, 0.12),
+    ("NOR3", 3, 0.08),
+    ("AOI21", 3, 0.08),
+    ("OAI21", 3, 0.08),
+    ("INV", 1, 0.10),
+    ("NAND4", 4, 0.04),
+]
+
+
+def random_logic(
+    n_gates: int,
+    n_inputs: int = 16,
+    n_outputs: int = 8,
+    seed: int = 0,
+    name: str | None = None,
+    locality: int = 24,
+) -> Circuit:
+    """A random primitive-cell DAG with ``n_gates`` gates.
+
+    ``locality`` bounds how far back (in creation order) a gate may pick
+    its operands, which controls logic depth: small values give long
+    thin circuits, large values give shallow wide ones.
+    """
+    if n_gates < 1 or n_inputs < 1 or n_outputs < 1:
+        raise NetlistError("random_logic needs positive sizes")
+    builder = CircuitBuilder(name or f"rand{n_gates}_s{seed}")
+    rng = random.Random(seed)
+    nets = builder.input_bus("x", n_inputs)
+    append_random_logic(builder, nets, n_gates, rng, locality)
+    _drain_outputs(builder, nets, n_outputs, rng)
+    return builder.build()
+
+
+def append_random_logic(
+    builder: CircuitBuilder,
+    nets: list[str],
+    n_gates: int,
+    rng: random.Random,
+    locality: int = 24,
+) -> list[str]:
+    """Append ``n_gates`` random gates reading from (and extending)
+    ``nets``; returns the list of new output nets."""
+    cells = [entry[0] for entry in _PALETTE]
+    arities = {entry[0]: entry[1] for entry in _PALETTE}
+    weights = [entry[2] for entry in _PALETTE]
+    created: list[str] = []
+    for _ in range(n_gates):
+        cell = rng.choices(cells, weights=weights, k=1)[0]
+        arity = arities[cell]
+        window = nets[-locality:] if len(nets) > locality else nets
+        if len(window) < arity:
+            window = nets
+        operands = rng.sample(window, k=min(arity, len(window)))
+        while len(operands) < arity:  # tiny windows: allow reuse
+            operands.append(rng.choice(nets))
+        out = builder.gate(cell, operands)
+        nets.append(out)
+        created.append(out)
+    return created
+
+
+def _drain_outputs(
+    builder: CircuitBuilder,
+    nets: list[str],
+    n_outputs: int,
+    rng: random.Random,
+) -> None:
+    """Mark outputs and sweep dangling nets into reduction trees so the
+    circuit has no dead logic (a lint the sizers care about)."""
+    circuit = builder.circuit
+    dangling = [
+        gate.output
+        for gate in circuit.gates
+        if not circuit.loads_of(gate.output)
+    ]
+    rng.shuffle(dangling)
+    if not dangling:
+        dangling = nets[-n_outputs:]
+    groups = max(1, min(n_outputs, len(dangling)))
+    for g in range(groups):
+        chunk = dangling[g::groups]
+        if not chunk:
+            continue
+        builder.output(_reduce(builder, chunk), name=f"y[{g}]")
+
+
+def _reduce(builder: CircuitBuilder, nets: list[str]) -> str:
+    level = list(nets)
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(builder.nand(level[i], level[i + 1]))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]

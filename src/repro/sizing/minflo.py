@@ -1,0 +1,179 @@
+"""MINFLOTRANSIT: the alternating D/W iteration (paper section 2.4).
+
+    1. Size the circuit to meet the delay target with TILOS.
+    2. Alternate the D-phase (min-cost-flow delay-budget redistribution)
+       and the W-phase (SMP minimal sizing for those budgets).
+    3. Stop when the area improvement after a W-phase is negligible.
+
+The per-vertex delay-change window ``[MIN_ΔD, MAX_ΔD]`` implements the
+ε-ball of the paper's Theorem 3 as a trust region: ``±α`` times the
+current loading delay, with ``α`` halved whenever a step fails (upper
+size bound clamping made the budgets unreachable, or the area went up)
+and cautiously re-expanded after successes.  Every accepted iterate is
+verified safe (``CP <= target``), so the final answer always meets
+timing whenever the TILOS seed does.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.balancing.fsdu import balance
+from repro.dag.circuit_dag import SizingDag
+from repro.errors import InfeasibleTimingError, SizingError
+from repro.sizing.dphase import d_phase
+from repro.sizing.result import IterationRecord, SizingResult
+from repro.sizing.tilos import TilosOptions, tilos_size
+from repro.sizing.wphase import w_phase
+from repro.timing.sta import GraphTimer
+
+__all__ = ["MinfloOptions", "minflotransit"]
+
+
+@dataclass(frozen=True)
+class MinfloOptions:
+    """Knobs of the MINFLOTRANSIT iteration."""
+
+    #: Initial trust-region fraction of the loading delay.
+    alpha: float = 0.25
+    alpha_min: float = 1e-3
+    alpha_max: float = 0.5
+    alpha_shrink: float = 0.5
+    alpha_grow: float = 1.2
+    #: Convergence: relative area improvement below this for
+    #: ``patience`` consecutive accepted iterations stops the loop.
+    area_tolerance: float = 1e-4
+    patience: int = 2
+    max_iterations: int = 60
+    #: Delay-balancing configuration fed to the D-phase.
+    balancing: str = "asap"
+    #: Min-cost-flow / LP backend ("auto", "ssp", "networkx", "scipy").
+    flow_backend: str = "auto"
+    tilos: TilosOptions = TilosOptions()
+
+    def __post_init__(self) -> None:
+        if not 0 < self.alpha <= self.alpha_max:
+            raise SizingError(
+                f"alpha must lie in (0, {self.alpha_max}], got {self.alpha}"
+            )
+        if self.max_iterations < 1:
+            raise SizingError("max_iterations must be positive")
+
+
+def minflotransit(
+    dag: SizingDag,
+    target: float,
+    options: MinfloOptions | None = None,
+    x0: np.ndarray | None = None,
+) -> SizingResult:
+    """Size ``dag`` to meet ``target`` with minimum area.
+
+    ``x0`` overrides the TILOS seed (it must already meet the target).
+    Raises :class:`InfeasibleTimingError` when no feasible start exists.
+    """
+    options = options or MinfloOptions()
+    timer = GraphTimer(dag)
+    start = time.perf_counter()
+
+    if x0 is None:
+        seed = tilos_size(dag, target, options.tilos, timer=timer)
+        if not seed.feasible:
+            raise InfeasibleTimingError(
+                f"target {target:.6g} unreachable: TILOS stalled at "
+                f"{seed.critical_path_delay:.6g}"
+            )
+        x = seed.x
+    else:
+        x = np.array(x0, dtype=float)
+        report = timer.analyze(dag.delays(x), horizon=target)
+        if report.critical_path_delay > target * (1 + 1e-9):
+            raise InfeasibleTimingError(
+                f"provided start misses the target: "
+                f"{report.critical_path_delay:.6g} > {target:.6g}"
+            )
+
+    initial_area = dag.area(x)
+    best_x = x.copy()
+    best_area = initial_area
+    alpha = options.alpha
+    records: list[IterationRecord] = []
+    stall_count = 0
+    converged = False
+
+    for iteration in range(1, options.max_iterations + 1):
+        delays = dag.model.delays(x)
+        load_delay = delays - dag.model.intrinsic
+        config = balance(
+            dag,
+            delays,
+            horizon=target,
+            method=options.balancing,
+            timer=timer,
+        )
+        max_dd = alpha * load_delay
+        min_dd = -alpha * load_delay
+
+        dres = d_phase(
+            dag,
+            x,
+            config,
+            min_dd,
+            max_dd,
+            backend=options.flow_backend,
+        )
+        budgets = delays + dres.delta_d
+        wres = w_phase(dag, budgets)
+        report = timer.analyze(dag.model.delays(wres.x), horizon=target)
+
+        area = dag.area(wres.x)
+        timing_ok = report.critical_path_delay <= target * (1 + 1e-9)
+        improved = area < best_area * (1 - 1e-12)
+        accepted = timing_ok and improved
+
+        records.append(
+            IterationRecord(
+                iteration=iteration,
+                area=area,
+                critical_path_delay=report.critical_path_delay,
+                predicted_gain=dres.predicted_gain,
+                alpha=alpha,
+                accepted=accepted,
+                backend=dres.backend,
+            )
+        )
+
+        if accepted:
+            gain = (best_area - area) / best_area
+            x = wres.x
+            best_x, best_area = wres.x.copy(), area
+            if gain < options.area_tolerance:
+                stall_count += 1
+                if stall_count >= options.patience:
+                    converged = True
+                    break
+            else:
+                stall_count = 0
+            alpha = min(alpha * options.alpha_grow, options.alpha_max)
+        else:
+            alpha *= options.alpha_shrink
+            stall_count += 1
+            if alpha < options.alpha_min or stall_count >= 2 * options.patience:
+                converged = True
+                break
+
+    final_report = timer.analyze(dag.model.delays(best_x), horizon=target)
+    return SizingResult(
+        name=dag.name,
+        mode=dag.mode,
+        x=best_x,
+        area=best_area,
+        critical_path_delay=final_report.critical_path_delay,
+        target=target,
+        converged=converged,
+        runtime_seconds=time.perf_counter() - start,
+        initial_area=initial_area,
+        iterations=records,
+    )

@@ -1,0 +1,63 @@
+"""Result records for the sizing optimizers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["IterationRecord", "SizingResult"]
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """One D/W iteration of MINFLOTRANSIT."""
+
+    iteration: int
+    area: float
+    critical_path_delay: float
+    predicted_gain: float
+    alpha: float
+    accepted: bool
+    backend: str
+
+
+@dataclass
+class SizingResult:
+    """Final outcome of a sizing run."""
+
+    name: str
+    mode: str
+    x: np.ndarray
+    area: float
+    critical_path_delay: float
+    target: float
+    converged: bool
+    runtime_seconds: float
+    initial_area: float
+    iterations: list[IterationRecord] = field(default_factory=list)
+
+    @property
+    def n_iterations(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def area_saving_vs_initial(self) -> float:
+        """Fractional area saved relative to the initial solution."""
+        if self.initial_area <= 0:
+            return 0.0
+        return 1.0 - self.area / self.initial_area
+
+    @property
+    def meets_target(self) -> bool:
+        return self.critical_path_delay <= self.target * (1 + 1e-9)
+
+    def summary(self) -> str:
+        return (
+            f"{self.name} [{self.mode}]: area {self.area:.2f} "
+            f"(initial {self.initial_area:.2f}, "
+            f"saved {100 * self.area_saving_vs_initial:.2f}%), "
+            f"delay {self.critical_path_delay:.2f} / target {self.target:.2f}, "
+            f"{self.n_iterations} iterations, "
+            f"{'converged' if self.converged else 'iteration limit'}"
+        )

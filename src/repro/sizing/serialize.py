@@ -1,0 +1,102 @@
+"""JSON persistence for sizing results.
+
+Downstream flows (placement, simulation, report diffing) need the size
+assignment out of process; this module writes/reads a stable JSON
+schema carrying the per-vertex sizes, the run metadata and the
+iteration history.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.dag.circuit_dag import SizingDag
+from repro.errors import SizingError
+from repro.sizing.result import IterationRecord, SizingResult
+
+__all__ = ["result_to_dict", "result_from_dict", "save_result", "load_result"]
+
+_SCHEMA = "repro.sizing-result/1"
+
+
+def result_to_dict(result: SizingResult, dag: SizingDag | None = None) -> dict:
+    """JSON-ready dictionary; includes vertex labels when a DAG is given."""
+    payload = {
+        "schema": _SCHEMA,
+        "name": result.name,
+        "mode": result.mode,
+        "x": [float(v) for v in result.x],
+        "area": result.area,
+        "critical_path_delay": result.critical_path_delay,
+        "target": result.target,
+        "converged": result.converged,
+        "runtime_seconds": result.runtime_seconds,
+        "initial_area": result.initial_area,
+        "iterations": [
+            {
+                "iteration": rec.iteration,
+                "area": rec.area,
+                "critical_path_delay": rec.critical_path_delay,
+                "predicted_gain": rec.predicted_gain,
+                "alpha": rec.alpha,
+                "accepted": rec.accepted,
+                "backend": rec.backend,
+            }
+            for rec in result.iterations
+        ],
+    }
+    if dag is not None:
+        if dag.n != len(result.x):
+            raise SizingError(
+                f"DAG has {dag.n} vertices, result has {len(result.x)}"
+            )
+        payload["labels"] = dag.labels()
+    return payload
+
+
+def result_from_dict(payload: dict) -> SizingResult:
+    if payload.get("schema") != _SCHEMA:
+        raise SizingError(
+            f"unsupported schema {payload.get('schema')!r} "
+            f"(expected {_SCHEMA})"
+        )
+    return SizingResult(
+        name=payload["name"],
+        mode=payload["mode"],
+        x=np.array(payload["x"], dtype=float),
+        area=float(payload["area"]),
+        critical_path_delay=float(payload["critical_path_delay"]),
+        target=float(payload["target"]),
+        converged=bool(payload["converged"]),
+        runtime_seconds=float(payload["runtime_seconds"]),
+        initial_area=float(payload["initial_area"]),
+        iterations=[
+            IterationRecord(
+                iteration=rec["iteration"],
+                area=rec["area"],
+                critical_path_delay=rec["critical_path_delay"],
+                predicted_gain=rec["predicted_gain"],
+                alpha=rec["alpha"],
+                accepted=rec["accepted"],
+                backend=rec["backend"],
+            )
+            for rec in payload["iterations"]
+        ],
+    )
+
+
+def save_result(
+    result: SizingResult, path: str | Path, dag: SizingDag | None = None
+) -> Path:
+    path = Path(path)
+    with open(path, "w") as handle:
+        json.dump(result_to_dict(result, dag), handle, indent=1)
+    return path
+
+
+def load_result(path: str | Path) -> SizingResult:
+    with open(path) as handle:
+        return result_from_dict(json.load(handle))

@@ -1,0 +1,125 @@
+"""Simple Monotonic Program solver (paper section 2.3.2, reference [10]).
+
+The W-phase problem
+
+    minimize   sum_i w_i x_i
+    subject to intrinsic_i + g(x_i) * (sum_j a_ij x_j + b_i) <= budget_i
+               lower_i <= x_i <= upper_i
+
+is a Simple Monotonic Program: rewriting each constraint as
+
+    x_i >= g^{-1}( (budget_i - intrinsic_i) / L_i(x) )
+
+gives ``x >= F(x)`` with ``F`` monotone non-decreasing, so the feasible
+set is closed upward and the componentwise-minimal feasible point — the
+least fixed point of ``max(lower, F(.))`` — simultaneously minimizes
+every ``x_i`` and hence any non-negatively weighted area objective.
+
+The solver runs Gauss-Seidel constraint relaxation in reverse
+topological order: exact after one sweep for gate sizing (dependencies
+point strictly forward), and a convergent block relaxation for
+transistor sizing (devices of one gate couple mutually).  Worst case
+``O(|V| |E|)`` sweeps-times-work, the bound quoted in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.delay.model import VertexDelayModel
+from repro.errors import SizingError
+
+__all__ = ["SmpResult", "solve_smp"]
+
+
+@dataclass
+class SmpResult:
+    """Least-fixed-point solution of the W-phase SMP."""
+
+    x: np.ndarray
+    #: Vertices whose requirement exceeded the upper size bound; their
+    #: delay budgets are not met (the caller must reject or repair).
+    clamped: list[int]
+    sweeps: int
+
+    @property
+    def feasible(self) -> bool:
+        return not self.clamped
+
+
+def solve_smp(
+    model: VertexDelayModel,
+    budgets: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    sweep_order: np.ndarray,
+    max_sweeps: int = 200,
+    tol: float = 1e-10,
+) -> SmpResult:
+    """Compute minimal sizes meeting per-vertex delay budgets.
+
+    ``sweep_order`` should list vertices so that dependencies come late
+    (reverse topological order): the relaxation then converges in one
+    sweep for DAG-ordered dependencies and geometrically for
+    intra-block coupling.
+    """
+    budgets = np.asarray(budgets, dtype=float)
+    n = model.n
+    headroom = budgets - model.intrinsic
+    no_load = (model.b == 0) & (np.diff(model.a_matrix.indptr) == 0)
+    bad = np.flatnonzero((headroom <= 0) & ~no_load)
+    if bad.size:
+        i = int(bad[0])
+        raise SizingError(
+            f"budget {budgets[i]:.6g} at vertex {i} does not exceed the "
+            f"intrinsic delay {model.intrinsic[i]:.6g}"
+        )
+
+    indptr = model.a_matrix.indptr
+    indices = model.a_matrix.indices
+    data = model.a_matrix.data
+    b = model.b
+    law = model.law
+
+    x = lower.astype(float).copy()
+    scale = float(np.max(np.abs(upper))) or 1.0
+    for sweep in range(1, max_sweeps + 1):
+        largest_move = 0.0
+        for i in sweep_order:
+            if no_load[i]:
+                continue
+            start, end = indptr[i], indptr[i + 1]
+            load = float(data[start:end] @ x[indices[start:end]]) + b[i]
+            if load <= 0.0:
+                continue
+            required = law.g_inverse(headroom[i] / load)
+            value = min(max(required, lower[i]), upper[i])
+            move = value - x[i]
+            if move > tol * scale:
+                largest_move = max(largest_move, move)
+                x[i] = value
+            elif value > x[i]:
+                x[i] = value
+        if largest_move <= tol * scale:
+            clamped = _find_clamped(model, budgets, x, upper, tol)
+            return SmpResult(x=x, clamped=clamped, sweeps=sweep)
+    raise SizingError(
+        f"SMP relaxation did not converge in {max_sweeps} sweeps"
+    )
+
+
+def _find_clamped(
+    model: VertexDelayModel,
+    budgets: np.ndarray,
+    x: np.ndarray,
+    upper: np.ndarray,
+    tol: float,
+) -> list[int]:
+    """Vertices at the upper bound whose budget is still violated."""
+    delays = model.delays(x)
+    scale = max(float(np.max(budgets)), 1.0)
+    violated = delays > budgets + 1e-7 * scale
+    at_cap = x >= upper - tol
+    return np.flatnonzero(violated & at_cap).tolist()

@@ -1,0 +1,239 @@
+"""TILOS-like sensitivity-based greedy sizing (references [1], [15]).
+
+The baseline of the paper's Table 1 and the initial solution of
+MINFLOTRANSIT (section 2.4, step 1).  Starting from minimum sizes, the
+most *sensitive* vertex on the critical path — the one whose unit area
+increase buys the largest path-delay decrease — is bumped by a constant
+factor (1.1 in the paper) until the delay target is met.
+
+The sensitivity of bumping vertex ``v`` on the critical path accounts
+for both local effects of the resize:
+
+* ``v`` itself speeds up (its drive resistance drops), and
+* the critical predecessor of ``v`` slows down (its load grows by
+  ``a_pv * dx``).
+
+Greedy and without convergence guarantees — exactly the drawback the
+paper's Example 1 illustrates and the D/W iteration repairs.
+
+Two timing engines produce identical results (asserted by tests):
+``engine="incremental"`` (default) re-propagates arrival times only
+through the cone a bump disturbs; ``engine="full"`` re-times the whole
+circuit per bump, which is the straightforward reading of [1].
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dag.circuit_dag import SizingDag
+from repro.errors import InfeasibleTimingError, SizingError
+from repro.timing.incremental import IncrementalArrivalTimes
+from repro.timing.sta import GraphTimer
+
+__all__ = ["TilosOptions", "TilosResult", "require_feasible", "tilos_size"]
+
+_ENGINES = ("incremental", "full")
+
+
+@dataclass(frozen=True)
+class TilosOptions:
+    """Knobs of the greedy sizer."""
+
+    bump: float = 1.1
+    max_iterations: int = 500_000
+    #: Bump up to this many distinct critical vertices per pass (1 is
+    #: the classic algorithm; larger values are an ablation knob).
+    batch: int = 1
+    #: Timing engine: "incremental" or "full" (identical results).
+    engine: str = "incremental"
+
+    def __post_init__(self) -> None:
+        if self.bump <= 1.0:
+            raise SizingError(f"bump factor must exceed 1, got {self.bump}")
+        if self.batch < 1:
+            raise SizingError(f"batch must be >= 1, got {self.batch}")
+        if self.engine not in _ENGINES:
+            raise SizingError(
+                f"unknown engine {self.engine!r}; pick from {_ENGINES}"
+            )
+
+
+@dataclass
+class TilosResult:
+    x: np.ndarray
+    area: float
+    critical_path_delay: float
+    target: float
+    iterations: int
+    feasible: bool
+    runtime_seconds: float
+    #: Critical path delay after every bump (diagnostic trace).
+    trace: list[float] = field(default_factory=list)
+
+
+class _TimingFacade:
+    """Uniform view over the two engines for the greedy loop."""
+
+    def __init__(self, dag: SizingDag, delays: np.ndarray, engine: str,
+                 timer: GraphTimer | None):
+        self.dag = dag
+        self.engine = engine
+        if engine == "incremental":
+            self._inc = IncrementalArrivalTimes(dag, delays)
+            self._timer = None
+        else:
+            self._timer = timer or GraphTimer(dag)
+            self._report = self._timer.analyze(delays)
+
+    def refresh_full(self, delays: np.ndarray) -> None:
+        if self._timer is not None:
+            self._report = self._timer.analyze(delays)
+
+    def update(self, changed: list[int], delays: np.ndarray) -> None:
+        if self._timer is None:
+            self._inc.update_delays(changed, delays)
+        else:
+            self._report = self._timer.analyze(delays)
+
+    @property
+    def critical_path_delay(self) -> float:
+        if self._timer is None:
+            return self._inc.critical_path_delay
+        return self._report.critical_path_delay
+
+    def critical_path(self) -> list[int]:
+        if self._timer is None:
+            return self._inc.critical_path()
+        return self._report.critical_path()
+
+
+def tilos_size(
+    dag: SizingDag,
+    target: float,
+    options: TilosOptions | None = None,
+    x0: np.ndarray | None = None,
+    timer: GraphTimer | None = None,
+    keep_trace: bool = False,
+) -> TilosResult:
+    """Size ``dag`` to meet ``target`` with the TILOS greedy heuristic.
+
+    Returns an infeasible result (``feasible=False``) when the target
+    cannot be reached — callers that require success should check or
+    use :func:`require_feasible`.
+    """
+    options = options or TilosOptions()
+    model = dag.model
+    law = model.law
+    weight = dag.area_weight
+    upper = dag.upper
+    indptr = model.a_matrix.indptr
+    indices = model.a_matrix.indices
+    data = model.a_matrix.data
+    transpose = model.a_matrix.T.tocsr()
+
+    x = dag.min_sizes() if x0 is None else np.array(x0, dtype=float)
+    coupling = _coupling_lookup(dag)
+
+    def vertex_load(i: int) -> float:
+        lo, hi = indptr[i], indptr[i + 1]
+        return float(data[lo:hi] @ x[indices[lo:hi]]) + model.b[i]
+
+    def vertex_delay(i: int) -> float:
+        return model.intrinsic[i] + law.g(x[i]) * vertex_load(i)
+
+    def dependents(i: int) -> list[int]:
+        lo, hi = transpose.indptr[i], transpose.indptr[i + 1]
+        return transpose.indices[lo:hi].tolist()
+
+    start = time.perf_counter()
+    delays = model.delays(x)
+    facade = _TimingFacade(dag, delays, options.engine, timer)
+    trace: list[float] = []
+    iterations = 0
+    while True:
+        cp = facade.critical_path_delay
+        if keep_trace:
+            trace.append(cp)
+        if cp <= target:
+            return _result(dag, x, cp, target, iterations, True, start, trace)
+        if iterations >= options.max_iterations:
+            return _result(dag, x, cp, target, iterations, False, start, trace)
+
+        path = facade.critical_path()
+        candidates: list[tuple[float, int]] = []
+        for position, v in enumerate(path):
+            if x[v] >= upper[v] * (1 - 1e-12):
+                continue
+            new_size = min(x[v] * options.bump, upper[v])
+            dx = new_size - x[v]
+            if dx <= 0:
+                continue
+            delta = (law.g(new_size) - law.g(x[v])) * vertex_load(v)
+            if position > 0:
+                pred = path[position - 1]
+                delta += law.g(x[pred]) * coupling.get((pred, v), 0.0) * dx
+            sensitivity = -delta / (weight[v] * dx)
+            candidates.append((sensitivity, v))
+        if not candidates:
+            return _result(dag, x, cp, target, iterations, False, start, trace)
+        candidates.sort(reverse=True)
+        best_sensitivity = candidates[0][0]
+        if best_sensitivity <= 0:
+            # No critical-path resize helps: greedy is stuck.
+            return _result(dag, x, cp, target, iterations, False, start, trace)
+
+        changed: set[int] = set()
+        for _sens, v in candidates[: options.batch]:
+            x[v] = min(x[v] * options.bump, upper[v])
+            changed.add(v)
+            changed.update(dependents(v))
+        for u in changed:
+            delays[u] = vertex_delay(u)
+        facade.update(sorted(changed), delays)
+        iterations += 1
+
+
+def require_feasible(result: TilosResult) -> TilosResult:
+    """Raise :class:`InfeasibleTimingError` unless the target was met."""
+    if not result.feasible:
+        raise InfeasibleTimingError(
+            f"TILOS could not reach target {result.target:.6g} "
+            f"(stopped at {result.critical_path_delay:.6g} after "
+            f"{result.iterations} bumps)"
+        )
+    return result
+
+
+def _coupling_lookup(dag: SizingDag) -> dict[tuple[int, int], float]:
+    """(i, j) -> a_ij for the delay coupling used by sensitivities."""
+    coo = dag.model.a_matrix.tocoo()
+    return {
+        (int(i), int(j)): float(a)
+        for i, j, a in zip(coo.row, coo.col, coo.data)
+    }
+
+
+def _result(
+    dag: SizingDag,
+    x: np.ndarray,
+    cp: float,
+    target: float,
+    iterations: int,
+    feasible: bool,
+    start: float,
+    trace: list[float],
+) -> TilosResult:
+    return TilosResult(
+        x=x,
+        area=dag.area(x),
+        critical_path_delay=cp,
+        target=target,
+        iterations=iterations,
+        feasible=feasible,
+        runtime_seconds=time.perf_counter() - start,
+        trace=trace,
+    )

@@ -1,0 +1,63 @@
+"""W-phase: minimum-area sizes for fixed delay budgets (paper eq. (11)).
+
+Thin orchestration over :mod:`repro.sizing.smp`: derives the sweep
+order from the DAG (reverse topological order, which makes the
+relaxation a single backward-substitution pass for gate sizing, per the
+paper's section 2.3) and verifies the resulting delays against the
+budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dag.circuit_dag import SizingDag
+from repro.sizing.smp import SmpResult, solve_smp
+
+__all__ = ["WPhaseResult", "w_phase"]
+
+
+@dataclass
+class WPhaseResult:
+    """Sizes meeting the budgets, plus violation diagnostics."""
+
+    x: np.ndarray
+    delays: np.ndarray
+    budgets: np.ndarray
+    clamped: list[int]
+    sweeps: int
+
+    @property
+    def feasible(self) -> bool:
+        return not self.clamped
+
+    @property
+    def worst_violation(self) -> float:
+        return float(np.max(self.delays - self.budgets))
+
+
+def w_phase(
+    dag: SizingDag,
+    budgets: np.ndarray,
+    max_sweeps: int = 200,
+) -> WPhaseResult:
+    """Solve the W-phase SMP for ``dag`` under per-vertex ``budgets``."""
+    sweep_order = dag.topo_order[::-1]
+    result: SmpResult = solve_smp(
+        model=dag.model,
+        budgets=budgets,
+        lower=dag.lower,
+        upper=dag.upper,
+        sweep_order=sweep_order,
+        max_sweeps=max_sweeps,
+    )
+    delays = dag.model.delays(result.x)
+    return WPhaseResult(
+        x=result.x,
+        delays=delays,
+        budgets=np.asarray(budgets, dtype=float),
+        clamped=result.clamped,
+        sweeps=result.sweeps,
+    )

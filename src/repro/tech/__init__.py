@@ -1,0 +1,27 @@
+"""Technology substrate: process parameters, transistor networks, cells."""
+
+from repro.tech.cells import (
+    Cell,
+    CellLibrary,
+    EquivalentInverter,
+    default_library,
+    shared_default_library,
+)
+from repro.tech.networks import SPNetwork, dual, leaf, parallel, series
+from repro.tech.parameters import Technology, default_technology, scaled_technology
+
+__all__ = [
+    "Cell",
+    "CellLibrary",
+    "EquivalentInverter",
+    "SPNetwork",
+    "Technology",
+    "default_library",
+    "default_technology",
+    "dual",
+    "leaf",
+    "parallel",
+    "scaled_technology",
+    "series",
+    "shared_default_library",
+]

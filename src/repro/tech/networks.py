@@ -1,0 +1,128 @@
+"""Series-parallel transistor networks.
+
+A static CMOS gate is a pullup network of PMOS devices and a pulldown
+network of NMOS devices, each a series-parallel composition of single
+transistors controlled by input pins.  The paper's per-gate DAG
+(figure 1) is derived from these networks, so they are the ground truth
+for transistor-level sizing.
+
+The pullup network of a fully complementary gate is the *dual* of the
+pulldown network (series <-> parallel), which :func:`dual` computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import TechnologyError
+
+__all__ = ["SPNetwork", "leaf", "series", "parallel", "dual"]
+
+
+@dataclass(frozen=True)
+class SPNetwork:
+    """A series-parallel network over input pins.
+
+    ``kind`` is one of ``"leaf"``, ``"series"``, ``"parallel"``.  A leaf
+    is a single transistor gated by ``pin``.  A series composition
+    conducts only if all children conduct; its children are ordered from
+    the *output side* down to the *rail side* (ground for pulldown, VDD
+    for pullup), which fixes the stacking order used by the Elmore model.
+    """
+
+    kind: str
+    pin: str | None = None
+    children: tuple["SPNetwork", ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind == "leaf":
+            if not self.pin:
+                raise TechnologyError("leaf network requires a pin name")
+            if self.children:
+                raise TechnologyError("leaf network cannot have children")
+        elif self.kind in ("series", "parallel"):
+            if len(self.children) < 2:
+                raise TechnologyError(
+                    f"{self.kind} network requires >= 2 children"
+                )
+            if self.pin is not None:
+                raise TechnologyError(f"{self.kind} network cannot name a pin")
+        else:
+            raise TechnologyError(f"unknown network kind {self.kind!r}")
+
+    # -- queries ---------------------------------------------------------
+
+    def leaves(self) -> Iterator["SPNetwork"]:
+        """All transistors in the network, output side first."""
+        if self.kind == "leaf":
+            yield self
+        else:
+            for child in self.children:
+                yield from child.leaves()
+
+    def pins(self) -> list[str]:
+        """Pin of each transistor, in leaf order (repeats allowed)."""
+        return [lf.pin for lf in self.leaves()]  # type: ignore[misc]
+
+    @property
+    def device_count(self) -> int:
+        return sum(1 for _ in self.leaves())
+
+    def paths(self) -> Iterator[tuple[str, ...]]:
+        """Conducting root-to-rail paths as tuples of pins.
+
+        For a pulldown network these are the discharging paths of the
+        paper's DAG construction, listed output-side first.
+        """
+        if self.kind == "leaf":
+            yield (self.pin,)  # type: ignore[misc]
+        elif self.kind == "series":
+            # Cartesian concatenation of per-child paths, in stack order.
+            partial: list[tuple[str, ...]] = [()]
+            for child in self.children:
+                partial = [
+                    head + tail for head in partial for tail in child.paths()
+                ]
+            yield from partial
+        else:  # parallel
+            for child in self.children:
+                yield from child.paths()
+
+    @property
+    def max_stack_depth(self) -> int:
+        """Largest number of series devices on any conducting path."""
+        return max(len(path) for path in self.paths())
+
+    def __str__(self) -> str:
+        if self.kind == "leaf":
+            return str(self.pin)
+        joint = " . " if self.kind == "series" else " | "
+        return "(" + joint.join(str(child) for child in self.children) + ")"
+
+
+def leaf(pin: str) -> SPNetwork:
+    """A single transistor gated by ``pin``."""
+    return SPNetwork("leaf", pin=pin)
+
+
+def series(*children: SPNetwork) -> SPNetwork:
+    """Series composition, output side first."""
+    return SPNetwork("series", children=tuple(children))
+
+
+def parallel(*children: SPNetwork) -> SPNetwork:
+    """Parallel composition."""
+    return SPNetwork("parallel", children=tuple(children))
+
+
+def dual(network: SPNetwork) -> SPNetwork:
+    """The dual network: series and parallel compositions swapped.
+
+    The pullup network of a fully complementary static CMOS gate is the
+    dual of its pulldown network.
+    """
+    if network.kind == "leaf":
+        return network
+    swapped = "parallel" if network.kind == "series" else "series"
+    return SPNetwork(swapped, children=tuple(dual(c) for c in network.children))

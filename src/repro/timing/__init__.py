@@ -1,0 +1,19 @@
+"""Static timing analysis."""
+
+from repro.timing.paths import (
+    critical_vertices,
+    enumerate_paths,
+    k_worst_paths,
+    path_delay,
+)
+from repro.timing.sta import GraphTimer, TimingReport, analyze
+
+__all__ = [
+    "GraphTimer",
+    "TimingReport",
+    "analyze",
+    "critical_vertices",
+    "enumerate_paths",
+    "k_worst_paths",
+    "path_delay",
+]

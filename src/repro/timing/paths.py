@@ -1,0 +1,73 @@
+"""Path queries on timed DAGs: critical paths and near-critical sets.
+
+TILOS needs the single worst path; analyses and tests also use the set
+of vertices within a slack threshold of critical (the "critical
+cloud"), and path enumeration on small graphs for exactness checks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.dag.circuit_dag import SizingDag
+from repro.timing.sta import TimingReport
+
+__all__ = ["critical_vertices", "enumerate_paths", "path_delay", "k_worst_paths"]
+
+
+def critical_vertices(
+    report: TimingReport, threshold: float = 0.0
+) -> np.ndarray:
+    """Indices of vertices with slack <= threshold (the critical cloud)."""
+    slack = report.slack
+    scale = max(report.horizon, 1.0)
+    return np.flatnonzero(slack <= threshold + 1e-9 * scale)
+
+
+def enumerate_paths(
+    dag: SizingDag, limit: int = 100_000
+) -> Iterator[list[int]]:
+    """All source-to-sink structural paths (small graphs only).
+
+    Raises ``ValueError`` once ``limit`` paths have been produced, which
+    keeps accidental use on big circuits from hanging the test suite.
+    """
+    produced = 0
+    stack: list[tuple[int, list[int]]] = [
+        (source, [source]) for source in dag.sources
+    ]
+    while stack:
+        vertex, path = stack.pop()
+        if not dag.fanout[vertex]:
+            produced += 1
+            if produced > limit:
+                raise ValueError(f"more than {limit} paths")
+            yield path
+            continue
+        for succ in dag.fanout[vertex]:
+            stack.append((succ, path + [succ]))
+
+
+def path_delay(delay: np.ndarray, path: list[int]) -> float:
+    """Total delay along a vertex path."""
+    return float(sum(delay[v] for v in path))
+
+
+def k_worst_paths(
+    dag: SizingDag, delay: np.ndarray, k: int = 10, limit: int = 200_000
+) -> list[tuple[float, list[int]]]:
+    """The k slowest complete paths by exhaustive enumeration.
+
+    Exact but exponential — intended for unit tests and tiny examples
+    that validate the vectorized STA against ground truth.
+    """
+    scored = sorted(
+        (
+            (path_delay(delay, path), path)
+            for path in enumerate_paths(dag, limit=limit)
+        ),
+        key=lambda item: -item[0],
+    )
+    return scored[:k]

@@ -1,0 +1,68 @@
+"""Human-readable timing reports (critical-path breakdown).
+
+Formats the worst path of a :class:`~repro.timing.sta.TimingReport`
+stage by stage — vertex label, own delay, cumulative arrival, slack —
+the way signoff timers present paths.  Used by the CLI and examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.timing.sta import TimingReport
+
+__all__ = ["format_critical_path", "format_slack_histogram"]
+
+
+def format_critical_path(
+    report: TimingReport, x: np.ndarray | None = None
+) -> str:
+    """Tabular breakdown of one critical path."""
+    dag = report.dag
+    path = report.critical_path()
+    rows = []
+    arrival = 0.0
+    for v in path:
+        arrival = report.at[v] + report.delay[v]
+        rows.append(
+            [
+                dag.vertices[v].label,
+                dag.vertices[v].kind,
+                "-" if x is None else f"{x[v]:.2f}",
+                f"{report.delay[v]:.1f}",
+                f"{arrival:.1f}",
+                f"{report.slack[v]:.1f}",
+            ]
+        )
+    table = format_table(
+        ["vertex", "kind", "size", "delay ps", "arrival ps", "slack ps"],
+        rows,
+        title=(
+            f"critical path of {dag.name}: "
+            f"{report.critical_path_delay:.1f} ps "
+            f"(horizon {report.horizon:.1f} ps)"
+        ),
+    )
+    return table
+
+
+def format_slack_histogram(report: TimingReport, bins: int = 10) -> str:
+    """ASCII histogram of vertex slacks (end-point distribution)."""
+    slack = report.slack[np.isfinite(report.slack)]
+    if slack.size == 0:
+        return "(no finite slacks)"
+    lo, hi = float(slack.min()), float(slack.max())
+    if hi <= lo:
+        return f"all {slack.size} vertices at slack {lo:.1f} ps"
+    edges = np.linspace(lo, hi, bins + 1)
+    counts, _ = np.histogram(slack, bins=edges)
+    peak = counts.max() or 1
+    lines = ["slack histogram (ps):"]
+    for k in range(bins):
+        bar = "#" * max(1, int(40 * counts[k] / peak)) if counts[k] else ""
+        lines.append(
+            f"  [{edges[k]:9.1f}, {edges[k + 1]:9.1f})  "
+            f"{counts[k]:5d} {bar}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import CircuitBuilder
+from repro.dag import build_sizing_dag
+from repro.generators import build_circuit, ripple_carry_adder
+from repro.tech import default_technology
+
+
+@pytest.fixture(scope="session")
+def tech():
+    return default_technology()
+
+
+@pytest.fixture(scope="session")
+def c17():
+    return build_circuit("c17")
+
+
+@pytest.fixture(scope="session")
+def c17_gate_dag(c17, tech):
+    return build_sizing_dag(c17, tech, mode="gate")
+
+
+@pytest.fixture(scope="session")
+def c17_transistor_dag(c17, tech):
+    return build_sizing_dag(c17, tech, mode="transistor")
+
+
+@pytest.fixture(scope="session")
+def adder8(tech):
+    return ripple_carry_adder(8, style="nand")
+
+
+@pytest.fixture(scope="session")
+def adder8_dag(adder8, tech):
+    return build_sizing_dag(adder8, tech, mode="gate")
+
+
+@pytest.fixture()
+def fresh_builder():
+    return CircuitBuilder("test")
+
+
+def random_sizes(dag, rng: np.random.Generator) -> np.ndarray:
+    """Random feasible size vector for a DAG."""
+    return rng.uniform(dag.lower, np.minimum(dag.upper, dag.lower * 8))

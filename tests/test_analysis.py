@@ -1,0 +1,105 @@
+"""Tests for the analysis layer: trade-off sweeps and reporting."""
+
+import pytest
+
+from repro.analysis import area_delay_curve, ascii_plot, format_table
+from repro.timing import analyze
+
+
+class TestTradeoffCurve:
+    @pytest.fixture(scope="class")
+    def curve(self, c17_gate_dag):
+        return area_delay_curve(c17_gate_dag, [0.5, 0.7, 1.0])
+
+    def test_points_sorted_by_ratio(self, curve):
+        ratios = [p.delay_ratio for p in curve.points]
+        assert ratios == sorted(ratios)
+
+    def test_minflo_never_above_tilos(self, curve):
+        for p in curve.points:
+            if p.tilos_area_ratio is not None:
+                assert p.minflo_area_ratio <= p.tilos_area_ratio + 1e-9
+
+    def test_area_monotone_decreasing_in_ratio(self, curve):
+        tilos = [
+            p.tilos_area_ratio
+            for p in curve.points
+            if p.tilos_area_ratio is not None
+        ]
+        assert all(a >= b - 1e-9 for a, b in zip(tilos, tilos[1:]))
+
+    def test_loose_end_is_min_area(self, curve):
+        last = curve.points[-1]
+        assert last.delay_ratio == 1.0
+        assert last.tilos_area_ratio == pytest.approx(1.0)
+        assert last.minflo_area_ratio == pytest.approx(1.0)
+
+    def test_infeasible_ratio_yields_none(self, c17_gate_dag):
+        curve = area_delay_curve(
+            c17_gate_dag, [0.01, 1.0], run_minflo=False
+        )
+        infeasible = curve.points[0]
+        assert infeasible.tilos_area_ratio is None
+        assert infeasible.saving_percent is None
+
+    def test_series_extraction(self, curve):
+        tilos = curve.series("tilos")
+        minflo = curve.series("minflo")
+        assert len(tilos) == len(minflo) == 3
+        assert tilos[0][0] == 0.5
+
+    def test_warm_start_matches_cold(self, c17_gate_dag):
+        """Warm-started sweep areas equal cold single-target runs."""
+        from repro.sizing import tilos_size
+
+        curve = area_delay_curve(
+            c17_gate_dag, [0.5, 0.8], run_minflo=False
+        )
+        d_min = curve.d_min
+        for p in curve.points:
+            cold = tilos_size(c17_gate_dag, p.delay_ratio * d_min)
+            assert p.tilos_area_ratio == pytest.approx(
+                cold.area / curve.min_area, rel=0.02
+            )
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["a", "long_header"],
+            [["xxxx", "1"], ["y", "22"]],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "long_header" in lines[2]
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) <= 2  # header/rule/body share the width
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestAsciiPlot:
+    def test_contains_markers_and_legend(self):
+        text = ascii_plot(
+            [
+                ("alpha", [(0.0, 1.0), (1.0, 2.0)]),
+                ("beta", [(0.0, 2.0), (1.0, 1.0)]),
+            ],
+            x_label="x",
+            y_label="y",
+            title="demo",
+        )
+        assert "demo" in text
+        assert "o = alpha" in text
+        assert "x = beta" in text
+        assert text.count("o") >= 2
+
+    def test_no_data(self):
+        assert ascii_plot([("empty", [])]) == "(no data)"
+
+    def test_single_point(self):
+        text = ascii_plot([("s", [(1.0, 1.0)])])
+        assert "o" in text

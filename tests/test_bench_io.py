@@ -1,0 +1,97 @@
+"""Tests for the ISCAS .bench reader/writer."""
+
+import random
+
+import pytest
+
+from repro.circuit import dumps_bench, load_bench, loads_bench, save_bench
+from repro.errors import BenchFormatError
+from repro.generators import build_circuit, random_logic
+
+
+class TestReader:
+    def test_c17_roundtrip_semantics(self, c17):
+        text = dumps_bench(c17)
+        again = loads_bench(text, "c17rt")
+        assert again.n_gates == c17.n_gates
+        assert set(again.inputs) == set(c17.inputs)
+        assert set(again.outputs) == set(c17.outputs)
+        rng = random.Random(7)
+        for _ in range(20):
+            ins = {net: rng.random() < 0.5 for net in c17.inputs}
+            got_a = {net: c17.evaluate(ins)[net] for net in c17.outputs}
+            got_b = {net: again.evaluate(ins)[net] for net in again.outputs}
+            assert got_a == got_b
+
+    def test_comments_and_blank_lines(self):
+        text = """
+        # a comment
+        INPUT(a)
+
+        OUTPUT(y)   # trailing comment
+        y = NOT(a)
+        """
+        circuit = loads_bench(text)
+        assert circuit.n_gates == 1
+
+    def test_buff_alias(self):
+        circuit = loads_bench("INPUT(a)\nOUTPUT(y)\ny = BUFF(a)\n")
+        assert circuit.gates[0].cell == "BUF"
+
+    def test_wide_nand_decomposed(self):
+        terms = ", ".join(f"i{k}" for k in range(7))
+        header = "\n".join(f"INPUT(i{k})" for k in range(7))
+        circuit = loads_bench(f"{header}\nOUTPUT(y)\ny = NAND({terms})\n")
+        # Function preserved even though decomposed into a tree.
+        all_true = {f"i{k}": True for k in range(7)}
+        assert circuit.evaluate(all_true)["y"] is False
+        one_false = dict(all_true, i3=False)
+        assert circuit.evaluate(one_false)["y"] is True
+
+    def test_xor_arity_enforced(self):
+        with pytest.raises(BenchFormatError, match="expects 2"):
+            loads_bench("INPUT(a)\nOUTPUT(y)\ny = XOR(a)\n")
+
+    def test_dff_rejected(self):
+        with pytest.raises(BenchFormatError, match="DFF"):
+            loads_bench("INPUT(a)\nOUTPUT(y)\ny = DFF(a)\n")
+
+    def test_unknown_function(self):
+        with pytest.raises(BenchFormatError, match="unknown function"):
+            loads_bench("INPUT(a)\nOUTPUT(y)\ny = MAJ3(a, a, a)\n")
+
+    def test_garbage_line(self):
+        with pytest.raises(BenchFormatError, match="cannot parse"):
+            loads_bench("INPUT(a)\nthis is not bench\n")
+
+    def test_undriven_output(self):
+        with pytest.raises(BenchFormatError):
+            loads_bench("INPUT(a)\nOUTPUT(ghost)\ny = NOT(a)\n")
+
+
+class TestWriter:
+    def test_file_roundtrip(self, tmp_path, c17):
+        path = save_bench(c17, tmp_path / "c17.bench")
+        again = load_bench(path)
+        assert again.name == "c17"
+        assert again.n_gates == c17.n_gates
+
+    def test_extension_cells_roundtrip(self):
+        source = random_logic(60, seed=11)  # contains AOI/OAI cells
+        text = dumps_bench(source)
+        again = loads_bench(text, "rt")
+        assert again.n_gates == source.n_gates
+        rng = random.Random(3)
+        for _ in range(10):
+            ins = {net: rng.random() < 0.5 for net in source.inputs}
+            for out in source.outputs:
+                assert source.evaluate(ins)[out] == again.evaluate(ins)[out]
+
+    def test_macro_circuit_roundtrip(self):
+        source = build_circuit("c499eq")  # XOR2/AND/NOT macro cells
+        again = loads_bench(dumps_bench(source), "rt")
+        rng = random.Random(5)
+        for _ in range(5):
+            ins = {net: rng.random() < 0.5 for net in source.inputs}
+            for out in source.outputs:
+                assert source.evaluate(ins)[out] == again.evaluate(ins)[out]

@@ -1,0 +1,232 @@
+"""Tests for DAG construction in both sizing modes (paper figs. 1, 2, 5)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import CircuitBuilder, map_to_primitives
+from repro.dag import build_sizing_dag, transform_dag
+from repro.errors import NetlistError
+from repro.generators import ripple_carry_adder
+
+
+class TestGateMode:
+    def test_vertex_per_gate(self, c17, c17_gate_dag):
+        assert c17_gate_dag.n == c17.n_gates
+        assert c17_gate_dag.mode == "gate"
+
+    def test_edges_follow_wires(self, c17, c17_gate_dag):
+        labels = {v.label: v.index for v in c17_gate_dag.vertices}
+        # gate driving net 11 feeds gates reading net 11 (g2 and g3).
+        driver = next(g for g in c17.gates if g.output == "11")
+        readers = [g.name for g, _ in c17.loads_of("11")]
+        for reader in readers:
+            edge = (labels[driver.name], labels[reader])
+            assert edge in c17_gate_dag.edges
+
+    def test_po_vertices(self, c17, c17_gate_dag):
+        po_labels = {
+            c17_gate_dag.vertices[i].label for i in c17_gate_dag.po_vertices
+        }
+        expected = {
+            c17.driver_of(net).name for net in c17.outputs
+        }
+        assert po_labels == expected
+
+    def test_coefficients_nonnegative(self, c17_gate_dag):
+        a = c17_gate_dag.model.a_matrix
+        assert (a.data >= 0).all()
+        assert (c17_gate_dag.model.b >= 0).all()
+        assert (c17_gate_dag.model.intrinsic >= 0).all()
+
+    def test_po_load_in_b(self, c17_gate_dag, tech):
+        # PO gates carry the c_load term; a PO gate's b exceeds that of
+        # an identical internal gate.
+        po = set(c17_gate_dag.po_vertices)
+        b = c17_gate_dag.model.b
+        internal = [i for i in range(c17_gate_dag.n) if i not in po]
+        assert min(b[i] for i in po) > max(b[i] for i in internal)
+
+    def test_delay_positive_and_decreasing_in_own_size(self, c17_gate_dag):
+        x = c17_gate_dag.min_sizes()
+        base = c17_gate_dag.delays(x)
+        assert (base > 0).all()
+        grown = x.copy()
+        grown[0] *= 2
+        faster = c17_gate_dag.delays(grown)
+        assert faster[0] < base[0]
+
+    def test_delay_increasing_in_fanout_size(self, c17_gate_dag):
+        x = c17_gate_dag.min_sizes()
+        base = c17_gate_dag.delays(x)
+        # growing a fanout of vertex u increases u's delay
+        u, v = c17_gate_dag.edges[0]
+        grown = x.copy()
+        grown[v] *= 2
+        slower = c17_gate_dag.delays(grown)
+        assert slower[u] > base[u]
+
+    def test_matrix_identity_d_minus_a(self, c17_gate_dag):
+        """(D - A) X = B at any sizing (paper equation (6))."""
+        rng = np.random.default_rng(0)
+        dag = c17_gate_dag
+        x = rng.uniform(1, 8, size=dag.n)
+        load_delay = dag.model.load_delays(x)
+        lhs = load_delay * x - dag.model.a_matrix @ x
+        assert lhs == pytest.approx(dag.model.b)
+
+    def test_area_uses_cell_weights(self, c17_gate_dag):
+        x = c17_gate_dag.min_sizes()
+        assert c17_gate_dag.area(x) == pytest.approx(
+            float(c17_gate_dag.area_weight.sum())
+        )
+
+    def test_rejects_empty_circuit(self, tech):
+        builder = CircuitBuilder("empty")
+        builder.input("a")
+        builder.circuit.mark_output("a")
+        with pytest.raises(NetlistError):
+            build_sizing_dag(builder.build(), tech, mode="gate")
+
+    def test_unknown_mode(self, c17, tech):
+        with pytest.raises(NetlistError):
+            build_sizing_dag(c17, tech, mode="device")
+
+
+class TestTransistorMode:
+    def test_vertex_per_device(self, c17, c17_transistor_dag):
+        assert c17_transistor_dag.n == c17.device_count()
+        kinds = {v.kind for v in c17_transistor_dag.vertices}
+        assert kinds == {"nmos", "pmos"}
+
+    def test_blocks_group_gates(self, c17, c17_transistor_dag):
+        assert len(c17_transistor_dag.blocks) == c17.n_gates
+        for block in c17_transistor_dag.blocks:
+            gates = {c17_transistor_dag.vertices[i].gate for i in block}
+            assert len(gates) == 1
+
+    def test_requires_primitive_cells(self, tech):
+        circuit = ripple_carry_adder(2, style="macro")
+        with pytest.raises(NetlistError, match="macro"):
+            build_sizing_dag(circuit, tech, mode="transistor")
+
+    def test_nand3_dag_shape(self, tech):
+        """Paper figure 1: NAND3 pulldown chain + parallel pullups."""
+        builder = CircuitBuilder("one")
+        a, b, c = builder.inputs(["a", "b", "c"])
+        out = builder.gate("NAND3", [a, b, c])
+        builder.output(out)
+        dag = build_sizing_dag(builder.build(), tech, mode="transistor")
+        assert dag.n == 6
+        nmos = [v.index for v in dag.vertices if v.kind == "nmos"]
+        pmos = [v.index for v in dag.vertices if v.kind == "pmos"]
+        # NMOS chain has 2 internal edges; PMOS parallel has none.
+        nmos_edges = [
+            e for e in dag.edges if e[0] in nmos and e[1] in nmos
+        ]
+        pmos_edges = [
+            e for e in dag.edges if e[0] in pmos and e[1] in pmos
+        ]
+        assert len(nmos_edges) == 2
+        assert len(pmos_edges) == 0
+        # All six leaves face the (only) output: PO set is NMOS bottom
+        # of stack + all three PMOS devices.
+        assert len(dag.po_vertices) == 4
+
+    def test_nand3_elmore_matches_equation_3(self, tech):
+        """The pulldown path delay equals the hand-derived equation (3)."""
+        builder = CircuitBuilder("one")
+        a, b, c = builder.inputs(["a", "b", "c"])
+        out = builder.gate("NAND3", [a, b, c])
+        builder.output(out)
+        dag = build_sizing_dag(builder.build(), tech, mode="transistor")
+        x = np.full(6, 2.0)
+        delays = dag.delays(x)
+        nmos = [v for v in dag.vertices if v.kind == "nmos"]
+        # Vertex order inside the stack: in0 at output, in2 at rail.
+        by_pin = {v.label.split(":")[1]: v.index for v in nmos}
+        A = tech.r_nmos
+        B, Cs = tech.c_drain_n, tech.c_source_n
+        Bp = tech.c_drain_p
+        CL = tech.c_load + tech.c_wire  # wire branch to the PO
+        x0 = x1 = x2 = 2.0
+        xp = 2.0
+        # Output node: drain(N_top) + 3 PMOS drains + CL.
+        out_cap = B * x0 + 3 * Bp * xp + CL
+        n1_cap = Cs * x0 + B * x1 + tech.c_internal
+        n2_cap = Cs * x1 + B * x2 + tech.c_internal
+        want_top = (A / x0) * out_cap
+        want_mid = (A / x1) * (out_cap + n1_cap)
+        want_bot = (A / x2) * (out_cap + n1_cap + n2_cap)
+        assert delays[by_pin["in0"]] == pytest.approx(want_top)
+        assert delays[by_pin["in1"]] == pytest.approx(want_mid)
+        assert delays[by_pin["in2"]] == pytest.approx(want_bot)
+
+    def test_intergate_edges_cross_polarity(self, c17_transistor_dag):
+        dag = c17_transistor_dag
+        for u, v in dag.edges:
+            vu, vv = dag.vertices[u], dag.vertices[v]
+            if vu.gate != vv.gate:
+                assert vu.kind != vv.kind, (vu.label, vv.label)
+
+    def test_two_nands_in_series_figure2(self, tech):
+        """Paper figure 2: leaf-of-PMOS -> root-of-NMOS edges exist."""
+        builder = CircuitBuilder("two")
+        nets = builder.inputs(["a", "b", "c", "d", "e"])
+        first = builder.gate("NAND3", nets[:3])
+        second = builder.gate("NAND3", [first, nets[3], nets[4]])
+        builder.output(second)
+        dag = build_sizing_dag(builder.build(), tech, mode="transistor")
+        cross = [
+            (dag.vertices[u], dag.vertices[v])
+            for u, v in dag.edges
+            if dag.vertices[u].gate != dag.vertices[v].gate
+        ]
+        assert cross, "expected inter-gate edges"
+        # PMOS leaves of gate 1 must reach the NMOS root of gate 2.
+        assert any(
+            s.kind == "pmos" and t.kind == "nmos" for s, t in cross
+        )
+        assert any(
+            s.kind == "nmos" and t.kind == "pmos" for s, t in cross
+        )
+
+    def test_delays_positive(self, c17_transistor_dag):
+        delays = c17_transistor_dag.delays(c17_transistor_dag.min_sizes())
+        assert (delays > 0).all()
+
+
+class TestTransform:
+    def test_node_numbering(self, c17_gate_dag):
+        transformed = transform_dag(c17_gate_dag)
+        n = c17_gate_dag.n
+        assert transformed.n_nodes == 2 * n + 1
+        assert transformed.dummy(3) == n + 3
+        assert transformed.is_dummy(n)
+        assert not transformed.is_dummy(n - 1)
+
+    def test_arc_inventory(self, c17_gate_dag):
+        transformed = transform_dag(c17_gate_dag)
+        kinds = {}
+        for arc in transformed.arcs:
+            kinds[arc.kind] = kinds.get(arc.kind, 0) + 1
+        assert kinds["delay"] == c17_gate_dag.n
+        assert kinds["wire"] == c17_gate_dag.n_edges
+        assert kinds["po"] == len(c17_gate_dag.po_vertices)
+
+    def test_wire_arcs_rerooted_at_dummy(self, c17_gate_dag):
+        transformed = transform_dag(c17_gate_dag)
+        n = c17_gate_dag.n
+        for arc in transformed.arcs:
+            if arc.kind == "wire":
+                assert n <= arc.src < 2 * n
+                assert arc.dst < n
+
+    def test_pinned_nodes(self, c17_gate_dag):
+        transformed = transform_dag(c17_gate_dag)
+        assert transformed.output_sink in transformed.pinned
+        for source in c17_gate_dag.sources:
+            assert source in transformed.pinned
+        # No dummy is pinned.
+        assert all(
+            not transformed.is_dummy(node) for node in transformed.pinned
+        )

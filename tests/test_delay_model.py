@@ -1,0 +1,120 @@
+"""Tests for the simple-monotonic-functional delay framework."""
+
+import numpy as np
+import pytest
+
+from repro.delay import (
+    ElmoreSizeLaw,
+    PowerSizeLaw,
+    VertexDelayModel,
+    check_decomposition,
+)
+from repro.errors import DelayModelError
+
+
+def _tiny_model(law=None):
+    rows = [[(1, 2.0)], [(2, 1.0)], []]
+    b = np.array([1.0, 0.5, 4.0])
+    intrinsic = np.array([0.1, 0.2, 0.3])
+    return VertexDelayModel.from_rows(rows, b, intrinsic, law=law)
+
+
+class TestValidation:
+    def test_negative_coefficient_rejected(self):
+        with pytest.raises(DelayModelError, match="monotonicity"):
+            check_decomposition([[(1, -1.0)], []], [0, 0], [0, 0], 2)
+
+    def test_self_coefficient_rejected(self):
+        with pytest.raises(DelayModelError, match="intrinsic"):
+            check_decomposition([[(0, 1.0)], []], [0, 0], [0, 0], 2)
+
+    def test_out_of_range_index(self):
+        with pytest.raises(DelayModelError, match="range"):
+            check_decomposition([[(5, 1.0)], []], [0, 0], [0, 0], 2)
+
+    def test_negative_b_rejected(self):
+        with pytest.raises(DelayModelError):
+            check_decomposition([[], []], [-1, 0], [0, 0], 2)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DelayModelError, match="disagree"):
+            check_decomposition([[]], [0, 0], [0], 2)
+
+
+class TestEvaluation:
+    def test_elmore_delays(self):
+        model = _tiny_model()
+        x = np.array([1.0, 2.0, 4.0])
+        # delay0 = 0.1 + (2*x1 + 1)/x0 = 0.1 + 5
+        # delay1 = 0.2 + (1*x2 + 0.5)/x1 = 0.2 + 2.25
+        # delay2 = 0.3 + 4/x2 = 0.3 + 1
+        assert model.delays(x) == pytest.approx([5.1, 2.45, 1.3])
+
+    def test_duplicate_coefficients_merge(self):
+        model = VertexDelayModel.from_rows(
+            [[(1, 1.0), (1, 2.0)], []], [0.0, 1.0], [0.0, 0.0]
+        )
+        x = np.array([1.0, 3.0])
+        assert model.delays(x)[0] == pytest.approx(9.0)
+
+    def test_rejects_nonpositive_sizes(self):
+        model = _tiny_model()
+        with pytest.raises(DelayModelError):
+            model.delays(np.array([1.0, 0.0, 1.0]))
+
+    def test_load_delays(self):
+        model = _tiny_model()
+        x = np.ones(3)
+        assert model.load_delays(x) == pytest.approx(
+            model.delays(x) - model.intrinsic
+        )
+
+    def test_dependencies(self):
+        model = _tiny_model()
+        assert model.dependencies(0) == [(1, 2.0)]
+        assert model.dependencies(2) == []
+
+
+class TestSizeLaws:
+    def test_elmore_inverse(self):
+        law = ElmoreSizeLaw()
+        for x in (0.5, 1.0, 7.3):
+            assert law.g_inverse(law.g(x)) == pytest.approx(x)
+
+    def test_power_law_inverse(self):
+        law = PowerSizeLaw(exponent=0.7)
+        for x in (0.5, 1.0, 7.3):
+            assert law.g_inverse(law.g(x)) == pytest.approx(x)
+
+    def test_power_law_validation(self):
+        with pytest.raises(DelayModelError):
+            PowerSizeLaw(exponent=0.0)
+
+    def test_power_law_monotone_decreasing(self):
+        law = PowerSizeLaw(exponent=0.85)
+        xs = np.linspace(0.5, 10, 30)
+        gs = [law.g(x) for x in xs]
+        assert all(a > b for a, b in zip(gs, gs[1:]))
+
+    def test_with_law_changes_delays(self):
+        elmore = _tiny_model()
+        power = elmore.with_law(PowerSizeLaw(exponent=0.5))
+        x = np.array([4.0, 4.0, 4.0])
+        # 1/x vs 1/sqrt(x): power law decays slower -> larger delays.
+        assert np.all(power.delays(x) >= elmore.delays(x))
+
+    def test_general_law_end_to_end(self, c17, tech):
+        """The full pipeline runs under a non-Elmore law (paper claim:
+        any simple monotonic decomposition works)."""
+        from repro.dag import build_sizing_dag
+        from repro.delay import PowerSizeLaw
+        from repro.sizing import minflotransit
+        from repro.timing import analyze
+
+        dag = build_sizing_dag(
+            c17, tech, mode="gate", law=PowerSizeLaw(exponent=0.8)
+        )
+        dmin = analyze(dag, dag.min_sizes()).critical_path_delay
+        result = minflotransit(dag, 0.6 * dmin)
+        assert result.meets_target
+        assert result.area_saving_vs_initial >= 0.0

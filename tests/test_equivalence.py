@@ -1,0 +1,58 @@
+"""Tests for the equivalence checker."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder, map_to_primitives
+from repro.circuit.equivalence import check_equivalence
+from repro.errors import NetlistError
+
+
+def _xor_pair():
+    builder = CircuitBuilder("m")
+    a, b = builder.inputs(["a", "b"])
+    builder.output(builder.xor(a, b), name="y")
+    macro = builder.build()
+    return macro, map_to_primitives(macro, suffix="")
+
+
+class TestEquivalence:
+    def test_mapped_xor_equivalent_exhaustively(self):
+        macro, mapped = _xor_pair()
+        result = check_equivalence(macro, mapped)
+        assert result
+        assert result.exhaustive
+        assert result.vectors_checked == 4
+
+    def test_detects_inequivalence(self):
+        builder = CircuitBuilder("x")
+        a, b = builder.inputs(["a", "b"])
+        builder.output(builder.xor(a, b), name="y")
+        xor_circuit = builder.build()
+        builder2 = CircuitBuilder("o")
+        a, b = builder2.inputs(["a", "b"])
+        builder2.output(builder2.or_(a, b), name="y")
+        or_circuit = builder2.build()
+        result = check_equivalence(xor_circuit, or_circuit)
+        assert not result
+        assert result.failing_output == "y"
+        # The counterexample really distinguishes them.
+        ce = result.counterexample
+        assert xor_circuit.evaluate(ce)["y"] != or_circuit.evaluate(ce)["y"]
+
+    def test_interface_mismatch(self, c17):
+        builder = CircuitBuilder("t")
+        a = builder.input("a")
+        builder.output(builder.not_(a))
+        with pytest.raises(NetlistError, match="inputs"):
+            check_equivalence(c17, builder.build())
+
+    def test_random_mode_on_wide_inputs(self):
+        builder = CircuitBuilder("wide")
+        nets = builder.inputs([f"i{k}" for k in range(24)])
+        builder.output(builder.and_(*nets), name="y")
+        wide = builder.build()
+        mapped = map_to_primitives(wide, suffix="")
+        result = check_equivalence(wide, mapped, n_vectors=32)
+        assert result
+        assert not result.exhaustive
+        assert result.vectors_checked == 32

@@ -1,0 +1,194 @@
+"""Tests for the min-cost flow substrate and the LP duality layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FlowError, InfeasibleFlowError
+from repro.flow import (
+    DifferenceConstraintLP,
+    FlowProblem,
+    check_flow_feasible,
+    check_flow_optimal,
+    ground_flow,
+    solve_difference_lp,
+    solve_ssp,
+)
+
+BACKENDS = ("ssp", "networkx", "scipy")
+
+
+class TestSspSolver:
+    def test_single_path(self):
+        problem = FlowProblem(n_nodes=3)
+        problem.add_arc(0, 1, cost=2.0)
+        problem.add_arc(1, 2, cost=3.0)
+        problem.add_supply(0, 4.0)
+        problem.add_supply(2, -4.0)
+        solution = solve_ssp(problem)
+        assert solution.total_cost == pytest.approx(20.0)
+        check_flow_optimal(solution)
+
+    def test_chooses_cheaper_route(self):
+        problem = FlowProblem(n_nodes=4)
+        problem.add_arc(0, 1, cost=1.0)
+        problem.add_arc(1, 3, cost=1.0)
+        problem.add_arc(0, 2, cost=5.0)
+        problem.add_arc(2, 3, cost=5.0)
+        problem.add_supply(0, 2.0)
+        problem.add_supply(3, -2.0)
+        solution = solve_ssp(problem)
+        assert solution.total_cost == pytest.approx(4.0)
+        assert solution.flow[0] == pytest.approx(2.0)
+        assert solution.flow[2] == pytest.approx(0.0)
+
+    def test_capacity_forces_split(self):
+        problem = FlowProblem(n_nodes=4)
+        problem.add_arc(0, 1, cost=1.0, capacity=1.0)
+        problem.add_arc(1, 3, cost=1.0)
+        problem.add_arc(0, 2, cost=5.0)
+        problem.add_arc(2, 3, cost=5.0)
+        problem.add_supply(0, 2.0)
+        problem.add_supply(3, -2.0)
+        solution = solve_ssp(problem)
+        assert solution.total_cost == pytest.approx(2.0 + 10.0)
+        check_flow_optimal(solution)
+
+    def test_infeasible_raises(self):
+        problem = FlowProblem(n_nodes=3)
+        problem.add_arc(0, 1, cost=1.0)
+        # No arc into node 2 but it demands flow.
+        problem.add_supply(0, 1.0)
+        problem.add_supply(2, -1.0)
+        with pytest.raises(InfeasibleFlowError):
+            solve_ssp(problem)
+
+    def test_unbalanced_supplies_rejected(self):
+        problem = FlowProblem(n_nodes=2)
+        problem.add_arc(0, 1, cost=1.0)
+        problem.add_supply(0, 2.0)
+        problem.add_supply(1, -1.0)
+        with pytest.raises(FlowError, match="balance"):
+            solve_ssp(problem)
+
+    def test_negative_cost_requires_flag(self):
+        problem = FlowProblem(n_nodes=2)
+        problem.add_arc(0, 1, cost=-1.0)
+        problem.add_supply(0, 1.0)
+        problem.add_supply(1, -1.0)
+        with pytest.raises(FlowError, match="negative"):
+            solve_ssp(problem)
+        solution = solve_ssp(problem, allow_negative=True)
+        assert solution.total_cost == pytest.approx(-1.0)
+
+    def test_potentials_certify_optimality(self):
+        rng = np.random.default_rng(8)
+        for trial in range(5):
+            problem = _random_instance(rng, n=12, arcs=36)
+            solution = solve_ssp(problem)
+            check_flow_optimal(solution)
+
+    def test_feasibility_checker_catches_bad_flow(self):
+        problem = FlowProblem(n_nodes=2)
+        problem.add_arc(0, 1, cost=1.0)
+        problem.add_supply(0, 1.0)
+        problem.add_supply(1, -1.0)
+        solution = solve_ssp(problem)
+        solution.flow[0] = 5.0  # corrupt
+        with pytest.raises(FlowError, match="conservation"):
+            check_flow_feasible(solution)
+
+
+def _random_instance(rng, n=10, arcs=30) -> FlowProblem:
+    """Random feasible instance: supplies routed over a connected ring
+    plus random chords, all with integer costs."""
+    problem = FlowProblem(n_nodes=n)
+    for i in range(n):
+        problem.add_arc(i, (i + 1) % n, cost=float(rng.integers(1, 10)))
+    for _ in range(arcs - n):
+        u, v = rng.integers(0, n, size=2)
+        if u != v:
+            problem.add_arc(int(u), int(v), cost=float(rng.integers(0, 20)))
+    amounts = rng.integers(1, 5, size=n // 2).astype(float)
+    for k, amount in enumerate(amounts):
+        problem.add_supply(k, float(amount))
+        problem.add_supply(n - 1 - k, -float(amount))
+    return problem
+
+
+class TestDifferenceLP:
+    def _small_lp(self) -> DifferenceConstraintLP:
+        """max r1 - r2 s.t. r1 - r0 <= 2, r1 - r2 <= 3, r2 - r0 <= 0,
+        r0 pinned."""
+        lp = DifferenceConstraintLP(
+            n_nodes=3,
+            weights=np.array([0.0, 1.0, -1.0]),
+            pinned=frozenset({0}),
+        )
+        lp.add(1, 0, 2.0)
+        lp.add(1, 2, 3.0)
+        lp.add(2, 0, 0.0)
+        # r2 >= -1 comes from: r0 - r2 <= 1.
+        lp.add(0, 2, 1.0)
+        return lp
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_small_lp_optimum(self, backend):
+        lp = self._small_lp()
+        solution = solve_difference_lp(lp, backend=backend)
+        # Optimum: r1 = 2, r2 = -1 -> objective 3.
+        assert solution.objective == pytest.approx(3.0)
+        assert solution.r[0] == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_backends_agree_on_random_instances(self, backend):
+        rng = np.random.default_rng(9)
+        for trial in range(4):
+            lp = _random_lp(rng, n=14)
+            reference = solve_difference_lp(lp, backend="scipy")
+            solution = solve_difference_lp(lp, backend=backend)
+            assert solution.objective == pytest.approx(
+                reference.objective, rel=1e-6
+            )
+            lp.check_feasible(solution.r)
+
+    def test_pinned_pinned_violation(self):
+        lp = DifferenceConstraintLP(
+            n_nodes=2,
+            weights=np.array([0.0, 0.0]),
+            pinned=frozenset({0, 1}),
+        )
+        lp.add(0, 1, -5.0)  # 0 <= -5: impossible
+        with pytest.raises(InfeasibleFlowError):
+            solve_difference_lp(lp, backend="scipy")
+
+    def test_unknown_backend(self):
+        lp = self._small_lp()
+        with pytest.raises(FlowError, match="backend"):
+            solve_difference_lp(lp, backend="cplex")
+
+    def test_ground_flow_balances(self):
+        lp = self._small_lp()
+        grounded = ground_flow(lp)
+        assert grounded.problem.supply.sum() == pytest.approx(0.0)
+        # Constraints between two pinned nodes vanish; others survive.
+        assert grounded.problem.n_nodes == 3  # r1, r2, ground
+
+
+def _random_lp(rng, n=12) -> DifferenceConstraintLP:
+    """Random bounded difference LP over a line graph plus chords.
+
+    Bounds every variable against the pinned node 0 in both directions
+    so no backend can be unbounded.
+    """
+    weights = rng.integers(-5, 6, size=n).astype(float)
+    lp = DifferenceConstraintLP(
+        n_nodes=n, weights=weights, pinned=frozenset({0})
+    )
+    for v in range(1, n):
+        lp.add(v, 0, float(rng.integers(0, 10)))
+        lp.add(0, v, float(rng.integers(0, 10)))
+    for _ in range(2 * n):
+        u, v = rng.integers(0, n, size=2)
+        if u != v:
+            lp.add(int(u), int(v), float(rng.integers(0, 12)))
+    return lp

@@ -1,0 +1,270 @@
+"""Functional and structural tests for the benchmark generators."""
+
+import random
+
+import pytest
+
+from repro.circuit import circuit_stats
+from repro.generators import (
+    SUITE,
+    adder_comparator,
+    alu,
+    array_multiplier,
+    build_circuit,
+    interrupt_controller,
+    random_logic,
+    ripple_carry_adder,
+    sec_corrector,
+    sec_ded_corrector,
+)
+from repro.errors import NetlistError
+
+
+def _bus(prefix, width, value):
+    return {f"{prefix}[{i}]": bool(value >> i & 1) for i in range(width)}
+
+
+def _read_bus(values, prefix, width, outputs):
+    return sum(1 << i for i in range(width) if values[f"{prefix}[{i}]"])
+
+
+class TestAdders:
+    @pytest.mark.parametrize("style", ["macro", "nand", "mapped"])
+    def test_addition_exhaustive_3bit(self, style):
+        circuit = ripple_carry_adder(3, style=style)
+        for a in range(8):
+            for b in range(8):
+                for cin in (0, 1):
+                    ins = _bus("a", 3, a) | _bus("b", 3, b) | {"cin": bool(cin)}
+                    values = circuit.evaluate(ins)
+                    got = _read_bus(values, "sum", 3, circuit.outputs)
+                    got += values["cout"] << 3
+                    assert got == a + b + cin
+
+    def test_adder_width_validation(self):
+        with pytest.raises(NetlistError):
+            ripple_carry_adder(0)
+
+    def test_mapped_adder_is_primitive(self):
+        from repro.circuit import is_primitive_circuit
+
+        assert is_primitive_circuit(ripple_carry_adder(4, style="mapped"))
+
+    def test_adder32_gate_count_near_paper(self):
+        stats = circuit_stats(ripple_carry_adder(32))
+        assert 400 <= stats.n_gates <= 560  # paper: 480
+
+
+class TestMultiplier:
+    @pytest.mark.parametrize("width", [2, 3, 4])
+    def test_multiplication_exhaustive(self, width):
+        circuit = array_multiplier(width)
+        for a in range(1 << width):
+            for b in range(1 << width):
+                ins = _bus("a", width, a) | _bus("b", width, b)
+                values = circuit.evaluate(ins)
+                got = _read_bus(values, "p", 2 * width, circuit.outputs)
+                assert got == a * b, (a, b, got)
+
+    def test_width_validation(self):
+        with pytest.raises(NetlistError):
+            array_multiplier(1)
+
+    def test_c6288eq_scale(self):
+        stats = circuit_stats(build_circuit("c6288eq"))
+        assert 2100 <= stats.n_gates <= 2800  # paper: 2416
+        # The multiplier is the reconvergent-path stress case.
+        assert stats.logic_depth >= 40
+
+
+class TestEcc:
+    def test_sec_corrects_single_errors(self):
+        width = 8
+        circuit = sec_corrector(data_width=width)
+        k = len([n for n in circuit.inputs if n.startswith("c[")])
+        rng = random.Random(1)
+        for _ in range(20):
+            data = rng.randrange(1 << width)
+            # Compute the correct check bits (even parity per syndrome).
+            checks = 0
+            for j in range(k):
+                parity = 0
+                for i in range(width):
+                    if (i + 1) >> j & 1 and data >> i & 1:
+                        parity ^= 1
+                checks |= parity << j
+            flip = rng.randrange(width)
+            corrupted = data ^ (1 << flip)
+            ins = _bus("d", width, corrupted) | _bus("c", k, checks)
+            values = circuit.evaluate(ins)
+            got = _read_bus(values, "q", width, circuit.outputs)
+            assert got == data, (data, flip, got)
+
+    def test_sec_passes_clean_words(self):
+        width = 8
+        circuit = sec_corrector(data_width=width)
+        k = len([n for n in circuit.inputs if n.startswith("c[")])
+        for data in (0, 1, 170, 255):
+            checks = 0
+            for j in range(k):
+                parity = 0
+                for i in range(width):
+                    if (i + 1) >> j & 1 and data >> i & 1:
+                        parity ^= 1
+                checks |= parity << j
+            ins = _bus("d", width, data) | _bus("c", k, checks)
+            got = _read_bus(circuit.evaluate(ins), "q", width, circuit.outputs)
+            assert got == data
+
+    def test_c499_c1355_relationship(self):
+        """c1355eq is exactly c499eq mapped to primitives."""
+        c499 = build_circuit("c499eq")
+        c1355 = build_circuit("c1355eq")
+        assert c1355.n_gates > c499.n_gates
+        assert c1355.device_count() == c499.device_count()
+        rng = random.Random(2)
+        for _ in range(5):
+            ins = {net: rng.random() < 0.5 for net in c499.inputs}
+            va, vb = c499.evaluate(ins), c1355.evaluate(ins)
+            for out in c499.outputs:
+                assert va[out] == vb[out]
+
+    def test_sec_ded_flags(self):
+        circuit = sec_ded_corrector(data_width=8, mapped=False)
+        # All-zero word with correct (zero) checks: no error flags.
+        ins = {net: False for net in circuit.inputs}
+        values = circuit.evaluate(ins)
+        assert values["err_single"] is False
+        assert values["err_double"] is False
+
+
+class TestAlu:
+    def test_alu_add_and_logic(self):
+        width = 4
+        circuit = alu(width=width, mapped=False)
+        rng = random.Random(3)
+        ops = {
+            (False, False): lambda a, b: (a + b) & 15,
+            (False, True): lambda a, b: a & b,
+            (True, False): lambda a, b: a | b,
+            (True, True): lambda a, b: a ^ b,
+        }
+        for _ in range(25):
+            a, b = rng.randrange(16), rng.randrange(16)
+            for (op1, op0), fn in ops.items():
+                ins = _bus("a", width, a) | _bus("b", width, b)
+                ins |= {"sub": False, "op0": op0, "op1": op1}
+                values = circuit.evaluate(ins)
+                got = _read_bus(values, "f", width, circuit.outputs)
+                assert got == fn(a, b), (a, b, op1, op0)
+
+    def test_alu_subtract(self):
+        circuit = alu(width=4, mapped=False)
+        for a, b in ((9, 4), (3, 7), (15, 15)):
+            ins = _bus("a", 4, a) | _bus("b", 4, b)
+            ins |= {"sub": True, "op0": False, "op1": False}
+            got = _read_bus(circuit.evaluate(ins), "f", 4, circuit.outputs)
+            assert got == (a - b) & 15
+
+    def test_zero_flag(self):
+        circuit = alu(width=4, mapped=False)
+        ins = _bus("a", 4, 0) | _bus("b", 4, 0)
+        ins |= {"sub": False, "op0": False, "op1": False}
+        assert circuit.evaluate(ins)["zero"] is True
+
+
+class TestComparator:
+    def test_comparison_outputs(self):
+        circuit = adder_comparator(width=6, mapped=False)
+        rng = random.Random(4)
+        for _ in range(40):
+            a, b = rng.randrange(64), rng.randrange(64)
+            ins = _bus("a", 6, a) | _bus("b", 6, b) | {"cin": False}
+            values = circuit.evaluate(ins)
+            assert values["a_gt_b"] == (a > b)
+            assert values["a_eq_b"] == (a == b)
+            assert values["a_lt_b"] == (a < b)
+            got = _read_bus(values, "sum", 6, circuit.outputs)
+            got += values["cout"] << 6
+            assert got == a + b
+
+
+class TestController:
+    def test_priority_grant(self):
+        circuit = interrupt_controller(n_groups=2, group_width=4, mapped=False)
+        n = 8
+        # Request channels 2 and 5, no masks: channel 2 wins (code 010).
+        ins = {net: False for net in circuit.inputs}
+        ins["req0[2]"] = True
+        ins["req1[1]"] = True
+        values = circuit.evaluate(ins)
+        code = sum(
+            1 << b for b in range(3) if values.get(f"vec[{b}]", False)
+        )
+        assert code == 2
+        assert values["irq"] is True
+        assert values["gnt"] is True
+
+    def test_mask_blocks_group(self):
+        circuit = interrupt_controller(n_groups=2, group_width=4, mapped=False)
+        ins = {net: False for net in circuit.inputs}
+        ins["req0[2]"] = True
+        ins["mask[0]"] = True  # group 0 masked; nothing pending
+        values = circuit.evaluate(ins)
+        assert values["irq"] is False
+
+    def test_lower_channel_wins(self):
+        circuit = interrupt_controller(n_groups=1, group_width=6, mapped=False)
+        ins = {net: False for net in circuit.inputs}
+        ins["req0[1]"] = True
+        ins["req0[4]"] = True
+        values = circuit.evaluate(ins)
+        code = sum(
+            1 << b for b in range(3) if values.get(f"vec[{b}]", False)
+        )
+        assert code == 1
+
+
+class TestRandomLogic:
+    def test_deterministic(self):
+        from repro.circuit import dumps_bench
+
+        first = random_logic(150, seed=42)
+        second = random_logic(150, seed=42)
+        assert dumps_bench(first) == dumps_bench(second)
+
+    def test_different_seeds_differ(self):
+        from repro.circuit import dumps_bench
+
+        assert dumps_bench(random_logic(150, seed=1)) != dumps_bench(
+            random_logic(150, seed=2)
+        )
+
+    def test_no_dangling(self):
+        from repro.circuit.validate import validate_circuit
+
+        circuit = random_logic(200, seed=5)
+        kinds = {lint.kind for lint in validate_circuit(circuit)}
+        assert "dangling-output" not in kinds
+
+
+class TestSuiteRegistry:
+    def test_all_smoke_rows_build(self):
+        for spec in SUITE:
+            if spec.tier == "smoke":
+                circuit = spec.builder()
+                assert circuit.n_gates > 0
+
+    def test_gate_counts_documented(self):
+        """Generated circuits stay within 2x of the paper's gate counts
+        (the exact figure is recorded in EXPERIMENTS.md)."""
+        for spec in SUITE:
+            if spec.tier != "smoke":
+                continue
+            stats = circuit_stats(spec.builder())
+            ratio = stats.n_gates / spec.paper_gates
+            assert 0.4 <= ratio <= 2.2, (spec.name, stats.n_gates)
+
+    def test_unknown_name(self):
+        with pytest.raises(NetlistError):
+            build_circuit("c9999")

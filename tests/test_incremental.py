@@ -1,0 +1,88 @@
+"""Tests for incremental arrival-time maintenance and its TILOS use."""
+
+import numpy as np
+import pytest
+
+from repro.sizing import TilosOptions, tilos_size
+from repro.timing import GraphTimer, analyze
+from repro.timing.incremental import IncrementalArrivalTimes
+
+
+class TestIncrementalEngine:
+    def test_initial_state_matches_full(self, adder8_dag):
+        rng = np.random.default_rng(20)
+        delay = rng.uniform(0.5, 4.0, size=adder8_dag.n)
+        inc = IncrementalArrivalTimes(adder8_dag, delay)
+        full = GraphTimer(adder8_dag).analyze(delay)
+        assert inc.at == pytest.approx(full.at)
+        assert inc.critical_path_delay == pytest.approx(
+            full.critical_path_delay
+        )
+
+    def test_random_update_sequences_match_full(self, adder8_dag):
+        rng = np.random.default_rng(21)
+        delay = rng.uniform(0.5, 4.0, size=adder8_dag.n)
+        inc = IncrementalArrivalTimes(adder8_dag, delay)
+        timer = GraphTimer(adder8_dag)
+        for _ in range(60):
+            k = int(rng.integers(1, 4))
+            changed = rng.integers(0, adder8_dag.n, size=k).tolist()
+            delay = delay.copy()
+            delay[changed] = rng.uniform(0.2, 6.0, size=k)
+            inc.update_delays(changed, delay)
+            full = timer.analyze(delay)
+            assert inc.at == pytest.approx(full.at), "arrival drift"
+            assert inc.critical_path_delay == pytest.approx(
+                full.critical_path_delay
+            )
+
+    def test_decreasing_delays_propagate(self, c17_gate_dag):
+        """Arrival times must also *fall* when a delay shrinks."""
+        delay = np.full(c17_gate_dag.n, 5.0)
+        inc = IncrementalArrivalTimes(c17_gate_dag, delay)
+        before = inc.critical_path_delay
+        path = inc.critical_path()
+        delay = delay.copy()
+        delay[path[0]] = 1.0
+        inc.update_delays([path[0]], delay)
+        full = GraphTimer(c17_gate_dag).analyze(delay)
+        assert inc.critical_path_delay == pytest.approx(
+            full.critical_path_delay
+        )
+        assert inc.critical_path_delay <= before
+
+    def test_critical_path_valid(self, adder8_dag):
+        rng = np.random.default_rng(22)
+        delay = rng.uniform(0.5, 4.0, size=adder8_dag.n)
+        inc = IncrementalArrivalTimes(adder8_dag, delay)
+        path = inc.critical_path()
+        total = sum(delay[v] for v in path)
+        assert total == pytest.approx(inc.critical_path_delay)
+
+
+class TestTilosEngines:
+    @pytest.mark.parametrize("circuit_fixture", ["c17_gate_dag", "adder8_dag"])
+    def test_engines_identical(self, request, circuit_fixture):
+        dag = request.getfixturevalue(circuit_fixture)
+        d_min = analyze(dag, dag.min_sizes()).critical_path_delay
+        target = 0.55 * d_min
+        full = tilos_size(dag, target, TilosOptions(engine="full"))
+        fast = tilos_size(dag, target, TilosOptions(engine="incremental"))
+        assert full.feasible == fast.feasible
+        assert fast.iterations == full.iterations
+        assert fast.x == pytest.approx(full.x)
+        assert fast.area == pytest.approx(full.area)
+
+    def test_transistor_mode_engines_identical(self, c17_transistor_dag):
+        dag = c17_transistor_dag
+        d_min = analyze(dag, dag.min_sizes()).critical_path_delay
+        target = 0.6 * d_min
+        full = tilos_size(dag, target, TilosOptions(engine="full"))
+        fast = tilos_size(dag, target, TilosOptions(engine="incremental"))
+        assert fast.x == pytest.approx(full.x)
+
+    def test_engine_validation(self):
+        from repro.errors import SizingError
+
+        with pytest.raises(SizingError, match="engine"):
+            TilosOptions(engine="warp")

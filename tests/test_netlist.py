@@ -1,0 +1,208 @@
+"""Tests for the netlist model, builder, validation and stats."""
+
+import pytest
+
+from repro.circuit import (
+    Circuit,
+    CircuitBuilder,
+    circuit_stats,
+    validate_circuit,
+)
+from repro.circuit.validate import require_clean
+from repro.errors import NetlistError
+
+
+class TestCircuit:
+    def test_duplicate_gate_name(self):
+        circuit = Circuit("t")
+        circuit.add_input("a")
+        circuit.add_gate("g", "INV", ["a"], "x")
+        with pytest.raises(NetlistError, match="duplicate"):
+            circuit.add_gate("g", "INV", ["x"], "y")
+
+    def test_double_driver(self):
+        circuit = Circuit("t")
+        circuit.add_input("a")
+        circuit.add_gate("g1", "INV", ["a"], "x")
+        with pytest.raises(NetlistError, match="already driven"):
+            circuit.add_gate("g2", "INV", ["a"], "x")
+
+    def test_input_collision(self):
+        circuit = Circuit("t")
+        circuit.add_input("a")
+        with pytest.raises(NetlistError):
+            circuit.add_input("a")
+
+    def test_arity_check(self):
+        circuit = Circuit("t")
+        circuit.add_input("a")
+        with pytest.raises(NetlistError, match="2 inputs"):
+            circuit.add_gate("g", "NAND2", ["a"], "x")
+
+    def test_undriven_net_detected_at_freeze(self):
+        circuit = Circuit("t")
+        circuit.add_input("a")
+        circuit.add_gate("g", "NAND2", ["a", "ghost"], "x")
+        circuit.mark_output("x")
+        with pytest.raises(NetlistError, match="undriven"):
+            circuit.freeze()
+
+    def test_cycle_detected(self):
+        circuit = Circuit("t")
+        circuit.add_input("a")
+        circuit.add_gate("g1", "NAND2", ["a", "y"], "x")
+        circuit.add_gate("g2", "INV", ["x"], "y")
+        circuit.mark_output("x")
+        with pytest.raises(NetlistError, match="cycle"):
+            circuit.freeze()
+
+    def test_frozen_circuit_rejects_mutation(self):
+        circuit = Circuit("t")
+        circuit.add_input("a")
+        circuit.add_gate("g", "INV", ["a"], "x")
+        circuit.mark_output("x")
+        circuit.freeze()
+        with pytest.raises(NetlistError, match="frozen"):
+            circuit.add_input("b")
+
+    def test_topological_order_respects_dependencies(self, c17):
+        seen = set(c17.inputs)
+        for gate in c17.topological_gates():
+            assert all(net in seen for net in gate.inputs)
+            seen.add(gate.output)
+
+    def test_fanout_count_includes_po(self):
+        circuit = Circuit("t")
+        circuit.add_input("a")
+        circuit.add_gate("g", "INV", ["a"], "x")
+        circuit.add_gate("h", "INV", ["x"], "y")
+        circuit.mark_output("x")
+        circuit.mark_output("y")
+        circuit.freeze()
+        assert circuit.fanout_count("x") == 2  # one gate + PO
+
+    def test_evaluate_c17(self, c17):
+        # c17: 22 = NAND(NAND(1,3), NAND(2, NAND(3,6)))
+        values = c17.evaluate({"1": 1, "2": 1, "3": 1, "6": 1, "7": 1})
+        assert values["22"] is False or values["22"] is True
+        # exhaustive truth check of output 22 against the formula
+        for bits in range(32):
+            ins = {
+                name: bool(bits >> i & 1)
+                for i, name in enumerate(["1", "2", "3", "6", "7"])
+            }
+            values = c17.evaluate(ins)
+            n10 = not (ins["1"] and ins["3"])
+            n11 = not (ins["3"] and ins["6"])
+            n16 = not (ins["2"] and n11)
+            n19 = not (n11 and ins["7"])
+            assert values["22"] == (not (n10 and n16))
+            assert values["23"] == (not (n16 and n19))
+
+    def test_evaluate_requires_all_inputs(self, c17):
+        with pytest.raises(NetlistError, match="missing value"):
+            c17.evaluate({"1": True})
+
+
+class TestBuilder:
+    def test_wide_and_becomes_tree(self):
+        builder = CircuitBuilder("t")
+        nets = builder.inputs([f"i{k}" for k in range(10)])
+        out = builder.and_(*nets)
+        builder.output(out)
+        circuit = builder.build()
+        stats = circuit_stats(circuit)
+        # 10 inputs: 2 AND4 + 1 AND2 feeding a final AND3.
+        assert stats.n_gates == 4
+        values = circuit.evaluate({f"i{k}": True for k in range(10)})
+        assert values[out] is True
+        values = circuit.evaluate(
+            {f"i{k}": k != 5 for k in range(10)}
+        )
+        assert values[out] is False
+
+    def test_wide_nand_inverts_once(self):
+        builder = CircuitBuilder("t")
+        nets = builder.inputs([f"i{k}" for k in range(6)])
+        out = builder.nand(*nets)
+        builder.output(out)
+        circuit = builder.build()
+        assert circuit.evaluate({f"i{k}": True for k in range(6)})[out] is False
+        assert circuit.evaluate(
+            {f"i{k}": k != 2 for k in range(6)}
+        )[out] is True
+
+    def test_mux(self):
+        builder = CircuitBuilder("t")
+        s, a, b = builder.inputs(["s", "a", "b"])
+        out = builder.mux(s, a, b)
+        builder.output(out)
+        circuit = builder.build()
+        for sv in (False, True):
+            for av in (False, True):
+                for bv in (False, True):
+                    got = circuit.evaluate({"s": sv, "a": av, "b": bv})[out]
+                    assert got == (bv if sv else av)
+
+    def test_full_adder_macro(self):
+        builder = CircuitBuilder("t")
+        a, b, c = builder.inputs(["a", "b", "c"])
+        s, cout = builder.full_adder(a, b, c)
+        builder.output(s)
+        builder.output(cout)
+        circuit = builder.build()
+        for bits in range(8):
+            av, bv, cv = bits & 1, bits >> 1 & 1, bits >> 2 & 1
+            values = circuit.evaluate({"a": av, "b": bv, "c": cv})
+            total = av + bv + cv
+            assert values[s] == bool(total & 1)
+            assert values[cout] == (total >= 2)
+
+    def test_output_alias_inserts_buffer(self):
+        builder = CircuitBuilder("t")
+        a = builder.input("a")
+        x = builder.not_(a)
+        builder.output(x, name="y")
+        circuit = builder.build()
+        assert "y" in circuit.outputs
+        assert circuit.n_gates == 2  # INV + alias BUF
+
+
+class TestValidate:
+    def test_dangling_output_lint(self):
+        builder = CircuitBuilder("t")
+        a = builder.input("a")
+        builder.not_(a)  # drives nothing
+        b = builder.not_(a)
+        builder.output(b)
+        circuit = builder.build()
+        lints = validate_circuit(circuit)
+        assert any(lint.kind == "dangling-output" for lint in lints)
+        with pytest.raises(NetlistError, match="lint"):
+            require_clean(circuit)
+
+    def test_unused_input_lint(self):
+        builder = CircuitBuilder("t")
+        builder.input("unused")
+        a = builder.input("a")
+        builder.output(builder.not_(a))
+        lints = validate_circuit(builder.build())
+        assert any(lint.kind == "unused-input" for lint in lints)
+
+    def test_clean_circuit_no_lints(self, c17):
+        assert validate_circuit(c17) == []
+
+
+class TestStats:
+    def test_c17_stats(self, c17):
+        stats = circuit_stats(c17)
+        assert stats.n_gates == 6
+        assert stats.n_inputs == 5
+        assert stats.n_outputs == 2
+        assert stats.logic_depth == 3
+        assert stats.n_devices == 24
+        assert stats.cells == {"NAND2": 6}
+
+    def test_mean_fanout_positive(self, adder8):
+        stats = circuit_stats(adder8)
+        assert stats.mean_fanout > 1.0

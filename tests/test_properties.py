@@ -1,0 +1,173 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Random circuits and sizings exercise:
+
+* STA consistency (slacks, edge slacks, critical path realization),
+* delay-balancing legality on arbitrary DAGs and delay vectors,
+* W-phase least-fixed-point minimality and monotonicity,
+* flow/LP duality across solver backends,
+* scale invariance of sizing decisions.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.balancing import balance, verify_configuration
+from repro.dag import build_sizing_dag
+from repro.flow import DifferenceConstraintLP, solve_difference_lp
+from repro.generators import random_logic
+from repro.sizing import w_phase
+from repro.tech import default_technology
+from repro.timing import GraphTimer
+
+_TECH = default_technology()
+_SETTINGS = dict(
+    deadline=None,
+    max_examples=20,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def small_dags(draw):
+    n_gates = draw(st.integers(min_value=4, max_value=40))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    locality = draw(st.sampled_from([4, 12, 48]))
+    circuit = random_logic(
+        n_gates, n_inputs=4, n_outputs=3, seed=seed, locality=locality
+    )
+    return build_sizing_dag(circuit, _TECH, mode="gate")
+
+
+@st.composite
+def dag_with_delays(draw):
+    dag = draw(small_dags())
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    delay = rng.uniform(0.5, 10.0, size=dag.n)
+    return dag, delay
+
+
+class TestStaProperties:
+    @given(dag_with_delays())
+    @settings(**_SETTINGS)
+    def test_slack_relations(self, case):
+        dag, delay = case
+        report = GraphTimer(dag).analyze(delay)
+        # AT + delay <= CP on every vertex that reaches an output.
+        finite = np.isfinite(report.rt)
+        assert np.all(
+            report.at[finite] + delay[finite]
+            <= report.critical_path_delay + 1e-9
+        )
+        # Vertex slack >= 0 at horizon == CP; some vertex has zero slack.
+        assert report.slack[finite].min() >= -1e-9
+        assert report.slack[finite].min() == pytest.approx(0.0, abs=1e-6)
+        # Edge slack >= 0 everywhere at the CP horizon.
+        assert report.edge_slack.min() >= -1e-9
+
+    @given(dag_with_delays())
+    @settings(**_SETTINGS)
+    def test_critical_path_realizes_cp(self, case):
+        dag, delay = case
+        report = GraphTimer(dag).analyze(delay)
+        path = report.critical_path()
+        total = sum(delay[v] for v in path)
+        assert total == pytest.approx(report.critical_path_delay)
+        for u, v in zip(path, path[1:]):
+            assert v in dag.fanout[u]
+
+
+class TestBalancingProperties:
+    @given(dag_with_delays(), st.sampled_from(["asap", "alap", "dfs"]))
+    @settings(**_SETTINGS)
+    def test_balance_always_legal(self, case, method):
+        dag, delay = case
+        config = balance(dag, delay, method=method)
+        verify_configuration(config)
+        assert config.wire_fsdu.min() >= 0.0
+        assert config.po_fsdu.min() >= 0.0
+
+    @given(dag_with_delays(), st.floats(min_value=1.01, max_value=3.0))
+    @settings(**_SETTINGS)
+    def test_balance_with_relaxed_horizon(self, case, stretch):
+        dag, delay = case
+        timer = GraphTimer(dag)
+        cp = timer.analyze(delay).critical_path_delay
+        config = balance(dag, delay, horizon=stretch * cp, timer=timer)
+        verify_configuration(config)
+
+
+class TestWPhaseProperties:
+    @given(small_dags(), st.integers(min_value=0, max_value=9999))
+    @settings(**_SETTINGS)
+    def test_least_fixed_point_dominates_nothing(self, dag, seed):
+        """W-phase x is componentwise below the reference sizing whose
+        delays define the budgets (minimality of the LFP)."""
+        rng = np.random.default_rng(seed)
+        x_ref = rng.uniform(1.0, 6.0, size=dag.n)
+        budgets = dag.delays(x_ref)
+        result = w_phase(dag, budgets)
+        assert result.feasible
+        assert np.all(result.x <= x_ref + 1e-8)
+        assert np.all(result.delays <= budgets * (1 + 1e-8))
+
+    @given(small_dags(), st.integers(min_value=0, max_value=9999))
+    @settings(**_SETTINGS)
+    def test_monotone_in_budgets(self, dag, seed):
+        """Looser budgets never need larger sizes (antitone map)."""
+        rng = np.random.default_rng(seed)
+        x_ref = rng.uniform(1.5, 5.0, size=dag.n)
+        budgets = dag.delays(x_ref)
+        tight = w_phase(dag, budgets)
+        loose = w_phase(dag, budgets * 1.25)
+        assert np.all(loose.x <= tight.x + 1e-9)
+
+
+class TestFlowProperties:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(**_SETTINGS)
+    def test_backend_agreement(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 16))
+        weights = rng.integers(-4, 5, size=n).astype(float)
+        lp = DifferenceConstraintLP(
+            n_nodes=n, weights=weights, pinned=frozenset({0})
+        )
+        for v in range(1, n):
+            lp.add(v, 0, float(rng.integers(0, 8)))
+            lp.add(0, v, float(rng.integers(0, 8)))
+        for _ in range(3 * n):
+            u, v = rng.integers(0, n, size=2)
+            if u != v:
+                lp.add(int(u), int(v), float(rng.integers(0, 10)))
+        results = {
+            backend: solve_difference_lp(lp, backend=backend)
+            for backend in ("ssp", "networkx", "scipy")
+        }
+        objectives = [sol.objective for sol in results.values()]
+        assert objectives[0] == pytest.approx(objectives[1], abs=1e-6)
+        assert objectives[0] == pytest.approx(objectives[2], abs=1e-6)
+
+
+class TestScaleInvariance:
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(deadline=None, max_examples=8)
+    def test_capacitance_scaling_scales_delays_only(self, seed):
+        """Scaling all caps by k scales all delays by k and leaves the
+        W-phase sizing unchanged (ratio-metric invariance that justifies
+        the technology substitution in DESIGN.md)."""
+        from repro.tech import scaled_technology
+
+        circuit = random_logic(12, n_inputs=4, n_outputs=2, seed=seed)
+        dag1 = build_sizing_dag(circuit, _TECH, mode="gate")
+        dag2 = build_sizing_dag(circuit, scaled_technology(3.0), mode="gate")
+        x = np.linspace(1.0, 4.0, dag1.n)
+        d1, d2 = dag1.delays(x), dag2.delays(x)
+        assert d2 == pytest.approx(3.0 * d1)
+        budgets = d1 * 1.3
+        r1 = w_phase(dag1, budgets)
+        r2 = w_phase(dag2, budgets * 3.0)
+        assert r2.x == pytest.approx(r1.x, rel=1e-9)

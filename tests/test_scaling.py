@@ -1,0 +1,42 @@
+"""Tests for the runtime-scaling study harness."""
+
+import pytest
+
+from repro.experiments.scaling import (
+    fit_slopes,
+    format_scaling,
+    run_scaling,
+)
+
+
+class TestScalingStudy:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_scaling(widths=[4, 8, 16])
+
+    def test_points_cover_widths(self, points):
+        assert [p.width for p in points] == [4, 8, 16]
+        sizes = [p.n_vertices for p in points]
+        assert sizes == sorted(sizes)
+
+    def test_positive_timings(self, points):
+        for p in points:
+            assert p.sta_seconds > 0
+            assert p.balance_seconds > 0
+            assert p.w_phase_seconds > 0
+            assert p.d_phase_seconds > 0
+
+    def test_slopes_fit(self, points):
+        slopes = fit_slopes(points)
+        assert set(slopes) == {"sta", "balance", "w_phase", "d_phase"}
+        # Sub-quadratic growth for every phase (the paper claims near
+        # linear; tiny instances carry constant overhead, so allow a
+        # loose upper bound here — the benchmark suite measures the
+        # real trend on big circuits).
+        for phase, slope in slopes.items():
+            assert slope < 2.5, (phase, slope)
+
+    def test_format(self, points):
+        text = format_scaling(points)
+        assert "fitted growth" in text
+        assert "|V|" in text

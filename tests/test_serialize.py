@@ -1,0 +1,52 @@
+"""Tests for sizing-result JSON persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SizingError
+from repro.sizing import minflotransit
+from repro.sizing.serialize import (
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+from repro.timing import analyze
+
+
+@pytest.fixture(scope="module")
+def result(c17_gate_dag):
+    d_min = analyze(c17_gate_dag, c17_gate_dag.min_sizes()).critical_path_delay
+    return minflotransit(c17_gate_dag, 0.6 * d_min)
+
+
+class TestSerialize:
+    def test_roundtrip(self, result, tmp_path):
+        path = save_result(result, tmp_path / "r.json")
+        again = load_result(path)
+        assert again.name == result.name
+        assert again.x == pytest.approx(result.x)
+        assert again.area == pytest.approx(result.area)
+        assert again.n_iterations == result.n_iterations
+        assert again.iterations[0].backend == result.iterations[0].backend
+
+    def test_labels_included_with_dag(self, result, c17_gate_dag):
+        payload = result_to_dict(result, c17_gate_dag)
+        assert len(payload["labels"]) == c17_gate_dag.n
+
+    def test_dag_mismatch_detected(self, result, adder8_dag):
+        with pytest.raises(SizingError, match="vertices"):
+            result_to_dict(result, adder8_dag)
+
+    def test_schema_checked(self, result):
+        payload = result_to_dict(result)
+        payload["schema"] = "other/9"
+        with pytest.raises(SizingError, match="schema"):
+            result_from_dict(payload)
+
+    def test_derived_properties_survive(self, result, tmp_path):
+        again = load_result(save_result(result, tmp_path / "r.json"))
+        assert again.meets_target == result.meets_target
+        assert again.area_saving_vs_initial == pytest.approx(
+            result.area_saving_vs_initial
+        )

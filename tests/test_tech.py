@@ -1,0 +1,183 @@
+"""Tests for technology parameters, SP networks and the cell library."""
+
+import math
+
+import pytest
+
+from repro.errors import TechnologyError
+from repro.tech import (
+    Technology,
+    default_library,
+    default_technology,
+    dual,
+    leaf,
+    parallel,
+    scaled_technology,
+    series,
+    shared_default_library,
+)
+from repro.tech.networks import SPNetwork
+
+
+class TestTechnology:
+    def test_defaults_valid(self):
+        tech = default_technology()
+        assert tech.r_nmos > 0
+        assert tech.max_size > tech.min_size
+
+    def test_rejects_negative_resistance(self):
+        with pytest.raises(TechnologyError):
+            Technology(r_nmos=-1.0)
+
+    def test_rejects_zero_gate_cap(self):
+        with pytest.raises(TechnologyError):
+            Technology(c_gate_n=0.0)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(TechnologyError):
+            Technology(min_size=4.0, max_size=2.0)
+
+    def test_beta_ratio(self):
+        tech = default_technology()
+        assert tech.beta_ratio == pytest.approx(tech.r_pmos / tech.r_nmos)
+
+    def test_with_bounds_copies(self):
+        tech = default_technology()
+        widened = tech.with_bounds(2.0, 16.0)
+        assert widened.min_size == 2.0
+        assert tech.min_size == 1.0
+
+    def test_scaled_technology_scales_caps_only(self):
+        base = default_technology()
+        doubled = scaled_technology(2.0)
+        assert doubled.c_gate_n == pytest.approx(2 * base.c_gate_n)
+        assert doubled.c_load == pytest.approx(2 * base.c_load)
+        assert doubled.r_nmos == base.r_nmos
+
+    def test_scaled_technology_rejects_nonpositive(self):
+        with pytest.raises(TechnologyError):
+            scaled_technology(0.0)
+
+
+class TestSPNetworks:
+    def test_leaf_requires_pin(self):
+        with pytest.raises(TechnologyError):
+            SPNetwork("leaf")
+
+    def test_series_requires_two_children(self):
+        with pytest.raises(TechnologyError):
+            SPNetwork("series", children=(leaf("a"),))
+
+    def test_unknown_kind(self):
+        with pytest.raises(TechnologyError):
+            SPNetwork("star", children=(leaf("a"), leaf("b")))
+
+    def test_paths_of_series(self):
+        net = series(leaf("a"), leaf("b"), leaf("c"))
+        assert list(net.paths()) == [("a", "b", "c")]
+        assert net.max_stack_depth == 3
+
+    def test_paths_of_parallel(self):
+        net = parallel(leaf("a"), leaf("b"))
+        assert sorted(net.paths()) == [("a",), ("b",)]
+        assert net.max_stack_depth == 1
+
+    def test_aoi_structure(self):
+        net = parallel(series(leaf("a"), leaf("b")), leaf("c"))
+        assert sorted(net.paths()) == [("a", "b"), ("c",)]
+        assert net.device_count == 3
+
+    def test_dual_swaps_series_parallel(self):
+        net = series(parallel(leaf("a"), leaf("b")), leaf("c"))
+        d = dual(net)
+        assert d.kind == "parallel"
+        # dual((a|b).c) = (a.b)|c
+        assert sorted(d.paths()) == [("a", "b"), ("c",)]
+
+    def test_dual_involution(self):
+        net = series(parallel(leaf("a"), leaf("b")), leaf("c"))
+        assert dual(dual(net)) == net
+
+    def test_str_rendering(self):
+        net = series(leaf("a"), parallel(leaf("b"), leaf("c")))
+        assert str(net) == "(a . (b | c))"
+
+
+class TestCellLibrary:
+    def test_default_library_contents(self):
+        lib = default_library()
+        for name in ("INV", "NAND2", "NAND3", "NAND4", "NOR2", "XOR2",
+                     "AND4", "OR2", "BUF", "AOI21", "OAI21"):
+            assert name in lib
+
+    def test_shared_library_is_cached(self):
+        assert shared_default_library() is shared_default_library()
+
+    def test_device_counts(self):
+        lib = default_library()
+        assert lib.device_count("INV") == 2
+        assert lib.device_count("NAND3") == 6
+        assert lib.device_count("XOR2") == 16
+        assert lib.device_count("AND2") == 6
+
+    def test_cell_for_function(self):
+        lib = default_library()
+        assert lib.cell_for_function("NAND", 3).name == "NAND3"
+        assert lib.cell_for_function("NOT", 1).name == "INV"
+        with pytest.raises(TechnologyError):
+            lib.cell_for_function("NAND", 9)
+
+    def test_functions_evaluate(self):
+        lib = default_library()
+        assert lib.cell("NAND2").evaluate(True, True) is False
+        assert lib.cell("NOR3").evaluate(False, False, False) is True
+        assert lib.cell("XOR2").evaluate(True, False) is True
+        assert lib.cell("AOI21").evaluate(True, True, False) is False
+        assert lib.cell("OAI21").evaluate(False, False, True) is True
+
+    def test_arity_mismatch_raises(self):
+        lib = default_library()
+        with pytest.raises(TechnologyError):
+            lib.cell("NAND2").evaluate(True)
+
+    def test_nand_stack_resistance(self, tech):
+        lib = default_library()
+        eq2 = lib.equivalent_inverter("NAND2", tech)
+        eq4 = lib.equivalent_inverter("NAND4", tech)
+        # NAND fall path is the NMOS stack: deeper stack, higher r_fall.
+        assert eq4.r_fall == pytest.approx(2 * eq2.r_fall)
+        # NAND rise is a single PMOS regardless of fan-in.
+        assert eq4.r_rise == pytest.approx(eq2.r_rise)
+
+    def test_nor_is_slower_than_nand(self, tech):
+        lib = default_library()
+        nand = lib.equivalent_inverter("NAND3", tech)
+        nor = lib.equivalent_inverter("NOR3", tech)
+        # The PMOS stack of the NOR dominates everything in the NAND.
+        assert nor.r_eq > nand.r_eq
+
+    def test_macro_cin_matches_inner_primitive(self, tech):
+        lib = default_library()
+        and2 = lib.equivalent_inverter("AND2", tech)
+        nand2 = lib.equivalent_inverter("NAND2", tech)
+        assert and2.cin == pytest.approx(nand2.cin)
+        xor2 = lib.equivalent_inverter("XOR2", tech)
+        assert xor2.cin == pytest.approx(2 * nand2.cin)
+
+    def test_macro_has_internal_delay(self, tech):
+        lib = default_library()
+        inv = lib.equivalent_inverter("INV", tech)
+        buf = lib.equivalent_inverter("BUF", tech)
+        assert buf.intrinsic > inv.intrinsic
+        assert buf.internal_load_delay > 0
+        assert inv.internal_load_delay == 0
+
+    def test_equivalent_inverter_cached(self, tech):
+        lib = default_library()
+        first = lib.equivalent_inverter("NAND2", tech)
+        assert lib.equivalent_inverter("NAND2", tech) is first
+
+    def test_unknown_cell(self):
+        lib = default_library()
+        with pytest.raises(TechnologyError):
+            lib.cell("NAND9")

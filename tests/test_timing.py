@@ -1,0 +1,142 @@
+"""Tests for static timing analysis (paper equation (8))."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import CircuitBuilder
+from repro.dag import build_sizing_dag
+from repro.errors import TimingError
+from repro.timing import (
+    GraphTimer,
+    analyze,
+    critical_vertices,
+    enumerate_paths,
+    k_worst_paths,
+    path_delay,
+)
+
+
+@pytest.fixture(scope="module")
+def diamond(tech):
+    """s -> (a | b) -> t diamond, for hand-checkable timing."""
+    builder = CircuitBuilder("diamond")
+    pi = builder.input("pi")
+    s = builder.not_(pi, out="s")
+    a = builder.not_(s, out="a")
+    b = builder.not_(s, out="b")
+    t = builder.gate("NAND2", [a, b], out="t")
+    builder.output(t)
+    return build_sizing_dag(builder.build(), tech, mode="gate")
+
+
+class TestArrivalRequired:
+    def test_hand_computed_diamond(self, diamond):
+        timer = GraphTimer(diamond)
+        label = {v.label: v.index for v in diamond.vertices}
+        delay = np.zeros(diamond.n)
+        delay[label["g0_inv"]] = 1.0   # s
+        delay[label["g1_inv"]] = 2.0   # a
+        delay[label["g2_inv"]] = 5.0   # b
+        delay[label["g3_nand2"]] = 3.0  # t
+        report = timer.analyze(delay)
+        assert report.at[label["g0_inv"]] == 0.0
+        assert report.at[label["g1_inv"]] == 1.0
+        assert report.at[label["g3_nand2"]] == 6.0  # through b
+        assert report.critical_path_delay == 9.0
+        assert report.rt[label["g3_nand2"]] == 6.0
+        assert report.slack[label["g2_inv"]] == 0.0
+        assert report.slack[label["g1_inv"]] == 3.0  # a has 3 units slack
+
+    def test_critical_path_trace(self, diamond):
+        timer = GraphTimer(diamond)
+        label = {v.label: v.index for v in diamond.vertices}
+        delay = np.zeros(diamond.n)
+        delay[label["g0_inv"]] = 1.0
+        delay[label["g1_inv"]] = 2.0
+        delay[label["g2_inv"]] = 5.0
+        delay[label["g3_nand2"]] = 3.0
+        path = timer.analyze(delay).critical_path()
+        names = [diamond.vertices[v].label for v in path]
+        assert names == ["g0_inv", "g2_inv", "g3_nand2"]
+
+    def test_edge_slack_definition(self, diamond):
+        timer = GraphTimer(diamond)
+        delay = np.array([1.0, 2.0, 5.0, 3.0])[
+            np.argsort([v.index for v in diamond.vertices])
+        ]
+        report = timer.analyze(diamond.delays(diamond.min_sizes()))
+        src, dst = diamond.edge_src, diamond.edge_dst
+        manual = report.rt[dst] - report.at[src] - report.delay[src]
+        assert report.edge_slack == pytest.approx(manual)
+
+    def test_safe_circuit(self, c17_gate_dag):
+        report = analyze(c17_gate_dag, c17_gate_dag.min_sizes())
+        assert report.is_safe()
+        # Horizon below CP makes the circuit unsafe.
+        tight = analyze(
+            c17_gate_dag,
+            c17_gate_dag.min_sizes(),
+            horizon=report.critical_path_delay * 0.9,
+        )
+        assert not tight.is_safe()
+
+    def test_horizon_extends_slack(self, c17_gate_dag):
+        x = c17_gate_dag.min_sizes()
+        base = analyze(c17_gate_dag, x)
+        relaxed = analyze(
+            c17_gate_dag, x, horizon=base.critical_path_delay + 100.0
+        )
+        assert relaxed.slack.min() == pytest.approx(100.0)
+
+    def test_rejects_negative_delay(self, c17_gate_dag):
+        timer = GraphTimer(c17_gate_dag)
+        bad = np.full(c17_gate_dag.n, -1.0)
+        with pytest.raises(TimingError):
+            timer.analyze(bad)
+
+    def test_rejects_wrong_shape(self, c17_gate_dag):
+        timer = GraphTimer(c17_gate_dag)
+        with pytest.raises(TimingError):
+            timer.analyze(np.ones(3))
+
+
+class TestAgainstExhaustivePaths:
+    def test_cp_matches_worst_path(self, c17_gate_dag):
+        rng = np.random.default_rng(1)
+        timer = GraphTimer(c17_gate_dag)
+        for _ in range(10):
+            delay = rng.uniform(0.5, 5.0, size=c17_gate_dag.n)
+            report = timer.analyze(delay)
+            worst = k_worst_paths(c17_gate_dag, delay, k=1)[0]
+            assert report.critical_path_delay == pytest.approx(worst[0])
+
+    def test_adder_cp_matches_enumeration(self, adder8_dag):
+        rng = np.random.default_rng(2)
+        delay = rng.uniform(0.5, 3.0, size=adder8_dag.n)
+        report = GraphTimer(adder8_dag).analyze(delay)
+        best = max(
+            path_delay(delay, p) for p in enumerate_paths(adder8_dag)
+        )
+        assert report.critical_path_delay == pytest.approx(best)
+
+    def test_critical_path_is_actually_critical(self, adder8_dag):
+        rng = np.random.default_rng(3)
+        delay = rng.uniform(0.5, 3.0, size=adder8_dag.n)
+        report = GraphTimer(adder8_dag).analyze(delay)
+        path = report.critical_path()
+        assert path_delay(delay, path) == pytest.approx(
+            report.critical_path_delay
+        )
+        assert path[0] in adder8_dag.sources
+
+
+class TestCriticalCloud:
+    def test_critical_vertices_have_zero_slack(self, c17_gate_dag):
+        report = analyze(c17_gate_dag, c17_gate_dag.min_sizes())
+        cloud = critical_vertices(report)
+        assert len(cloud) >= 1
+        assert np.all(report.slack[cloud] <= 1e-6 * report.horizon)
+
+    def test_enumeration_limit(self, adder8_dag):
+        with pytest.raises(ValueError, match="paths"):
+            list(enumerate_paths(adder8_dag, limit=3))

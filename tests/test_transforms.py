@@ -1,0 +1,146 @@
+"""Tests for technology mapping, pruning and fanout buffering."""
+
+import random
+
+import pytest
+
+from repro.circuit import (
+    CircuitBuilder,
+    circuit_stats,
+    is_primitive_circuit,
+    map_to_primitives,
+    prune_dangling,
+)
+from repro.circuit.transform import buffer_high_fanout
+from repro.generators import build_circuit, random_logic
+
+
+def _equivalent(first, second, n_vectors=25, seed=0):
+    """Randomized logic-equivalence check on common outputs."""
+    assert set(first.inputs) == set(second.inputs)
+    assert set(first.outputs) == set(second.outputs)
+    rng = random.Random(seed)
+    for _ in range(n_vectors):
+        ins = {net: rng.random() < 0.5 for net in first.inputs}
+        va = first.evaluate(ins)
+        vb = second.evaluate(ins)
+        for out in first.outputs:
+            if va[out] != vb[out]:
+                return False
+    return True
+
+
+class TestMapping:
+    def test_mapped_circuit_is_primitive(self):
+        source = build_circuit("c499eq")
+        assert not is_primitive_circuit(source)
+        mapped = map_to_primitives(source)
+        assert is_primitive_circuit(mapped)
+
+    def test_mapping_preserves_function(self):
+        builder = CircuitBuilder("mix")
+        a, b, c = builder.inputs(["a", "b", "c"])
+        builder.output(builder.xor(a, b))
+        builder.output(builder.xnor(b, c))
+        builder.output(builder.and_(a, b, c))
+        builder.output(builder.or_(a, c))
+        builder.output(builder.buf(b))
+        source = builder.build()
+        mapped = map_to_primitives(source)
+        assert _equivalent(source, mapped)
+
+    def test_mapping_idempotent_on_primitives(self, c17):
+        mapped = map_to_primitives(c17)
+        assert mapped.n_gates == c17.n_gates
+
+    def test_mapping_grows_gate_count(self):
+        source = build_circuit("c499eq")
+        mapped = map_to_primitives(source)
+        assert mapped.n_gates > source.n_gates
+        # Device count is identical: same transistors, finer granularity.
+        assert mapped.device_count() == source.device_count()
+
+
+class TestPruneDangling:
+    def test_removes_dead_cone(self):
+        builder = CircuitBuilder("t")
+        a = builder.input("a")
+        live = builder.not_(a)
+        dead1 = builder.not_(a)
+        builder.not_(dead1)  # two-gate dead cone
+        builder.output(live)
+        circuit = builder.build()
+        pruned = prune_dangling(circuit)
+        assert pruned.n_gates == 1
+
+    def test_noop_on_clean_circuit(self, c17):
+        assert prune_dangling(c17) is c17
+
+    def test_preserves_function(self):
+        builder = CircuitBuilder("t")
+        a, b = builder.inputs(["a", "b"])
+        keep = builder.nand(a, b)
+        builder.nor(a, keep)  # dangling
+        builder.output(keep)
+        circuit = builder.build()
+        pruned = prune_dangling(circuit)
+        for bits in range(4):
+            ins = {"a": bool(bits & 1), "b": bool(bits >> 1)}
+            assert circuit.evaluate(ins)[keep] == pruned.evaluate(ins)[keep]
+
+
+class TestBufferHighFanout:
+    def test_limits_fanout(self):
+        builder = CircuitBuilder("t")
+        a = builder.input("a")
+        hub = builder.not_(a)
+        sinks = [builder.not_(hub) for _ in range(30)]
+        for s in sinks:
+            builder.output(s)
+        circuit = builder.build()
+        buffered = buffer_high_fanout(circuit, max_fanout=8)
+        for net in buffered.nets:
+            assert buffered.fanout_count(net) <= 8
+        assert buffered.n_gates > circuit.n_gates
+
+    def test_preserves_function(self):
+        source = random_logic(120, n_inputs=10, seed=9, locality=200)
+        buffered = buffer_high_fanout(source, max_fanout=4)
+        assert _equivalent(source, buffered)
+
+    def test_primary_output_stays_on_original_net(self):
+        builder = CircuitBuilder("t")
+        a = builder.input("a")
+        hub = builder.not_(a)
+        for _ in range(20):
+            builder.output(builder.not_(hub))
+        builder.output(hub)
+        circuit = builder.build()
+        buffered = buffer_high_fanout(circuit, max_fanout=4)
+        assert hub in buffered.outputs
+
+    def test_rejects_silly_max_fanout(self, c17):
+        with pytest.raises(ValueError):
+            buffer_high_fanout(c17, max_fanout=1)
+
+    def test_noop_below_threshold(self, c17):
+        buffered = buffer_high_fanout(c17, max_fanout=8)
+        assert buffered.n_gates == c17.n_gates
+
+
+class TestGeneratedCircuitsAreClean:
+    @pytest.mark.parametrize(
+        "name", ["c432eq", "c499eq", "c880eq", "adder32"]
+    )
+    def test_no_dangling(self, name):
+        from repro.circuit.validate import validate_circuit
+
+        circuit = build_circuit(name)
+        kinds = {lint.kind for lint in validate_circuit(circuit)}
+        assert "dangling-output" not in kinds
+
+    @pytest.mark.parametrize("name", ["c432eq", "c880eq"])
+    def test_fanout_bounded(self, name):
+        circuit = build_circuit(name)
+        stats = circuit_stats(circuit)
+        assert stats.max_fanout <= 16

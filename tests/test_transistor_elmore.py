@@ -1,0 +1,112 @@
+"""Hand-derived Elmore checks for complex-gate transistor DAGs.
+
+The NAND3 case (paper equation (3)) lives in test_dag.py; these cover
+the series-parallel combinations (AOI21, OAI21) where internal nodes are
+shared between branches, and cross-gate loading.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import CircuitBuilder
+from repro.dag import build_sizing_dag
+from repro.timing import analyze
+
+
+def _single_gate_dag(tech, cell, n_inputs):
+    builder = CircuitBuilder("one")
+    nets = builder.inputs([f"i{k}" for k in range(n_inputs)])
+    out = builder.gate(cell, nets)
+    builder.output(out)
+    return build_sizing_dag(builder.build(), tech, mode="transistor")
+
+
+class TestOai21Pulldown:
+    """OAI21 pulldown = series(parallel(a, b), c).
+
+    Node structure: out --[a | b]-- n1 --[c]-- gnd.  Charge at n1 (both
+    sources of a,b plus c's drain) discharges through c only.
+    """
+
+    def test_delays(self, tech):
+        dag = _single_gate_dag(tech, "OAI21", 3)
+        x = np.full(dag.n, 2.0)
+        delays = dag.delays(x)
+        by_label = {v.label: v.index for v in dag.vertices}
+        g = dag.vertices[0].gate
+
+        A = tech.r_nmos
+        out_cap = (
+            2 * tech.c_drain_n * 2.0       # drains of a, b at out
+            + 2 * tech.c_drain_p * 2.0     # pullup output devices: c_p
+            + tech.c_load + tech.c_wire    # external
+        )
+        # Pullup = dual = parallel(series(a,b)?, ...): dual of
+        # series(parallel(a,b), c) = parallel(series(a,b), c):
+        # output devices = a (top of series branch) + c -> 2 drains.
+        n1_cap = (
+            2 * tech.c_source_n * 2.0      # sources of a, b
+            + tech.c_drain_n * 2.0         # drain of c
+            + tech.c_internal
+        )
+        want_a = (A / 2.0) * out_cap
+        want_c = (A / 2.0) * (out_cap + n1_cap)
+        assert delays[by_label[f"{g}/N:in0"]] == pytest.approx(want_a)
+        assert delays[by_label[f"{g}/N:in1"]] == pytest.approx(want_a)
+        assert delays[by_label[f"{g}/N:in2"]] == pytest.approx(want_c)
+
+    def test_structure(self, tech):
+        dag = _single_gate_dag(tech, "OAI21", 3)
+        nmos = [v.index for v in dag.vertices if v.kind == "nmos"]
+        intra = [e for e in dag.edges if e[0] in nmos and e[1] in nmos]
+        # a->c and b->c: two chain edges in the pulldown.
+        assert len(intra) == 2
+
+
+class TestAoi21CrossLoading:
+    def test_driven_gate_loads_driver(self, tech):
+        """The driver's delay grows when the driven AOI21's devices on
+        the loaded pin grow (gate-cap coupling across gates)."""
+        builder = CircuitBuilder("two")
+        i0, i1, i2, i3 = builder.inputs(["i0", "i1", "i2", "i3"])
+        mid = builder.gate("INV", [i0])
+        out = builder.gate("AOI21", [mid, i2, i3])
+        builder.output(out)
+        dag = build_sizing_dag(builder.build(), tech, mode="transistor")
+        x = dag.min_sizes().astype(float)
+        base = dag.delays(x)
+        driven = [
+            v.index
+            for v in dag.vertices
+            if v.label.endswith(":in0") and "aoi21" in v.gate
+        ]
+        assert driven, "expected AOI21 devices on pin in0"
+        grown = x.copy()
+        grown[driven] = 4.0
+        slower = dag.delays(grown)
+        inv_devices = [
+            v.index for v in dag.vertices if "inv" in v.gate
+        ]
+        for device in inv_devices:
+            assert slower[device] > base[device]
+
+    def test_worst_path_touches_deepest_stack(self, tech):
+        dag = _single_gate_dag(tech, "AOI21", 3)
+        report = analyze(dag, dag.min_sizes())
+        path = report.critical_path()
+        # AOI21 pullup is series(parallel(a,b), c): the 2-stack PMOS
+        # dominates (PMOS resistance is ~2.2x NMOS).
+        kinds = {dag.vertices[v].kind for v in path}
+        assert kinds == {"pmos"}
+        assert len(path) == 2
+
+
+class TestGateVsTransistorConsistency:
+    def test_same_order_of_magnitude(self, c17, tech):
+        """Gate-mode and transistor-mode Dmin agree within 25% on c17
+        (same Elmore physics, different granularity of worst-casing)."""
+        gate_dag = build_sizing_dag(c17, tech, mode="gate")
+        tran_dag = build_sizing_dag(c17, tech, mode="transistor")
+        d_gate = analyze(gate_dag, gate_dag.min_sizes()).critical_path_delay
+        d_tran = analyze(tran_dag, tran_dag.min_sizes()).critical_path_delay
+        assert d_tran == pytest.approx(d_gate, rel=0.25)

@@ -1,0 +1,95 @@
+"""Tests for the simultaneous wire-sizing extension (paper §2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.dag import build_sizing_dag
+from repro.errors import NetlistError
+from repro.generators import build_circuit, ripple_carry_adder
+from repro.sizing import minflotransit, tilos_size
+from repro.timing import analyze
+
+
+@pytest.fixture(scope="module")
+def wired_dag(c17, tech):
+    return build_sizing_dag(c17, tech, mode="gate", size_wires=True)
+
+
+class TestWireDagStructure:
+    def test_wire_vertices_added(self, c17, wired_dag):
+        wires = [v for v in wired_dag.vertices if v.kind == "wire"]
+        driven_nets = [
+            g.output for g in c17.gates if c17.fanout_count(g.output) > 0
+        ]
+        assert len(wires) == len(driven_nets)
+        assert wired_dag.n == c17.n_gates + len(driven_nets)
+
+    def test_edges_route_through_wires(self, wired_dag):
+        kinds = {v.index: v.kind for v in wired_dag.vertices}
+        for u, v in wired_dag.edges:
+            # gate -> wire or wire -> gate, never gate -> gate.
+            assert {kinds[u], kinds[v]} == {"gate", "wire"}
+
+    def test_po_leaves_are_wires(self, wired_dag):
+        for leaf in wired_dag.po_vertices:
+            assert wired_dag.vertices[leaf].kind == "wire"
+
+    def test_wire_bounds(self, wired_dag, tech):
+        for v in wired_dag.vertices:
+            if v.kind == "wire":
+                assert wired_dag.lower[v.index] == tech.wire_min_size
+                assert wired_dag.upper[v.index] == tech.wire_max_size
+
+    def test_monotonic_decomposition_valid(self, wired_dag):
+        assert (wired_dag.model.a_matrix.data >= 0).all()
+        assert (wired_dag.model.b >= 0).all()
+
+    def test_wire_delay_decreasing_in_width(self, wired_dag):
+        x = wired_dag.min_sizes()
+        base = wired_dag.delays(x)
+        wire = next(
+            v.index for v in wired_dag.vertices if v.kind == "wire"
+        )
+        grown = x.copy()
+        grown[wire] *= 4
+        # The wire's own delay falls; its driver's delay rises.
+        assert wired_dag.delays(grown)[wire] < base[wire]
+        driver = next(
+            u for u, v in wired_dag.edges if v == wire
+        )
+        assert wired_dag.delays(grown)[driver] > base[driver]
+
+    def test_transistor_mode_rejects_wires(self, c17, tech):
+        with pytest.raises(NetlistError, match="wire sizing"):
+            build_sizing_dag(c17, tech, mode="transistor", size_wires=True)
+
+
+class TestWireSizingOptimization:
+    def test_minflo_runs_with_wires(self, wired_dag):
+        d_min = analyze(wired_dag, wired_dag.min_sizes()).critical_path_delay
+        result = minflotransit(wired_dag, 0.6 * d_min)
+        assert result.meets_target
+        assert result.area_saving_vs_initial >= 0.0
+
+    def test_wire_sizing_lowers_delay_floor(self, tech):
+        """With sizable wires the same circuit reaches lower delay: the
+        tool can widen the wires on the critical path."""
+        circuit = ripple_carry_adder(4, style="nand")
+        plain = build_sizing_dag(circuit, tech, mode="gate")
+        wired = build_sizing_dag(circuit, tech, mode="gate", size_wires=True)
+        d_plain = analyze(plain, plain.min_sizes()).critical_path_delay
+        d_wired = analyze(wired, wired.min_sizes()).critical_path_delay
+        # At min sizes the wired model approximates the plain one.
+        assert d_wired == pytest.approx(d_plain, rel=0.2)
+        target = 0.42 * d_plain
+        plain_result = tilos_size(plain, target)
+        wired_result = tilos_size(wired, 0.42 * d_wired)
+        # Wire widening gives TILOS strictly more room.
+        if plain_result.feasible:
+            assert wired_result.feasible
+
+    def test_wires_get_sized_on_critical_path(self, wired_dag):
+        d_min = analyze(wired_dag, wired_dag.min_sizes()).critical_path_delay
+        result = minflotransit(wired_dag, 0.55 * d_min)
+        wires = [v.index for v in wired_dag.vertices if v.kind == "wire"]
+        assert max(result.x[wires]) > 1.0 + 1e-9
