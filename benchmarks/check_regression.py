@@ -1,0 +1,96 @@
+"""Compare a fresh BENCH_flow.json against the committed baseline.
+
+CI runners differ wildly in raw speed, so absolute wall times are never
+compared.  The regression gate uses machine-independent signals only:
+
+* ``speedup_ssp_vs_legacy`` per circuit — both solvers ran on the same
+  machine in the same process, so the ratio survives runner changes.
+  Fails when the current ratio drops more than ``--threshold`` (default
+  20%) below the baseline.
+* solver work counters (``augmentations``, ``sp_rounds``) of the array
+  engine — deterministic for a given algorithm; a jump means the
+  algorithm got structurally worse even if the runner hides it.
+* ``parity_ok`` — all backends must still agree on the objective.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --baseline benchmarks/BENCH_flow.json --current BENCH_flow.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _by_name(report: dict) -> dict[str, dict]:
+    return {entry["name"]: entry for entry in report["circuits"]}
+
+
+def compare(baseline: dict, current: dict, threshold: float) -> list[str]:
+    """Return a list of human-readable failures (empty == pass)."""
+    failures: list[str] = []
+    if not current["summary"]["parity_ok"]:
+        failures.append("backend parity broken: objectives disagree")
+
+    base_circuits = _by_name(baseline)
+    cur_circuits = _by_name(current)
+    for name, base in base_circuits.items():
+        cur = cur_circuits.get(name)
+        if cur is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        base_speedup = base.get("speedup_ssp_vs_legacy")
+        cur_speedup = cur.get("speedup_ssp_vs_legacy")
+        if base_speedup and cur_speedup:
+            floor = base_speedup * (1.0 - threshold)
+            if cur_speedup < floor:
+                failures.append(
+                    f"{name}: ssp speedup regressed "
+                    f"{base_speedup:.2f}x -> {cur_speedup:.2f}x "
+                    f"(floor {floor:.2f}x)"
+                )
+        base_ssp = base["backends"].get("ssp")
+        cur_ssp = cur["backends"].get("ssp")
+        if base_ssp and cur_ssp:
+            for counter in ("augmentations", "sp_rounds"):
+                ceiling = base_ssp[counter] * (1.0 + threshold) + 8
+                if cur_ssp[counter] > ceiling:
+                    failures.append(
+                        f"{name}: ssp {counter} grew "
+                        f"{base_ssp[counter]} -> {cur_ssp[counter]} "
+                        f"(ceiling {ceiling:.0f})"
+                    )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed relative regression (default 0.20)")
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(Path(args.baseline).read_text())
+    current = json.loads(Path(args.current).read_text())
+    if baseline.get("schema") != current.get("schema"):
+        print(f"[regress] schema mismatch: {baseline.get('schema')} vs "
+              f"{current.get('schema')}", file=sys.stderr)
+        return 1
+
+    failures = compare(baseline, current, args.threshold)
+    if failures:
+        for failure in failures:
+            print(f"[regress] FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("[regress] OK: no benchmark regression "
+          f"(threshold {args.threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

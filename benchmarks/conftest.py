@@ -8,7 +8,6 @@ minutes range by restricting to circuits below ~500 gates.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.dag import build_sizing_dag

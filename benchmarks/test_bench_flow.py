@@ -1,21 +1,22 @@
 """Ablation benchmark: D-phase solver backends (E-ABL in DESIGN.md).
 
 The paper solves the D-phase with a network simplex [9]; this library
-offers three interchangeable solvers.  This benchmark times one D-phase
-solve per backend on the same instance and asserts they agree on the
-objective — the evidence behind DESIGN.md's solver-substitution note.
+registers four interchangeable solvers (repro.flow.registry).  This
+benchmark times one D-phase solve per backend on the same instance and
+asserts they agree on the objective — the evidence behind DESIGN.md's
+solver-substitution note.  The standalone harness that CI runs (and
+that emits BENCH_flow.json) is run_flow_bench.py in this directory.
 """
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import get_context
 from repro.balancing import balance
 from repro.sizing import d_phase
 
-_BACKENDS = ("ssp", "networkx", "scipy")
+_BACKENDS = ("ssp", "ssp-legacy", "networkx", "scipy")
 _GAINS: dict[str, float] = {}
 
 

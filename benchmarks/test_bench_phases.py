@@ -9,7 +9,6 @@ saved benchmark JSON.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import get_context

@@ -12,7 +12,6 @@ Run:  python examples/wire_sizing.py [circuit] [spec]
 
 import sys
 
-import numpy as np
 
 from repro import build_sizing_dag, default_technology, minflotransit
 from repro.generators import build_circuit

@@ -76,6 +76,8 @@ def _cmd_size(args: argparse.Namespace) -> int:
     print(result.summary())
     print(f"area saved over TILOS: "
           f"{100 * (1 - result.area / seed.area):.2f}%")
+    if args.flow_stats:
+        _print_flow_stats()
     if args.out:
         with open(args.out, "w") as handle:
             for vertex in dag.vertices:
@@ -84,6 +86,32 @@ def _cmd_size(args: argparse.Namespace) -> int:
                 )
         print(f"sizes written to {args.out}")
     return 0
+
+
+def _print_flow_stats() -> None:
+    """Per-backend flow-solver totals accumulated during this run."""
+    from repro.flow.registry import solver_statistics
+
+    totals = solver_statistics()
+    if not totals:
+        print("no flow solves recorded")
+        return
+    rows = [
+        [
+            name,
+            str(stats.solves),
+            str(stats.augmentations),
+            str(stats.sp_rounds),
+            str(stats.dijkstra_pops),
+            f"{stats.wall_time_s:.3f}",
+        ]
+        for name, stats in sorted(totals.items())
+    ]
+    print(format_table(
+        ["backend", "solves", "augment", "sp rounds", "pops", "wall s"],
+        rows,
+        title="flow solver statistics",
+    ))
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -131,8 +159,13 @@ def main(argv: list[str] | None = None) -> int:
                         default="gate")
     p_size.add_argument("--wires", action="store_true",
                         help="size wires simultaneously (section 2.1)")
-    p_size.add_argument("--backend", default="auto",
-                        help="D-phase solver (auto/ssp/networkx/scipy)")
+    p_size.add_argument("--flow-backend", "--backend", dest="backend",
+                        default="auto",
+                        help="D-phase flow solver: 'auto' (registry "
+                             "picks per instance) or a registered name "
+                             "(ssp/ssp-legacy/networkx/scipy)")
+    p_size.add_argument("--flow-stats", action="store_true",
+                        help="print per-backend solver statistics")
     p_size.add_argument("--out", help="write per-vertex sizes to a file")
     p_size.set_defaults(func=_cmd_size)
 
@@ -145,7 +178,8 @@ def main(argv: list[str] | None = None) -> int:
 
     p_t1 = sub.add_parser("table1", help="regenerate Table 1")
     p_t1.add_argument("--tier", default=None, choices=["smoke", "paper"])
-    p_t1.add_argument("--backend", default="auto")
+    p_t1.add_argument("--flow-backend", "--backend", dest="backend",
+                      default="auto")
     p_f7 = sub.add_parser("figure7", help="regenerate Figure 7")
     p_f7.add_argument("--circuits", default=None)
     p_f7.add_argument("--ratios", default=None)

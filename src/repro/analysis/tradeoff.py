@@ -13,7 +13,6 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from repro.dag.circuit_dag import SizingDag
 from repro.sizing.minflo import MinfloOptions, minflotransit

@@ -23,7 +23,7 @@ from __future__ import annotations
 import io
 import re
 from pathlib import Path
-from typing import Iterable, TextIO
+from typing import TextIO
 
 from repro.circuit.builder import CircuitBuilder
 from repro.circuit.netlist import Circuit

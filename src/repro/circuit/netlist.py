@@ -10,7 +10,7 @@ driver per net — because that is the problem class of the paper.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping
 
 from repro.errors import NetlistError

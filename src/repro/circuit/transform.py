@@ -28,7 +28,6 @@ def prune_dangling(circuit: Circuit, suffix: str = "") -> Circuit:
     interface.
     """
     circuit.freeze()
-    keep = {net: True for net in circuit.outputs}
     live: set[str] = set()
     # Walk backwards from the outputs marking live gates.
     worklist = [

@@ -19,7 +19,7 @@ Builders live in :mod:`repro.dag.gate_mode` and
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -58,8 +58,6 @@ def build_gate_dag(
         DagVertex(index=i, label=gate.name, gate=gate.name, kind="gate", block=i)
         for i, gate in enumerate(gates)
     ]
-    n_gates = len(gates)
-
     # Wire vertices (one per gate-driven net with any load).
     wire_index: dict[str, int] = {}
     if size_wires:

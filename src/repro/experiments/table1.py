@@ -158,7 +158,8 @@ def format_table1(rows: list[Table1Row]) -> str:
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--tier", default=None, choices=["smoke", "paper"])
-    parser.add_argument("--backend", default="auto")
+    parser.add_argument("--flow-backend", "--backend", dest="backend",
+                        default="auto")
     args = parser.parse_args()
     rows = run_table1(tier=args.tier, flow_backend=args.backend)
     print(format_table1(rows))

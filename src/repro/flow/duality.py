@@ -14,13 +14,23 @@ Pinned nodes have no conservation constraint — they merge into one
 potentials of the flow are (up to sign and the ground offset) an
 optimal primal ``r``:  ``r(v) = π(ground) - π(v)``.
 
-:func:`solve_difference_lp` dispatches between three backends that are
-cross-checked in the test suite:
+:func:`solve_difference_lp` dispatches through the backend registry
+(:mod:`repro.flow.registry`); the registered backends are cross-checked
+in the test suite:
 
-* ``"ssp"``       — this library's successive-shortest-path solver,
-* ``"networkx"``  — ``networkx.network_simplex`` (closest in spirit to
+* ``"ssp"``        — the array-based primal-dual engine
+  (:mod:`repro.flow.arrayssp`), the native default,
+* ``"ssp-legacy"`` — the original heapq successive-shortest-path
+  solver, kept as a parity oracle and benchmark baseline,
+* ``"networkx"``   — ``networkx.network_simplex`` (closest in spirit to
   the paper's network simplex reference [9]),
-* ``"scipy"``     — HiGHS on the primal LP (fast path for big graphs).
+* ``"scipy"``      — HiGHS on the primal LP.
+
+This module is also the single home of the **integerization policy**:
+:func:`integerize_values` (nearest / conservative-floor rounding) and
+:func:`integerize_supplies` (balance-preserving supply rounding) are
+used both by the D-phase scaling step and by backends that need exact
+integer data, so the rounding rules cannot drift apart.
 """
 
 from __future__ import annotations
@@ -31,17 +41,56 @@ import numpy as np
 
 from repro.errors import FlowError, InfeasibleFlowError
 from repro.flow.network import FlowProblem
-from repro.flow.ssp import solve_ssp
+from repro.flow.registry import BACKEND_NAMES, get_backend, select_backend
+from repro.flow.registry import timed_solve as _timed_solve
 
 __all__ = [
+    "BACKENDS",
     "DifferenceConstraintLP",
     "GroundedFlow",
     "LpSolution",
     "ground_flow",
+    "integerize_supplies",
+    "integerize_values",
     "solve_difference_lp",
 ]
 
-BACKENDS = ("ssp", "networkx", "scipy")
+#: Backward-compatible alias of :data:`repro.flow.registry.BACKEND_NAMES`.
+BACKENDS = BACKEND_NAMES
+
+
+def integerize_values(
+    values: np.ndarray | float, mode: str = "nearest"
+) -> np.ndarray:
+    """Round already-scaled data to exact integers (as float64).
+
+    ``mode="nearest"`` is the default defensive rounding for data that
+    is integral up to float noise (costs, weights); ``mode="floor"`` is
+    the conservative choice for slack-like quantities where rounding
+    *down* keeps the integerized feasible set inside the true one
+    (paper section 2.3.1).  Every rounding decision in the flow layer
+    and the D-phase goes through here.
+    """
+    array = np.asarray(values, dtype=float)
+    if mode == "nearest":
+        return np.rint(array)
+    if mode == "floor":
+        return np.floor(array)
+    raise FlowError(f"unknown rounding mode {mode!r}")
+
+
+def integerize_supplies(
+    supplies: np.ndarray, ground: int
+) -> np.ndarray:
+    """Round supplies to int64 and dump the drift on the ground node.
+
+    Backends that require exactly balanced integer supplies (network
+    simplex) call this; the repair keeps ``sum(supply) == 0`` without
+    touching any non-ground node by more than the rounding itself.
+    """
+    rounded = integerize_values(supplies, mode="nearest").astype(np.int64)
+    rounded[ground] -= rounded.sum()
+    return rounded
 
 
 @dataclass
@@ -100,6 +149,9 @@ class LpSolution:
     r: np.ndarray
     objective: float
     backend: str
+    #: Solver counters (see :class:`repro.flow.registry.SolveStats`);
+    #: filled in by the registry on every dispatched solve.
+    stats: object | None = None
 
 
 def ground_flow(lp: DifferenceConstraintLP) -> GroundedFlow:
@@ -151,33 +203,18 @@ def recover_r(
 def solve_difference_lp(
     lp: DifferenceConstraintLP, backend: str = "auto"
 ) -> LpSolution:
-    """Solve the LP; verifies feasibility of the returned ``r``."""
+    """Solve the LP via the backend registry; verifies feasibility.
+
+    ``backend`` is a registered name or ``"auto"``, which lets
+    :func:`repro.flow.registry.select_backend` pick per instance from
+    capability metadata.  Wall time and solver counters are recorded on
+    the returned solution (``stats``) and in the registry's running
+    totals on every solve.
+    """
     if backend == "auto":
-        backend = "scipy" if _scipy_available() else "networkx"
-    if backend not in BACKENDS:
-        raise FlowError(f"unknown backend {backend!r}; pick from {BACKENDS}")
-    if backend == "scipy":
-        from repro.flow.scipy_backend import solve_lp_scipy
-
-        solution = solve_lp_scipy(lp)
-    elif backend == "networkx":
-        from repro.flow.networkx_backend import solve_lp_networkx
-
-        solution = solve_lp_networkx(lp)
+        chosen = select_backend(len(lp.constraints), hint="auto")
     else:
-        grounded = ground_flow(lp)
-        flow = solve_ssp(grounded.problem, allow_negative=True)
-        r = recover_r(grounded, flow.potentials, lp.n_nodes)
-        solution = LpSolution(
-            r=r, objective=lp.objective(r), backend="ssp"
-        )
+        chosen = get_backend(backend)
+    solution = _timed_solve(chosen, lp)
     lp.check_feasible(solution.r)
     return solution
-
-
-def _scipy_available() -> bool:
-    try:
-        from scipy.optimize import linprog  # noqa: F401
-    except ImportError:  # pragma: no cover - scipy is a hard dependency
-        return False
-    return True

@@ -92,6 +92,9 @@ class FlowSolution:
     potentials: np.ndarray
     total_cost: float
     backend: str
+    #: Solver counters (populated by the native engines; see
+    #: :class:`repro.flow.registry.SolveStats`).
+    stats: object | None = None
 
     def residual_arcs(self):
         """Yield (src, dst, reduced capacity, cost) of the residual graph."""

@@ -24,9 +24,10 @@ import numpy as np
 from repro.errors import FlowError, InfeasibleFlowError, UnboundedFlowError
 from repro.flow.duality import (
     DifferenceConstraintLP,
-    GroundedFlow,
     LpSolution,
     ground_flow,
+    integerize_supplies,
+    integerize_values,
     recover_r,
 )
 
@@ -38,15 +39,13 @@ def solve_lp_networkx(lp: DifferenceConstraintLP) -> LpSolution:
     problem = grounded.problem
     assert problem.supply is not None
 
-    supplies = np.rint(problem.supply).astype(np.int64)
-    # Repair rounding drift so demands still balance (dump on ground).
-    supplies[grounded.ground] -= supplies.sum()
+    supplies = integerize_supplies(problem.supply, grounded.ground)
 
     graph = nx.DiGraph()
     for node in range(problem.n_nodes):
         graph.add_node(node, demand=-int(supplies[node]))
     for arc in problem.arcs:
-        weight = int(round(arc.cost))
+        weight = int(integerize_values(arc.cost))
         if (arc.src, arc.dst) in graph.edges:
             weight = min(weight, graph.edges[arc.src, arc.dst]["weight"])
         graph.add_edge(arc.src, arc.dst, weight=weight)

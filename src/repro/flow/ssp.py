@@ -1,17 +1,20 @@
-"""Successive-shortest-path min-cost flow solver with node potentials.
+"""Reference successive-shortest-path solver (the ``ssp-legacy`` backend).
 
-This is the library's native solver for the D-phase dual.  It keeps the
-classic invariant that reduced costs ``c + π(u) - π(v)`` are
-non-negative on all residual arcs, so each augmentation is a Dijkstra
-run; on termination the potentials π are an optimal dual solution —
-exactly the quantity the D-phase needs to recover the displacement
-``r`` (``r(v) = π(ground) - π(v)``).
+This was the library's original native D-phase solver: Python
+lists-of-lists for the residual graph and a per-arc ``heapq`` Dijkstra
+per augmentation.  It keeps the classic invariant that reduced costs
+``c + π(u) - π(v)`` are non-negative on all residual arcs, so on
+termination the potentials π are an optimal dual solution — exactly the
+quantity the D-phase needs to recover the displacement ``r``
+(``r(v) = π(ground) - π(v)``).
 
-Worst case ``O(F * E log V)`` with ``F`` the number of augmentations
-(≤ number of supply nodes for uncapacitated instances), comparable in
-practice to the paper's network simplex on these shallow DAG-shaped
-instances.  Costs must be non-negative unless an initial Bellman-Ford
-pass is requested via ``allow_negative=True``.
+It has been superseded as the default native engine by the array-based
+primal-dual solver in :mod:`repro.flow.arrayssp` (registered as
+``"ssp"``), but stays in-tree as ``solve_ssp_reference``: it is the
+cross-check oracle in the parity suite and the baseline that
+``benchmarks/run_flow_bench.py`` measures speedups against.
+:func:`solve_ssp` now points at the array engine so existing callers
+transparently get the fast path.
 """
 
 from __future__ import annotations
@@ -21,9 +24,10 @@ import heapq
 import numpy as np
 
 from repro.errors import FlowError, InfeasibleFlowError, UnboundedFlowError
+from repro.flow.arrayssp import solve_ssp_array as solve_ssp
 from repro.flow.network import FlowProblem, FlowSolution
 
-__all__ = ["solve_ssp"]
+__all__ = ["solve_ssp", "solve_ssp_reference", "solve_lp_ssp_reference"]
 
 _INF = float("inf")
 
@@ -51,7 +55,7 @@ class _Residual:
         return arc_id
 
 
-def solve_ssp(
+def solve_ssp_reference(
     problem: FlowProblem, allow_negative: bool = False
 ) -> FlowSolution:
     """Solve a min-cost flow instance by successive shortest paths."""
@@ -146,7 +150,19 @@ def solve_ssp(
         flow=flow,
         potentials=potential[:n].copy(),
         total_cost=total_cost,
-        backend="ssp",
+        backend="ssp-legacy",
+    )
+
+
+def solve_lp_ssp_reference(lp) -> "object":
+    """LP entry point for the ``ssp-legacy`` registry backend."""
+    from repro.flow.duality import LpSolution, ground_flow, recover_r
+
+    grounded = ground_flow(lp)
+    flow = solve_ssp_reference(grounded.problem, allow_negative=True)
+    r = recover_r(grounded, flow.potentials, lp.n_nodes)
+    return LpSolution(
+        r=r, objective=lp.objective(r), backend="ssp-legacy"
     )
 
 

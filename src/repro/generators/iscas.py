@@ -18,7 +18,6 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.circuit.bench_io import loads_bench
-from repro.circuit.mapping import map_to_primitives
 from repro.circuit.netlist import Circuit
 from repro.errors import NetlistError
 from repro.generators.adders import ripple_carry_adder

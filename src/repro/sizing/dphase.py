@@ -28,7 +28,11 @@ from repro.balancing.fsdu import FsduConfiguration
 from repro.dag.circuit_dag import SizingDag
 from repro.dag.transform import transform_dag
 from repro.errors import SizingError
-from repro.flow.duality import DifferenceConstraintLP, solve_difference_lp
+from repro.flow.duality import (
+    DifferenceConstraintLP,
+    integerize_values,
+    solve_difference_lp,
+)
 
 __all__ = ["DPhaseResult", "area_sensitivities", "build_dphase_lp", "d_phase"]
 
@@ -44,6 +48,9 @@ class DPhaseResult:
     #: Predicted first-order area decrease, sum_i C_i * ΔD_i (>= 0).
     predicted_gain: float
     backend: str
+    #: Flow-solver counters for this solve (see
+    #: :class:`repro.flow.registry.SolveStats`).
+    stats: object | None = None
 
 
 def area_sensitivities(dag: SizingDag, x: np.ndarray) -> np.ndarray:
@@ -117,7 +124,7 @@ def build_dphase_lp(
     transformed = transform_dag(dag)
     n = dag.n
     weights = np.zeros(transformed.n_nodes)
-    scaled_c = np.rint(sensitivities * weight_scale)
+    scaled_c = integerize_values(sensitivities * weight_scale)
     weights[:n] = -scaled_c
     weights[n : 2 * n] = scaled_c
 
@@ -133,17 +140,21 @@ def build_dphase_lp(
             i = arc.src
             fsdu = config.delay_fsdu[i]
             # r(i) - r(Dmy(i)) <= fsdu - MIN_ΔD(i)
-            lp.add(i, arc.dst, np.floor((fsdu - min_dd[i]) * cost_scale))
+            lp.add(i, arc.dst, integerize_values(
+                (fsdu - min_dd[i]) * cost_scale, mode="floor"))
             # r(Dmy(i)) - r(i) <= MAX_ΔD(i) - fsdu
-            lp.add(arc.dst, i, np.floor((max_dd[i] - fsdu) * cost_scale))
+            lp.add(arc.dst, i, integerize_values(
+                (max_dd[i] - fsdu) * cost_scale, mode="floor"))
         elif arc.kind == "wire":
             assert arc.origin is not None
             fsdu = config.wire_fsdu[edge_lookup[arc.origin]]
-            lp.add(arc.src, arc.dst, np.floor(fsdu * cost_scale))
+            lp.add(arc.src, arc.dst, integerize_values(
+                fsdu * cost_scale, mode="floor"))
         else:  # po
             leaf = arc.src - n
             fsdu = config.po_fsdu[po_lookup[leaf]]
-            lp.add(arc.src, arc.dst, np.floor(fsdu * cost_scale))
+            lp.add(arc.src, arc.dst, integerize_values(
+                fsdu * cost_scale, mode="floor"))
     return lp
 
 
@@ -188,4 +199,5 @@ def d_phase(
         sensitivities=sensitivities,
         predicted_gain=predicted,
         backend=solution.backend,
+        stats=solution.stats,
     )

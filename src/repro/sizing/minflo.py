@@ -50,7 +50,9 @@ class MinfloOptions:
     max_iterations: int = 60
     #: Delay-balancing configuration fed to the D-phase.
     balancing: str = "asap"
-    #: Min-cost-flow / LP backend ("auto", "ssp", "networkx", "scipy").
+    #: Min-cost-flow / LP backend: "auto" or a name registered in
+    #: :mod:`repro.flow.registry` ("ssp", "ssp-legacy", "networkx",
+    #: "scipy").
     flow_backend: str = "auto"
     tilos: TilosOptions = TilosOptions()
 
@@ -61,6 +63,10 @@ class MinfloOptions:
             )
         if self.max_iterations < 1:
             raise SizingError("max_iterations must be positive")
+        if self.flow_backend != "auto":
+            from repro.flow.registry import get_backend
+
+            get_backend(self.flow_backend)  # fail fast on typos
 
 
 def minflotransit(

@@ -66,7 +66,6 @@ def solve_smp(
     intra-block coupling.
     """
     budgets = np.asarray(budgets, dtype=float)
-    n = model.n
     headroom = budgets - model.intrinsic
     no_load = (model.b == 0) & (np.diff(model.a_matrix.indptr) == 0)
     bad = np.flatnonzero((headroom <= 0) & ~no_load)

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis import area_delay_curve, ascii_plot, format_table
-from repro.timing import analyze
 
 
 class TestTradeoffCurve:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.circuit import CircuitBuilder, map_to_primitives
+from repro.circuit import CircuitBuilder
 from repro.dag import build_sizing_dag, transform_dag
 from repro.errors import NetlistError
 from repro.generators import ripple_carry_adder

@@ -7,14 +7,22 @@ from repro.errors import FlowError, InfeasibleFlowError
 from repro.flow import (
     DifferenceConstraintLP,
     FlowProblem,
+    SolveStats,
     check_flow_feasible,
     check_flow_optimal,
+    get_backend,
     ground_flow,
+    integerize_supplies,
+    integerize_values,
+    registered_backends,
+    select_backend,
     solve_difference_lp,
     solve_ssp,
+    solve_ssp_reference,
+    solver_statistics,
 )
 
-BACKENDS = ("ssp", "networkx", "scipy")
+BACKENDS = ("ssp", "ssp-legacy", "networkx", "scipy")
 
 
 class TestSspSolver:
@@ -86,6 +94,40 @@ class TestSspSolver:
             problem = _random_instance(rng, n=12, arcs=36)
             solution = solve_ssp(problem)
             check_flow_optimal(solution)
+
+    def test_array_engine_matches_reference(self):
+        rng = np.random.default_rng(17)
+        for trial in range(6):
+            problem = _random_instance(rng, n=14, arcs=44)
+            fast = solve_ssp(problem)
+            slow = solve_ssp_reference(problem)
+            assert fast.total_cost == pytest.approx(slow.total_cost)
+            check_flow_optimal(fast)
+            check_flow_optimal(slow)
+
+    def test_many_parallel_arcs_need_many_rounds(self):
+        # Regression: each round saturates one tight parallel arc, so
+        # the round count scales with arcs, not nodes; the runaway
+        # guard must not trip on legitimate arc-dense instances.
+        problem = FlowProblem(n_nodes=2)
+        for cost in range(100):
+            problem.add_arc(0, 1, cost=float(cost), capacity=1.0)
+        problem.add_supply(0, 100.0)
+        problem.add_supply(1, -100.0)
+        solution = solve_ssp(problem)
+        assert solution.total_cost == pytest.approx(sum(range(100)))
+        check_flow_optimal(solution)
+
+    def test_array_engine_reports_stats(self):
+        problem = FlowProblem(n_nodes=3)
+        problem.add_arc(0, 1, cost=2.0)
+        problem.add_arc(1, 2, cost=3.0)
+        problem.add_supply(0, 4.0)
+        problem.add_supply(2, -4.0)
+        solution = solve_ssp(problem)
+        assert solution.stats is not None
+        assert solution.stats.augmentations >= 1
+        assert solution.stats.sp_rounds >= 1
 
     def test_feasibility_checker_catches_bad_flow(self):
         problem = FlowProblem(n_nodes=2)
@@ -192,3 +234,92 @@ def _random_lp(rng, n=12) -> DifferenceConstraintLP:
         if u != v:
             lp.add(int(u), int(v), float(rng.integers(0, 12)))
     return lp
+
+
+class TestBackendRegistry:
+    def test_canonical_backends_registered(self):
+        names = {backend.name for backend in registered_backends()}
+        assert {"ssp", "ssp-legacy", "networkx", "scipy"} <= names
+
+    def test_get_backend_unknown_name(self):
+        with pytest.raises(FlowError, match="registered"):
+            get_backend("cplex")
+
+    def test_auto_selection_prefers_native_on_small_instances(self):
+        assert select_backend(n_constraints=10).name == "ssp"
+
+    def test_auto_selection_respects_size_caps(self):
+        big = select_backend(n_constraints=1_000_000)
+        cap = big.capabilities.max_constraints
+        assert cap is None or cap >= 1_000_000
+
+    def test_auto_selection_falls_back_when_deps_missing(self):
+        # Regression: with every in-cap backend unavailable (no scipy
+        # on a big instance), auto must fall back to an available
+        # backend instead of refusing to solve.
+        from dataclasses import replace as dc_replace
+
+        from repro.flow import register_backend
+
+        originals = {
+            name: get_backend(name) for name in ("scipy", "networkx")
+        }
+        try:
+            for name, backend in originals.items():
+                register_backend(
+                    dc_replace(backend, available=lambda: False)
+                )
+            chosen = select_backend(n_constraints=30_000)
+            assert chosen.name == "ssp"
+        finally:
+            for backend in originals.values():
+                register_backend(backend)
+
+    def test_capability_metadata(self):
+        ssp = get_backend("ssp")
+        assert ssp.capabilities.native
+        assert ssp.capabilities.returns_duals
+        assert ssp.capabilities.exact_integer
+        scipy_backend = get_backend("scipy")
+        assert not scipy_backend.capabilities.native
+
+    def test_stats_recorded_on_every_solve(self):
+        lp = DifferenceConstraintLP(
+            n_nodes=3,
+            weights=np.array([0.0, 1.0, -1.0]),
+            pinned=frozenset({0}),
+        )
+        lp.add(1, 0, 2.0)
+        lp.add(0, 2, 1.0)
+        lp.add(1, 2, 3.0)
+        lp.add(2, 0, 0.0)
+        before = solver_statistics().get("ssp")
+        solves_before = before.solves if before else 0
+        solution = solve_difference_lp(lp, backend="ssp")
+        assert isinstance(solution.stats, SolveStats)
+        assert solution.stats.backend == "ssp"
+        assert solution.stats.n_arcs == 4
+        assert solution.stats.wall_time_s >= 0.0
+        after = solver_statistics()["ssp"]
+        assert after.solves == solves_before + 1
+
+
+class TestIntegerizePolicy:
+    def test_nearest_and_floor_modes(self):
+        values = np.array([1.4, 1.5, -1.2, 2.0])
+        assert integerize_values(values).tolist() == [1.0, 2.0, -1.0, 2.0]
+        assert integerize_values(values, mode="floor").tolist() == [
+            1.0, 1.0, -2.0, 2.0,
+        ]
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(FlowError, match="rounding"):
+            integerize_values(np.array([1.0]), mode="ceil")
+
+    def test_supply_rounding_preserves_balance(self):
+        supplies = np.array([2.4, -1.2, 0.4, -1.6])  # sums to 0
+        rounded = integerize_supplies(supplies, ground=3)
+        assert rounded.sum() == 0
+        assert rounded.dtype == np.int64
+        # Non-ground nodes moved by at most the rounding itself.
+        assert np.all(np.abs(rounded[:3] - supplies[:3]) <= 0.5)

@@ -192,7 +192,6 @@ class TestComparator:
 class TestController:
     def test_priority_grant(self):
         circuit = interrupt_controller(n_groups=2, group_width=4, mapped=False)
-        n = 8
         # Request channels 2 and 5, no masks: channel 2 wins (code 010).
         ins = {net: False for net in circuit.inputs}
         ins["req0[2]"] = True

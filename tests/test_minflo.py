@@ -76,7 +76,7 @@ class TestMinflotransit:
         with pytest.raises(SizingError):
             MinfloOptions(max_iterations=0)
 
-    @pytest.mark.parametrize("backend", ["ssp", "networkx", "scipy"])
+    @pytest.mark.parametrize("backend", ["ssp", "ssp-legacy", "networkx", "scipy"])
     def test_backends_give_comparable_area(self, c17_gate_dag, backend):
         dag = c17_gate_dag
         dmin = analyze(dag, dag.min_sizes()).critical_path_delay

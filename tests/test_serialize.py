@@ -1,6 +1,5 @@
 """Tests for sizing-result JSON persistence."""
 
-import numpy as np
 import pytest
 
 from repro.errors import SizingError

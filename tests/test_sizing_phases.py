@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.balancing import balance
-from repro.dag import build_sizing_dag
 from repro.errors import SizingError
 from repro.sizing import (
     TilosOptions,

@@ -1,7 +1,5 @@
 """Tests for technology parameters, SP networks and the cell library."""
 
-import math
-
 import pytest
 
 from repro.errors import TechnologyError

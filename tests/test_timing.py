@@ -61,9 +61,6 @@ class TestArrivalRequired:
 
     def test_edge_slack_definition(self, diamond):
         timer = GraphTimer(diamond)
-        delay = np.array([1.0, 2.0, 5.0, 3.0])[
-            np.argsort([v.index for v in diamond.vertices])
-        ]
         report = timer.analyze(diamond.delays(diamond.min_sizes()))
         src, dst = diamond.edge_src, diamond.edge_dst
         manual = report.rt[dst] - report.at[src] - report.delay[src]

@@ -1,11 +1,10 @@
 """Tests for the simultaneous wire-sizing extension (paper §2.1)."""
 
-import numpy as np
 import pytest
 
 from repro.dag import build_sizing_dag
 from repro.errors import NetlistError
-from repro.generators import build_circuit, ripple_carry_adder
+from repro.generators import ripple_carry_adder
 from repro.sizing import minflotransit, tilos_size
 from repro.timing import analyze
 
