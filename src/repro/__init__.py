@@ -52,7 +52,12 @@ from repro.tech import (
     default_library,
     default_technology,
 )
-from repro.timing import GraphTimer, TimingReport, analyze
+from repro.timing import (
+    GraphTimer,
+    IncrementalTimer,
+    TimingReport,
+    analyze,
+)
 
 __version__ = "1.0.0"
 
@@ -62,6 +67,7 @@ __all__ = [
     "CellLibrary",
     "ConvergenceError",
     "GraphTimer",
+    "IncrementalTimer",
     "InfeasibleTimingError",
     "MinfloOptions",
     "NetlistError",

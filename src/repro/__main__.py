@@ -77,6 +77,7 @@ def _cmd_size(args: argparse.Namespace) -> int:
     print(f"area saved over TILOS: "
           f"{100 * (1 - result.area / seed.area):.2f}%")
     if args.flow_stats:
+        _print_iteration_stats(seed, result)
         _print_flow_stats()
     if args.out:
         with open(args.out, "w") as handle:
@@ -100,18 +101,45 @@ def _print_flow_stats() -> None:
         [
             name,
             str(stats.solves),
+            str(stats.warm_solves),
             str(stats.augmentations),
             str(stats.sp_rounds),
             str(stats.dijkstra_pops),
+            f"{stats.supply_routed:.3g}",
             f"{stats.wall_time_s:.3f}",
         ]
         for name, stats in sorted(totals.items())
     ]
     print(format_table(
-        ["backend", "solves", "augment", "sp rounds", "pops", "wall s"],
+        ["backend", "solves", "warm", "augment", "sp rounds", "pops",
+         "routed", "wall s"],
         rows,
         title="flow solver statistics",
     ))
+
+
+def _print_iteration_stats(seed, result) -> None:
+    """Incremental-timing and warm-start telemetry of one sizing run."""
+    tstats = seed.timing_stats
+    if tstats:
+        print(
+            f"TILOS timing ({tstats['engine']}): re-propagated "
+            f"{tstats['repropagated_vertices']} vertices over "
+            f"{tstats['updates']} bumps = "
+            f"{100 * tstats['cone_fraction']:.1f}% of a full pass each"
+        )
+    if result.iterations:
+        warm = sum(1 for rec in result.iterations if rec.warm_start)
+        mean_cone = sum(
+            rec.cone_fraction for rec in result.iterations
+        ) / len(result.iterations)
+        augment = sum(rec.augmentations for rec in result.iterations)
+        print(
+            f"W/D iterations: {len(result.iterations)} "
+            f"({warm} warm-started), mean timing cone "
+            f"{100 * mean_cone:.1f}% of a full pass, "
+            f"{augment} augmenting paths total"
+        )
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:

@@ -77,19 +77,27 @@ def balance(
     horizon: float | None = None,
     method: str = "asap",
     timer: GraphTimer | None = None,
+    report=None,
 ) -> FsduConfiguration:
     """Produce a delay-balanced configuration.
 
     Raises :class:`BalancingError` if the circuit misses the horizon
     (some path longer than ``H`` — balancing needs a safe circuit).
+
+    ``report`` skips the internal timing analysis: callers that already
+    maintain valid timing for ``delay`` (e.g. the incremental engine's
+    :meth:`~repro.timing.IncrementalTimer.report`) pass it so balancing
+    costs no full STA pass.  The report's ``at``/``rt`` must correspond
+    to ``delay``; its ``rt`` is used only when its horizon matches.
     """
     if method not in _METHODS:
         raise BalancingError(
             f"unknown balancing method {method!r}; pick from {_METHODS}"
         )
     delay = np.asarray(delay, dtype=float)
-    timer = timer or GraphTimer(dag)
-    report = timer.analyze(delay)
+    if report is None:
+        timer = timer or GraphTimer(dag)
+        report = timer.analyze(delay)
     if horizon is None:
         horizon = report.critical_path_delay
     if report.critical_path_delay > horizon * (1 + 1e-9):
@@ -101,7 +109,10 @@ def balance(
     if method == "asap":
         theta = report.at
     elif method == "alap":
-        rt = timer.required_times(delay, horizon)
+        if report.horizon == horizon:
+            rt = report.rt
+        else:
+            rt = (timer or GraphTimer(dag)).required_times(delay, horizon)
         # Dangling vertices have infinite required time; schedule them
         # as early as possible instead.
         theta = np.where(np.isfinite(rt), rt, report.at)

@@ -1,6 +1,11 @@
 """Min-cost network flow substrate for the D-phase."""
 
-from repro.flow.arrayssp import ArraySspEngine, solve_ssp_array
+from repro.flow.arrayssp import (
+    ArraySspEngine,
+    WarmStartBasis,
+    basis_from_solution,
+    solve_ssp_array,
+)
 from repro.flow.duality import (
     BACKENDS,
     DifferenceConstraintLP,
@@ -40,6 +45,8 @@ __all__ = [
     "GroundedFlow",
     "LpSolution",
     "SolveStats",
+    "WarmStartBasis",
+    "basis_from_solution",
     "check_flow_feasible",
     "check_flow_optimal",
     "get_backend",

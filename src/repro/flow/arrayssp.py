@@ -31,9 +31,36 @@ reused across rounds and across repeated ``solve()`` calls on the same
 engine.  (The registry's LP entry point builds a fresh engine per
 solve; callers that repeatedly solve one instance can hold the engine
 to amortize construction.)
+
+**Warm starts.**  The MINFLOTRANSIT W/D alternation solves a sequence
+of flow instances with identical arc topology and slowly drifting
+costs/supplies.  :meth:`ArraySspEngine.solve` accepts a
+:class:`WarmStartBasis` (the previous solve's node potentials, arc
+flows, and the costs they were optimal for) and starts from a *reduced*
+problem instead of scratch:
+
+1. previous flow is retained on every arc whose cost did not increase
+   (on such arcs the reverse residual reduced cost stays non-negative),
+2. a greedy *divergence-fitting* pass adjusts the retained arcs to
+   cancel matched supply drift at their endpoints — without it, the
+   small per-node supply drift between iterations would cost one
+   augmenting path per node, as many as a cold solve,
+3. a Bellman-Ford sweep repairs any negative reduced costs the cost
+   drift introduced (a residual negative cycle — possible when another
+   path got much cheaper — aborts the warm path and falls back to a
+   cold solve, so warm starts can never change the answer),
+4. successive shortest paths then route only the remaining *imbalance*
+   between the fitted flow's divergence and the new supplies.
+
+Starting from a reduced-cost-optimal pseudoflow keeps the SSP
+invariant, so the warm result is exactly optimal — the only thing that
+changes is how much flow remains to push (``SolveStats.supply_routed``
+vs the cold total), which is where the augmentation savings come from.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -41,9 +68,41 @@ from repro.errors import FlowError, InfeasibleFlowError, UnboundedFlowError
 from repro.flow.network import FlowProblem, FlowSolution
 from repro.flow.registry import SolveStats
 
-__all__ = ["ArraySspEngine", "solve_ssp_array"]
+__all__ = [
+    "ArraySspEngine",
+    "WarmStartBasis",
+    "basis_from_solution",
+    "solve_ssp_array",
+]
 
 _INF = float("inf")
+
+
+@dataclass(frozen=True)
+class WarmStartBasis:
+    """Starting basis for a warm solve of a structurally equal instance.
+
+    All arrays live in the coordinate system of the *problem* that
+    produced them: ``potentials`` per node, ``flow`` and ``arc_costs``
+    aligned with ``problem.arcs``.  A basis whose shapes do not match
+    the instance being solved is silently ignored (the solve falls back
+    to cold), so callers may pass a stale basis without risk.
+    """
+
+    potentials: np.ndarray
+    flow: np.ndarray
+    arc_costs: np.ndarray
+
+
+def basis_from_solution(solution: FlowSolution) -> WarmStartBasis:
+    """Extract a :class:`WarmStartBasis` from a completed solve."""
+    return WarmStartBasis(
+        potentials=np.array(solution.potentials, dtype=float),
+        flow=np.array(solution.flow, dtype=float),
+        arc_costs=np.array(
+            [arc.cost for arc in solution.problem.arcs], dtype=float
+        ),
+    )
 
 
 class ArraySspEngine:
@@ -67,31 +126,32 @@ class ArraySspEngine:
         dst = np.empty(n_arcs, dtype=np.int64)
         cap = np.empty(n_arcs, dtype=np.float64)
         cost = np.empty(n_arcs, dtype=np.float64)
+        self._uncapacitated = np.zeros(n_arcs, dtype=bool)
         for k, arc in enumerate(problem.arcs):
             src[k] = arc.src
             dst[k] = arc.dst
             cap[k] = big if arc.capacity is None else float(arc.capacity)
+            self._uncapacitated[k] = arc.capacity is None
             cost[k] = arc.cost
+        self._big = big
         self.has_negative = bool(np.any(cost < 0))
 
-        supply_nodes = np.flatnonzero(supply > 0)
-        demand_nodes = np.flatnonzero(supply < 0)
+        # Source and sink arcs exist for *every* node; capacity selects
+        # the live ones (cold: the supplies; warm: the divergence the
+        # retained flow leaves unserved).  Zero-capacity arcs are inert
+        # — every kernel masks on residual capacity — so the cold solve
+        # touches exactly the same active arcs as before.
+        all_nodes = np.arange(n, dtype=np.int64)
         src = np.concatenate([
-            src,
-            np.full(len(supply_nodes), self.source, dtype=np.int64),
-            demand_nodes.astype(np.int64),
+            src, np.full(n, self.source, dtype=np.int64), all_nodes,
         ])
         dst = np.concatenate([
-            dst,
-            supply_nodes.astype(np.int64),
-            np.full(len(demand_nodes), self.sink, dtype=np.int64),
+            dst, all_nodes, np.full(n, self.sink, dtype=np.int64),
         ])
         cap = np.concatenate([
-            cap, supply[supply_nodes], -supply[demand_nodes]
+            cap, np.maximum(supply, 0.0), np.maximum(-supply, 0.0)
         ]).astype(np.float64)
-        cost = np.concatenate([
-            cost, np.zeros(len(supply_nodes) + len(demand_nodes))
-        ]).astype(np.float64)
+        cost = np.concatenate([cost, np.zeros(2 * n)]).astype(np.float64)
 
         m = len(src)
         self.n_problem_arcs = n_arcs
@@ -130,25 +190,66 @@ class ArraySspEngine:
         self._sparse = sparse_mod
         self._csgraph = csgraph_mod
 
-    def solve(self, allow_negative: bool = False) -> FlowSolution:
+    def solve(
+        self,
+        allow_negative: bool = False,
+        warm_start: WarmStartBasis | None = None,
+    ) -> FlowSolution:
         """Run successive shortest paths; returns a certified solution.
 
         The returned :class:`FlowSolution` carries a populated
         :class:`~repro.flow.registry.SolveStats` in ``stats``.
+
+        ``warm_start`` seeds the solve with a previous solution of a
+        structurally identical instance (same node count, same arc
+        sequence).  Warm starts are strictly an accelerator: a basis
+        with mismatched shapes is ignored, and a basis invalidated by
+        the cost drift (residual negative cycle) triggers an automatic
+        cold restart — the returned solution is exactly optimal either
+        way.
         """
         if self.has_negative and not allow_negative:
             raise FlowError(
                 "negative arc costs require allow_negative=True "
                 "(absorbed by the first Bellman-Ford sweep)"
             )
+        if warm_start is not None and self._warm_compatible(warm_start):
+            try:
+                return self._run(warm_start)
+            except UnboundedFlowError:
+                # The retained flow has a negative residual cycle under
+                # the new costs; it is not optimal for its divergence.
+                # Discard the basis rather than repair it.
+                pass
+            except InfeasibleFlowError:
+                # The retained flow's divergence gap is unroutable in
+                # the residual graph (possible when supplies shrank in
+                # a weakly connected corner) even though the instance
+                # itself is feasible — solve it cold instead.
+                pass
+        return self._run(None)
+
+    def _warm_compatible(self, basis: WarmStartBasis) -> bool:
+        return (
+            len(basis.flow) == self.n_problem_arcs
+            and len(basis.arc_costs) == self.n_problem_arcs
+            and len(basis.potentials) == self.problem.n_nodes
+        )
+
+    def _run(self, basis: WarmStartBasis | None) -> FlowSolution:
         cap = self.arc_cap
         np.copyto(cap, self._cap0)
         pot = self._pot
         pot[:] = 0.0
         stats = SolveStats(backend="ssp", n_nodes=self.problem.n_nodes,
                            n_arcs=self.n_problem_arcs)
-        if self.has_negative:
-            self._initial_potentials(cap, pot, stats)
+        if basis is None:
+            needed = self.needed
+            if self.has_negative:
+                self._repair_potentials(cap, pot, stats)
+        else:
+            needed = self._load_warm_basis(basis, cap, pot, stats)
+        stats.supply_routed = needed
 
         shipped = 0.0
         flow_eps = 1e-9 * max(1.0, self.needed)
@@ -158,12 +259,12 @@ class ArraySspEngine:
         # Rounds scale with saturations — i.e. arcs, not nodes.
         max_rounds = 32 * (self.n_total + len(self.arc_src)) + 64
         for _round in range(max_rounds):
-            if self.needed - shipped <= flow_eps:
+            if needed - shipped <= flow_eps:
                 break
             dist = self._shortest_paths(cap, pot, stats)
             if not np.isfinite(dist[self.sink]):
                 raise InfeasibleFlowError(
-                    f"cannot route {self.needed - shipped:.6g} "
+                    f"cannot route {needed - shipped:.6g} "
                     "remaining units"
                 )
             # pot += min(dist, dist[sink]): the clamped update keeps
@@ -192,23 +293,152 @@ class ArraySspEngine:
         )
         return solution
 
-    def _initial_potentials(
+    def _load_warm_basis(
+        self,
+        basis: WarmStartBasis,
+        cap: np.ndarray,
+        pot: np.ndarray,
+        stats: SolveStats,
+    ) -> float:
+        """Install a warm basis; returns the supply left to route.
+
+        Flow is kept only on arcs whose cost did not increase: on those,
+        the previous complementary slackness (``flow > 0`` implies zero
+        reduced cost) guarantees the reverse residual arc stays
+        non-negative under the old potentials, so the retained
+        pseudoflow is optimal for its own divergence once
+        :meth:`_repair_potentials` absorbs any forward arcs whose cost
+        *decreased*.  The super source/sink arcs are re-capacitated to
+        the divergence gap ``supply - div(retained)``, which is all the
+        main loop still has to route.
+        """
+        n = self.problem.n_nodes
+        k = self.n_problem_arcs
+        new_cost = self.arc_cost[0 : 2 * k : 2]
+        keep = (
+            (basis.flow > self._eps_cap)
+            & (new_cost <= basis.arc_costs + self._eps_cost)
+        )
+        flow = np.where(keep, basis.flow, 0.0)
+        limit = np.where(
+            self._uncapacitated, _INF, self._cap0[0 : 2 * k : 2]
+        )
+        np.minimum(flow, limit, out=flow)
+        stats.warm_solves = 1
+
+        div = np.zeros(n)
+        psrc = self.arc_src[0 : 2 * k : 2]
+        pdst = self.arc_dst[0 : 2 * k : 2]
+        np.add.at(div, psrc, flow)
+        np.subtract.at(div, pdst, flow)
+        assert self.problem.supply is not None
+        excess = self.problem.supply - div
+
+        # Divergence fitting: supplies drift a little at *every* node
+        # between W/D iterations, and routing each node's drift as its
+        # own augmenting path would cost as many paths as a cold solve.
+        # One greedy pass over the carrying arcs adjusts their flow to
+        # cancel matched excess/deficit at the endpoints instead (the
+        # delay-arc pairs of the D-phase dual cancel exactly this way).
+        # Decreases only enlarge forward residuals that already exist;
+        # increases only touch arcs that carried flow — zero reduced
+        # cost under the basis potentials — so any violation the drift
+        # introduces stays tiny and is absorbed by the repair sweep.
+        self._fit_divergence(flow, excess, psrc, pdst)
+        # ``big`` stand-in capacities are sized for *this* problem's
+        # supplies; retained flow from a larger previous instance must
+        # not eat that headroom, or uncapacitated arcs would saturate
+        # and manufacture infeasibility a cold solve does not have.
+        cap[0 : 2 * k : 2] = np.where(
+            self._uncapacitated,
+            flow + self._big,
+            self._cap0[0 : 2 * k : 2] - flow,
+        )
+        cap[1 : 2 * k : 2] = self._cap0[1 : 2 * k : 2] + flow
+        stats.warm_flow_reused = float(flow.sum())
+
+        source_cap = np.maximum(excess, 0.0)
+        sink_cap = np.maximum(-excess, 0.0)
+        cap[2 * k : 2 * (k + n) : 2] = source_cap
+        cap[2 * (k + n) : 2 * (k + 2 * n) : 2] = sink_cap
+
+        pot[:n] = basis.potentials
+        # Source/sink potentials that keep their zero-cost arcs
+        # reduced-cost-feasible: at least / at most every live endpoint.
+        live_out = source_cap > self._eps_cap
+        live_in = sink_cap > self._eps_cap
+        pot[self.source] = float(pot[:n][live_out].max(initial=0.0))
+        pot[self.sink] = float(pot[:n][live_in].min(initial=0.0))
+        self._repair_potentials(cap, pot, stats)
+        return float(source_cap.sum())
+
+    def _fit_divergence(
+        self,
+        flow: np.ndarray,
+        excess: np.ndarray,
+        psrc: np.ndarray,
+        pdst: np.ndarray,
+    ) -> None:
+        """Adjust carrying arcs in place to cancel endpoint excesses.
+
+        For an arc ``u -> v`` with flow: a surplus at ``u`` facing a
+        deficit at ``v`` is absorbed by pushing more flow through the
+        arc (uncapacitated instances always admit this; capacitated
+        arcs are bounded by their remaining headroom); the mirrored
+        case drains the arc instead, bounded by its current flow.
+        ``flow`` and ``excess`` are updated consistently, so the caller
+        can derive capacities and source/sink arcs from them directly.
+        """
+        carrying = np.flatnonzero(flow > self._eps_cap)
+        if carrying.size == 0:
+            return
+        headroom = np.where(
+            self._uncapacitated,
+            _INF,
+            self._cap0[0 : 2 * self.n_problem_arcs : 2],
+        )
+        eps = self._eps_cap
+        for a in carrying.tolist():
+            u = psrc[a]
+            v = pdst[a]
+            eu = excess[u]
+            ev = excess[v]
+            if eu > eps and ev < -eps:
+                push = min(eu, -ev, headroom[a] - flow[a])
+                if push > 0.0:
+                    flow[a] += push
+                    excess[u] = eu - push
+                    excess[v] = ev + push
+            elif eu < -eps and ev > eps:
+                drain = min(-eu, ev, flow[a])
+                if drain > 0.0:
+                    flow[a] -= drain
+                    excess[u] = eu + drain
+                    excess[v] = ev - drain
+
+    def _repair_potentials(
         self, cap: np.ndarray, pot: np.ndarray, stats: SolveStats
     ) -> None:
-        """Bellman-Ford potentials that absorb negative arc costs.
+        """Bellman-Ford sweep restoring non-negative reduced costs.
 
-        All-zeros initialization treats every node as a virtual source
-        (handles disconnection); afterwards every residual reduced cost
-        is non-negative, the invariant the main loop maintains.
+        All-zeros distance initialization treats every node as a
+        virtual source (handles disconnection); afterwards every
+        residual reduced cost is non-negative, the invariant the main
+        loop maintains.  With ``pot == 0`` this is the classic
+        negative-cost absorption pass; with warm potentials it only has
+        to absorb the cost *drift*, which typically converges in a pass
+        or two.  A residual negative cycle raises
+        :class:`UnboundedFlowError` (the warm path catches it and
+        restarts cold).
         """
         active = np.flatnonzero(cap > self._eps_cap)
         asrc = self.arc_src[active]
         adst = self.arc_dst[active]
-        cost = self.arc_cost[active]
+        rcost = self.arc_cost[active] + pot[asrc] - pot[adst]
         dist = self._dist
         dist.fill(0.0)
         for _pass in range(self.n_total + 1):
-            candidate = dist[asrc] + cost
+            candidate = dist[asrc] + rcost
             improves = candidate < dist[adst] - self._eps_cost
             if not improves.any():
                 pot += dist
@@ -437,23 +667,39 @@ class ArraySspEngine:
 
 
 def solve_ssp_array(
-    problem: FlowProblem, allow_negative: bool = False
+    problem: FlowProblem,
+    allow_negative: bool = False,
+    warm_start: WarmStartBasis | None = None,
 ) -> FlowSolution:
     """One-shot wrapper: build an :class:`ArraySspEngine` and solve.
 
     Callers that solve many structurally identical instances should
     hold on to the engine instead to reuse its scratch buffers.
     """
-    return ArraySspEngine(problem).solve(allow_negative=allow_negative)
+    return ArraySspEngine(problem).solve(
+        allow_negative=allow_negative, warm_start=warm_start
+    )
 
 
-def solve_lp_ssp(lp) -> "object":
-    """LP entry point for the ``ssp`` registry backend."""
+def solve_lp_ssp(lp, warm_start: WarmStartBasis | None = None) -> "object":
+    """LP entry point for the ``ssp`` registry backend.
+
+    The returned solution carries a :class:`WarmStartBasis` in
+    ``warm_basis``; feeding it into the next ``solve_lp_ssp`` call on a
+    structurally identical LP (the W/D alternation produces exactly
+    such a sequence) lets the engine route only the supply drift.
+    """
     from repro.flow.duality import LpSolution, ground_flow, recover_r
 
     grounded = ground_flow(lp)
-    flow = ArraySspEngine(grounded.problem).solve(allow_negative=True)
+    flow = ArraySspEngine(grounded.problem).solve(
+        allow_negative=True, warm_start=warm_start
+    )
     r = recover_r(grounded, flow.potentials, lp.n_nodes)
     return LpSolution(
-        r=r, objective=lp.objective(r), backend="ssp", stats=flow.stats
+        r=r,
+        objective=lp.objective(r),
+        backend="ssp",
+        stats=flow.stats,
+        warm_basis=basis_from_solution(flow),
     )

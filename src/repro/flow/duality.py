@@ -152,6 +152,10 @@ class LpSolution:
     #: Solver counters (see :class:`repro.flow.registry.SolveStats`);
     #: filled in by the registry on every dispatched solve.
     stats: object | None = None
+    #: Starting basis for the next solve of a structurally identical
+    #: LP (see :class:`repro.flow.arrayssp.WarmStartBasis`); populated
+    #: by backends that advertise ``supports_warm_start``, else None.
+    warm_basis: object | None = None
 
 
 def ground_flow(lp: DifferenceConstraintLP) -> GroundedFlow:
@@ -201,7 +205,9 @@ def recover_r(
 
 
 def solve_difference_lp(
-    lp: DifferenceConstraintLP, backend: str = "auto"
+    lp: DifferenceConstraintLP,
+    backend: str = "auto",
+    warm_start: object | None = None,
 ) -> LpSolution:
     """Solve the LP via the backend registry; verifies feasibility.
 
@@ -210,11 +216,16 @@ def solve_difference_lp(
     capability metadata.  Wall time and solver counters are recorded on
     the returned solution (``stats``) and in the registry's running
     totals on every solve.
+
+    ``warm_start`` is the ``warm_basis`` of a previous solution of a
+    structurally identical LP; it reaches only backends that support
+    warm starts (currently the native ``ssp`` engine) and can never
+    change the optimum, only the work done to reach it.
     """
     if backend == "auto":
         chosen = select_backend(len(lp.constraints), hint="auto")
     else:
         chosen = get_backend(backend)
-    solution = _timed_solve(chosen, lp)
+    solution = _timed_solve(chosen, lp, warm_start=warm_start)
     lp.check_feasible(solution.r)
     return solution

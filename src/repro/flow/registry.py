@@ -63,6 +63,9 @@ class BackendCapabilities:
     auto_eligible: bool = True
     #: Soft cap on constraint count for auto-selection (None = no cap).
     max_constraints: int | None = None
+    #: Accepts a ``warm_start`` basis from a previous solve of a
+    #: structurally identical instance (``solve(lp, warm_start=...)``).
+    supports_warm_start: bool = False
 
 
 @dataclass
@@ -81,6 +84,14 @@ class SolveStats:
     #: Individual distance-label improvements — the array engine's
     #: analogue of Dijkstra heap pops.
     dijkstra_pops: int = 0
+    #: Solves that started from a warm basis (native array engine only).
+    warm_solves: int = 0
+    #: Flow units retained from the warm basis instead of re-routed.
+    warm_flow_reused: float = 0.0
+    #: Supply the augmentation loop actually had to route; on a cold
+    #: solve this is the full positive supply, on a warm solve only the
+    #: divergence gap — the difference is the warm-start saving.
+    supply_routed: float = 0.0
     wall_time_s: float = 0.0
     solves: int = 1
 
@@ -89,6 +100,9 @@ class SolveStats:
         self.sp_rounds += other.sp_rounds
         self.relax_passes += other.relax_passes
         self.dijkstra_pops += other.dijkstra_pops
+        self.warm_solves += other.warm_solves
+        self.warm_flow_reused += other.warm_flow_reused
+        self.supply_routed += other.supply_routed
         self.wall_time_s += other.wall_time_s
         self.solves += other.solves
         self.n_nodes = max(self.n_nodes, other.n_nodes)
@@ -124,10 +138,10 @@ def _ensure_default_backends() -> None:
     if "ssp" in _REGISTRY:
         return
 
-    def _solve_ssp(lp):
+    def _solve_ssp(lp, warm_start=None):
         from repro.flow.arrayssp import solve_lp_ssp
 
-        return solve_lp_ssp(lp)
+        return solve_lp_ssp(lp, warm_start=warm_start)
 
     def _solve_ssp_legacy(lp):
         from repro.flow.ssp import solve_lp_ssp_reference
@@ -169,7 +183,7 @@ def _ensure_default_backends() -> None:
         solve=_solve_ssp,
         capabilities=BackendCapabilities(
             exact_integer=True, returns_duals=True, native=True,
-            max_constraints=128,
+            max_constraints=128, supports_warm_start=True,
         ),
         priority=100,
     ))
@@ -268,15 +282,20 @@ def reset_solver_statistics() -> None:
     _TOTALS.clear()
 
 
-def timed_solve(backend: FlowBackend, lp) -> "object":
+def timed_solve(backend: FlowBackend, lp, warm_start=None) -> "object":
     """Run ``backend.solve`` with wall-time + stats accounting.
 
     Returns the backend's ``LpSolution`` with ``stats`` populated (a
     backend that produced its own counters keeps them; only timing and
-    instance-size fields are filled in here).
+    instance-size fields are filled in here).  ``warm_start`` is
+    forwarded only to backends whose capabilities advertise
+    ``supports_warm_start``; other backends solve cold.
     """
     start = time.perf_counter()
-    solution = backend.solve(lp)
+    if warm_start is not None and backend.capabilities.supports_warm_start:
+        solution = backend.solve(lp, warm_start=warm_start)
+    else:
+        solution = backend.solve(lp)
     wall = time.perf_counter() - start
     stats = getattr(solution, "stats", None)
     if stats is None:

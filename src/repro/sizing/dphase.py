@@ -51,6 +51,10 @@ class DPhaseResult:
     #: Flow-solver counters for this solve (see
     #: :class:`repro.flow.registry.SolveStats`).
     stats: object | None = None
+    #: Starting basis for the next D-phase solve (see
+    #: :class:`repro.flow.arrayssp.WarmStartBasis`); None when the
+    #: backend does not support warm starts.
+    warm_basis: object | None = None
 
 
 def area_sensitivities(dag: SizingDag, x: np.ndarray) -> np.ndarray:
@@ -165,8 +169,15 @@ def d_phase(
     min_dd: np.ndarray,
     max_dd: np.ndarray,
     backend: str = "auto",
+    warm_start: object | None = None,
 ) -> DPhaseResult:
-    """Run one D-phase: redistribute delay budgets at fixed sizes."""
+    """Run one D-phase: redistribute delay budgets at fixed sizes.
+
+    ``warm_start`` is the ``warm_basis`` of a previous D-phase on the
+    same DAG (the W/D alternation produces structurally identical flow
+    instances every iteration); it accelerates supporting backends and
+    never changes the optimum.
+    """
     if np.any(max_dd < min_dd):
         raise SizingError("MAX_ΔD must dominate MIN_ΔD componentwise")
     sensitivities = area_sensitivities(dag, x)
@@ -182,7 +193,7 @@ def d_phase(
     lp = build_dphase_lp(
         dag, config, sensitivities, min_dd, max_dd, cost_scale, weight_scale
     )
-    solution = solve_difference_lp(lp, backend=backend)
+    solution = solve_difference_lp(lp, backend=backend, warm_start=warm_start)
 
     n = dag.n
     r_vertex = solution.r[:n] / cost_scale
@@ -200,4 +211,5 @@ def d_phase(
         predicted_gain=predicted,
         backend=solution.backend,
         stats=solution.stats,
+        warm_basis=solution.warm_basis,
     )

@@ -12,6 +12,22 @@ size bound clamping made the budgets unreachable, or the area went up)
 and cautiously re-expanded after successes.  Every accepted iterate is
 verified safe (``CP <= target``), so the final answer always meets
 timing whenever the TILOS seed does.
+
+Two cross-iteration accelerators exploit how little each W/D round
+actually changes (both are exact — they never alter the iterates):
+
+* **Incremental timing.**  One :class:`repro.timing.IncrementalTimer`
+  lives across the whole alternation; each round feeds it only the
+  vertices whose delay moved, so the per-iteration timing cost scales
+  with the perturbed cone instead of |E|.  Its reports drive both the
+  delay balancing and the safety check.
+* **Warm-started D-phase.**  Every D-phase solves a flow instance with
+  identical topology; the previous solve's basis (potentials + flow)
+  seeds the next one, so only the supply drift is re-routed
+  (``MinfloOptions.warm_start`` disables this for A/B comparisons).
+
+Per-iteration telemetry (cone size, warm-start reuse, augmentations)
+lands in each :class:`~repro.sizing.result.IterationRecord`.
 """
 
 from __future__ import annotations
@@ -28,9 +44,25 @@ from repro.sizing.dphase import d_phase
 from repro.sizing.result import IterationRecord, SizingResult
 from repro.sizing.tilos import TilosOptions, tilos_size
 from repro.sizing.wphase import w_phase
+from repro.timing.incremental import IncrementalTimer
 from repro.timing.sta import GraphTimer
 
 __all__ = ["MinfloOptions", "minflotransit"]
+
+
+def _sync(inc: IncrementalTimer, delays: np.ndarray) -> int:
+    """Bring the incremental engine to ``delays``; returns updates done.
+
+    No-op (and no update counted) when nothing changed, which happens
+    whenever a rejected iteration left the sizes untouched.  The work
+    performed (including the lazy required-time flush the next report
+    triggers) lands in the engine's cumulative counters.
+    """
+    changed = np.flatnonzero(delays != inc.delay)
+    if changed.size == 0:
+        return 0
+    inc.update_delays(changed, delays)
+    return 1
 
 
 @dataclass(frozen=True)
@@ -54,6 +86,10 @@ class MinfloOptions:
     #: :mod:`repro.flow.registry` ("ssp", "ssp-legacy", "networkx",
     #: "scipy").
     flow_backend: str = "auto"
+    #: Seed each D-phase solve with the previous iteration's basis
+    #: (backends that cannot warm-start silently solve cold).  Exact:
+    #: warm and cold solves reach the same optimum.
+    warm_start: bool = True
     tilos: TilosOptions = TilosOptions()
 
     def __post_init__(self) -> None:
@@ -109,16 +145,25 @@ def minflotransit(
     stall_count = 0
     converged = False
 
+    # One incremental engine across the whole alternation: each round
+    # feeds it only the delay diff (W-phase cone, or the revert diff
+    # after a rejected step), never a full re-analysis.
+    inc = IncrementalTimer(dag, dag.model.delays(x))
+    warm = None
+
     for iteration in range(1, options.max_iterations + 1):
         delays = dag.model.delays(x)
-        load_delay = delays - dag.model.intrinsic
+        base_work = inc.total_repropagated
+        timing_updates = _sync(inc, delays)
         config = balance(
             dag,
             delays,
             horizon=target,
             method=options.balancing,
             timer=timer,
+            report=inc.report(horizon=target),
         )
+        load_delay = delays - dag.model.intrinsic
         max_dd = alpha * load_delay
         min_dd = -alpha * load_delay
 
@@ -129,16 +174,21 @@ def minflotransit(
             min_dd,
             max_dd,
             backend=options.flow_backend,
+            warm_start=warm if options.warm_start else None,
         )
+        warm = dres.warm_basis
         budgets = delays + dres.delta_d
         wres = w_phase(dag, budgets)
-        report = timer.analyze(dag.model.delays(wres.x), horizon=target)
+        timing_updates += _sync(inc, dag.model.delays(wres.x))
+        report = inc.report(horizon=target)
+        repropagated = inc.total_repropagated - base_work
 
         area = dag.area(wres.x)
         timing_ok = report.critical_path_delay <= target * (1 + 1e-9)
         improved = area < best_area * (1 - 1e-12)
         accepted = timing_ok and improved
 
+        fstats = dres.stats
         records.append(
             IterationRecord(
                 iteration=iteration,
@@ -148,6 +198,15 @@ def minflotransit(
                 alpha=alpha,
                 accepted=accepted,
                 backend=dres.backend,
+                repropagated_vertices=repropagated,
+                cone_fraction=(
+                    repropagated / (2.0 * dag.n * timing_updates)
+                    if timing_updates
+                    else 0.0
+                ),
+                warm_start=bool(getattr(fstats, "warm_solves", 0)),
+                augmentations=int(getattr(fstats, "augmentations", 0)),
+                supply_routed=float(getattr(fstats, "supply_routed", 0.0)),
             )
         )
 
@@ -170,7 +229,8 @@ def minflotransit(
                 converged = True
                 break
 
-    final_report = timer.analyze(dag.model.delays(best_x), horizon=target)
+    _sync(inc, dag.model.delays(best_x))
+    final_report = inc.report(horizon=target)
     return SizingResult(
         name=dag.name,
         mode=dag.mode,

@@ -11,7 +11,13 @@ __all__ = ["IterationRecord", "SizingResult"]
 
 @dataclass(frozen=True)
 class IterationRecord:
-    """One D/W iteration of MINFLOTRANSIT."""
+    """One D/W iteration of MINFLOTRANSIT.
+
+    The telemetry fields trace where the iteration spent its work: the
+    timing cone the incremental engine actually re-propagated (against
+    a full-STA equivalent of 1.0) and the flow solver's warm-start
+    reuse (see :class:`repro.flow.registry.SolveStats`).
+    """
 
     iteration: int
     area: float
@@ -20,6 +26,17 @@ class IterationRecord:
     alpha: float
     accepted: bool
     backend: str
+    #: Vertices re-propagated by incremental timing this iteration.
+    repropagated_vertices: int = 0
+    #: ``repropagated / full-pass equivalent``; 1.0 means no savings.
+    cone_fraction: float = 1.0
+    #: Whether the D-phase flow solve started from the previous basis.
+    warm_start: bool = False
+    #: Augmenting paths the D-phase flow solve pushed.
+    augmentations: int = 0
+    #: Supply units the flow solve routed (warm solves route only the
+    #: divergence gap left by the reused basis).
+    supply_routed: float = 0.0
 
 
 @dataclass

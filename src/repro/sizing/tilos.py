@@ -17,9 +17,11 @@ Greedy and without convergence guarantees — exactly the drawback the
 paper's Example 1 illustrates and the D/W iteration repairs.
 
 Two timing engines produce identical results (asserted by tests):
-``engine="incremental"`` (default) re-propagates arrival times only
-through the cone a bump disturbs; ``engine="full"`` re-times the whole
-circuit per bump, which is the straightforward reading of [1].
+``engine="incremental"`` (default) re-propagates timing only through
+the cone a bump disturbs (see :class:`repro.timing.IncrementalTimer`);
+``engine="full"`` re-times the whole circuit per bump, which is the
+straightforward reading of [1].  ``TilosResult.timing_stats`` records
+how much of the circuit each engine actually touched.
 """
 
 from __future__ import annotations
@@ -31,7 +33,7 @@ import numpy as np
 
 from repro.dag.circuit_dag import SizingDag
 from repro.errors import InfeasibleTimingError, SizingError
-from repro.timing.incremental import IncrementalArrivalTimes
+from repro.timing.incremental import IncrementalTimer
 from repro.timing.sta import GraphTimer
 
 __all__ = ["TilosOptions", "TilosResult", "require_feasible", "tilos_size"]
@@ -73,6 +75,11 @@ class TilosResult:
     runtime_seconds: float
     #: Critical path delay after every bump (diagnostic trace).
     trace: list[float] = field(default_factory=list)
+    #: Timing-engine work telemetry: ``repropagated_vertices`` (total
+    #: vertices the engine touched across all bumps),
+    #: ``full_pass_equivalent`` (what a from-scratch engine would have
+    #: touched: ``2 * n`` per bump) and their ratio ``cone_fraction``.
+    timing_stats: dict = field(default_factory=dict)
 
 
 class _TimingFacade:
@@ -82,8 +89,10 @@ class _TimingFacade:
                  timer: GraphTimer | None):
         self.dag = dag
         self.engine = engine
+        self.updates = 0
+        self.repropagated = 0
         if engine == "incremental":
-            self._inc = IncrementalArrivalTimes(dag, delays)
+            self._inc = IncrementalTimer(dag, delays)
             self._timer = None
         else:
             self._timer = timer or GraphTimer(dag)
@@ -94,10 +103,13 @@ class _TimingFacade:
             self._report = self._timer.analyze(delays)
 
     def update(self, changed: list[int], delays: np.ndarray) -> None:
+        self.updates += 1
         if self._timer is None:
-            self._inc.update_delays(changed, delays)
+            stats = self._inc.update_delays(changed, delays)
+            self.repropagated += stats.repropagated
         else:
             self._report = self._timer.analyze(delays)
+            self.repropagated += 2 * self.dag.n
 
     @property
     def critical_path_delay(self) -> float:
@@ -109,6 +121,19 @@ class _TimingFacade:
         if self._timer is None:
             return self._inc.critical_path()
         return self._report.critical_path()
+
+    def timing_stats(self) -> dict:
+        """Work summary vs a full pass per update (``2n`` vertices)."""
+        full_equiv = 2 * self.dag.n * self.updates
+        return {
+            "engine": self.engine,
+            "updates": self.updates,
+            "repropagated_vertices": self.repropagated,
+            "full_pass_equivalent": full_equiv,
+            "cone_fraction": (
+                self.repropagated / full_equiv if full_equiv else 0.0
+            ),
+        }
 
 
 def tilos_size(
@@ -159,9 +184,13 @@ def tilos_size(
         if keep_trace:
             trace.append(cp)
         if cp <= target:
-            return _result(dag, x, cp, target, iterations, True, start, trace)
+            return _result(
+                dag, x, cp, target, iterations, True, start, trace, facade
+            )
         if iterations >= options.max_iterations:
-            return _result(dag, x, cp, target, iterations, False, start, trace)
+            return _result(
+                dag, x, cp, target, iterations, False, start, trace, facade
+            )
 
         path = facade.critical_path()
         candidates: list[tuple[float, int]] = []
@@ -179,12 +208,16 @@ def tilos_size(
             sensitivity = -delta / (weight[v] * dx)
             candidates.append((sensitivity, v))
         if not candidates:
-            return _result(dag, x, cp, target, iterations, False, start, trace)
+            return _result(
+                dag, x, cp, target, iterations, False, start, trace, facade
+            )
         candidates.sort(reverse=True)
         best_sensitivity = candidates[0][0]
         if best_sensitivity <= 0:
             # No critical-path resize helps: greedy is stuck.
-            return _result(dag, x, cp, target, iterations, False, start, trace)
+            return _result(
+                dag, x, cp, target, iterations, False, start, trace, facade
+            )
 
         changed: set[int] = set()
         for _sens, v in candidates[: options.batch]:
@@ -226,6 +259,7 @@ def _result(
     feasible: bool,
     start: float,
     trace: list[float],
+    facade: _TimingFacade,
 ) -> TilosResult:
     return TilosResult(
         x=x,
@@ -236,4 +270,5 @@ def _result(
         feasible=feasible,
         runtime_seconds=time.perf_counter() - start,
         trace=trace,
+        timing_stats=facade.timing_stats(),
     )

@@ -6,14 +6,28 @@ from repro.timing.paths import (
     k_worst_paths,
     path_delay,
 )
-from repro.timing.sta import GraphTimer, TimingReport, analyze
+from repro.timing.incremental import (
+    IncrementalArrivalTimes,
+    IncrementalTimer,
+    UpdateStats,
+)
+from repro.timing.sta import (
+    GraphTimer,
+    TimingReport,
+    analyze,
+    trace_critical_path,
+)
 
 __all__ = [
     "GraphTimer",
+    "IncrementalArrivalTimes",
+    "IncrementalTimer",
     "TimingReport",
+    "UpdateStats",
     "analyze",
     "critical_vertices",
     "enumerate_paths",
     "k_worst_paths",
     "path_delay",
+    "trace_critical_path",
 ]

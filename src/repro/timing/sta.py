@@ -30,7 +30,46 @@ import numpy as np
 from repro.dag.circuit_dag import SizingDag
 from repro.errors import TimingError
 
-__all__ = ["TimingReport", "GraphTimer", "analyze"]
+__all__ = ["TimingReport", "GraphTimer", "analyze", "trace_critical_path"]
+
+
+def trace_critical_path(
+    dag: SizingDag,
+    at: np.ndarray,
+    delay: np.ndarray,
+    start: int,
+    critical_path_delay: float,
+) -> list[int]:
+    """One critical path ending at ``start``, traced through tight fanins.
+
+    Single home of the tie-breaking tolerance rule: a predecessor ``u``
+    is *tight* when ``AT(u) + delay(u)`` reaches ``AT(current)`` within
+    ``1e-9`` of the critical path delay; the first tight fanin wins, and
+    a numerical fallback picks the tightest predecessor if float noise
+    leaves none within tolerance.  Shared by
+    :meth:`TimingReport.critical_path` and the incremental engine so the
+    two walks cannot drift apart.
+    """
+    tol = 1e-9 * max(critical_path_delay, 1.0)
+    path = [start]
+    current = start
+    while dag.fanin[current]:
+        target = at[current]
+        best = None
+        for u in dag.fanin[current]:
+            if abs(at[u] + delay[u] - target) <= tol:
+                best = u
+                break
+        if best is None:
+            # Numerical fallback: the tightest predecessor.
+            best = max(
+                dag.fanin[current],
+                key=lambda u: at[u] + delay[u],
+            )
+        path.append(best)
+        current = best
+    path.reverse()
+    return path
 
 
 @dataclass
@@ -65,26 +104,13 @@ class TimingReport:
 
     def critical_path(self) -> list[int]:
         """Vertices of one critical path, source to sink."""
-        tol = 1e-9 * max(self.critical_path_delay, 1.0)
-        path = [self.critical_vertex]
-        current = self.critical_vertex
-        while self.dag.fanin[current]:
-            target = self.at[current]
-            best = None
-            for u in self.dag.fanin[current]:
-                if abs(self.at[u] + self.delay[u] - target) <= tol:
-                    best = u
-                    break
-            if best is None:
-                # Numerical fallback: the tightest predecessor.
-                best = max(
-                    self.dag.fanin[current],
-                    key=lambda u: self.at[u] + self.delay[u],
-                )
-            path.append(best)
-            current = best
-        path.reverse()
-        return path
+        return trace_critical_path(
+            self.dag,
+            self.at,
+            self.delay,
+            self.critical_vertex,
+            self.critical_path_delay,
+        )
 
 
 class GraphTimer:

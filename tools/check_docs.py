@@ -1,0 +1,136 @@
+"""Documentation build check: markdown lint + internal link check.
+
+CI's docs job runs this over the repository's documentation set
+(README.md, docs/, benchmarks/README.md and the other top-level
+markdown files) so the paper-to-code map and iteration-internals docs
+cannot rot silently.  Dependency-free on purpose: the checks are
+
+* **links** — every relative markdown link and image target must exist
+  on disk (anchors are stripped; external ``http(s)``/``mailto`` links
+  are not fetched);
+* **structure** — code fences must be balanced, headings must not skip
+  levels from their predecessor (h2 after h1, not h4), and files must
+  end with exactly one trailing newline;
+* **hygiene** — no trailing whitespace, no tab-indented markdown, no
+  lines over 200 characters (tables excepted).
+
+Usage::
+
+    python tools/check_docs.py [paths...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+#: Repo-authored documentation only.  CHANGES.md (a one-line-per-PR
+#: log) and PAPER.md/PAPERS.md (retrieved external abstracts, not
+#: edited here) are deliberately absent.
+DEFAULT_DOCS = (
+    "README.md",
+    "ROADMAP.md",
+    "docs",
+    "benchmarks/README.md",
+)
+MAX_LINE = 200
+
+_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_IMAGE = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^(#{1,6})\s")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def collect(paths: list[str]) -> tuple[list[Path], list[str]]:
+    """Resolve tokens to markdown files; unresolved tokens are errors.
+
+    A token that matches nothing must fail the run — otherwise a
+    renamed or deleted doc silently shrinks the checked set and the CI
+    gate stays green while coverage rots.
+    """
+    files: list[Path] = []
+    errors: list[str] = []
+    for token in paths:
+        path = ROOT / token
+        if path.is_dir():
+            found = sorted(path.rglob("*.md"))
+            if not found:
+                errors.append(f"{token}: directory contains no markdown")
+            files.extend(found)
+        elif path.exists():
+            files.append(path)
+        else:
+            errors.append(f"{token}: no such file or directory")
+    return files, errors
+
+
+def check_file(path: Path) -> list[str]:
+    errors: list[str] = []
+    rel = path.relative_to(ROOT)
+    text = path.read_text(encoding="utf-8")
+    lines = text.split("\n")
+
+    if not text.endswith("\n") or text.endswith("\n\n"):
+        errors.append(f"{rel}: must end with exactly one newline")
+
+    fence_open = False
+    previous_level = 0
+    for lineno, line in enumerate(lines, start=1):
+        if line.strip().startswith("```"):
+            fence_open = not fence_open
+            continue
+        if fence_open:
+            continue
+        if line != line.rstrip():
+            errors.append(f"{rel}:{lineno}: trailing whitespace")
+        if line.startswith("\t"):
+            errors.append(f"{rel}:{lineno}: tab indentation")
+        if len(line) > MAX_LINE and "|" not in line:
+            errors.append(f"{rel}:{lineno}: line exceeds {MAX_LINE} chars")
+        match = _HEADING.match(line)
+        if match:
+            level = len(match.group(1))
+            if previous_level and level > previous_level + 1:
+                errors.append(
+                    f"{rel}:{lineno}: heading skips from h{previous_level} "
+                    f"to h{level}"
+                )
+            previous_level = level
+        for pattern in (_LINK, _IMAGE):
+            for target in pattern.findall(line):
+                if target.startswith(_EXTERNAL) or target.startswith("#"):
+                    continue
+                resolved = (path.parent / target.split("#", 1)[0]).resolve()
+                if not resolved.is_relative_to(ROOT):
+                    # Escapes the checkout: a GitHub-virtual path like
+                    # the CI badge's ../../actions/... — not checkable.
+                    continue
+                if not resolved.exists():
+                    errors.append(
+                        f"{rel}:{lineno}: broken link -> {target}"
+                    )
+    if fence_open:
+        errors.append(f"{rel}: unbalanced code fence")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    paths = (argv or sys.argv[1:]) or list(DEFAULT_DOCS)
+    files, errors = collect(paths)
+    if not files:
+        print("check_docs: no markdown files found", file=sys.stderr)
+        return 1
+    for path in files:
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(
+        f"check_docs: {len(files)} files checked, {len(errors)} problem(s)"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
