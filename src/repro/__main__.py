@@ -4,8 +4,10 @@ Commands
 --------
 
 ``size``      size a circuit (suite name or .bench file) to a delay target
-``stats``     structural statistics of a circuit
-``suite``     list the ISCAS85-equivalent benchmark suite
+``stats``     structural statistics of a circuit (``--json`` for tooling)
+``suite``     list the ISCAS85-equivalent benchmark suite (``--json``)
+``campaign``  run/resume/inspect a parallel sizing campaign (run log +
+              content-addressed result cache; see ``campaign --help``)
 ``table1``    regenerate the paper's Table 1 (alias of experiments.table1)
 ``figure7``   regenerate the paper's Figure 7 (alias of experiments.figure7)
 
@@ -14,42 +16,61 @@ Examples
 
     python -m repro size c432eq --spec 0.4
     python -m repro size my.bench --spec 0.5 --mode transistor
-    python -m repro stats c6288eq
+    python -m repro stats c6288eq --json
     python -m repro table1 --tier smoke
+    python -m repro campaign run --circuits c432eq,c499eq --specs 0.5,0.6 \\
+        --jobs 4 --run-dir runs/demo
+    python -m repro campaign resume runs/demo --jobs 4
+    python -m repro campaign status runs/demo
+
+Exit codes: 0 success; 1 infeasible target or failed campaign jobs;
+2 usage errors (unknown circuit, bad delay target, malformed run dir).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from dataclasses import asdict
 from pathlib import Path
 
 from repro.analysis.reporting import format_table
-from repro.circuit import (
-    circuit_stats,
-    load_bench,
-    map_to_primitives,
-    prune_dangling,
-)
+from repro.circuit import circuit_stats, map_to_primitives
 from repro.circuit.mapping import is_primitive_circuit
-from repro.circuit.transform import buffer_high_fanout
 from repro.dag import build_sizing_dag
-from repro.generators.iscas import SUITE, build_circuit
+from repro.errors import ReproError
+from repro.generators.iscas import SUITE
 from repro.sizing import MinfloOptions, minflotransit, tilos_size
 from repro.tech import default_technology
 from repro.timing import analyze
 
 
 def _resolve_circuit(token: str):
-    path = Path(token)
-    if path.suffix == ".bench" or path.exists():
-        circuit = load_bench(path)
-        circuit = prune_dangling(circuit)
-        return buffer_high_fanout(circuit, max_fanout=12)
-    return build_circuit(token)
+    from repro.runner.spec import resolve_circuit
+
+    return resolve_circuit(token)
+
+
+def _parse_float_list(text: str, flag: str) -> list[float]:
+    """Comma-separated floats, with a usage error (exit 2) on junk."""
+    from repro.errors import RunnerError
+
+    try:
+        return [float(tok) for tok in text.split(",")]
+    except ValueError:
+        raise RunnerError(
+            f"{flag} expects comma-separated numbers, got {text!r}"
+        ) from None
 
 
 def _cmd_size(args: argparse.Namespace) -> int:
+    from repro.flow.registry import stats_scope
+
+    if args.spec <= 0:
+        print(f"error: --spec must be a positive fraction of Dmin, "
+              f"got {args.spec}", file=sys.stderr)
+        return 2
     circuit = _resolve_circuit(args.circuit)
     if args.mode == "transistor" and not is_primitive_circuit(circuit):
         circuit = map_to_primitives(circuit, suffix="")
@@ -62,23 +83,27 @@ def _cmd_size(args: argparse.Namespace) -> int:
     print(f"{circuit.name}: {circuit.n_gates} gates, {dag.n} variables, "
           f"Dmin = {d_min:.0f} ps, target = {target:.0f} ps")
 
-    seed = tilos_size(dag, target)
-    if not seed.feasible:
-        print(f"TILOS stalled at {seed.critical_path_delay:.0f} ps — "
-              f"spec {args.spec} is below this circuit's delay floor")
-        return 1
-    print(f"TILOS: area {seed.area:.1f} "
-          f"({seed.area / dag.area(dag.min_sizes()):.2f}x min), "
-          f"{seed.runtime_seconds:.2f}s")
-    result = minflotransit(
-        dag, target, MinfloOptions(flow_backend=args.backend), x0=seed.x
-    )
+    # Scope the flow-solver counters to this run: the module totals are
+    # cumulative per process, so printing them directly would mix in any
+    # earlier solves (other commands, other library calls).
+    with stats_scope() as flow_totals:
+        seed = tilos_size(dag, target)
+        if not seed.feasible:
+            print(f"TILOS stalled at {seed.critical_path_delay:.0f} ps — "
+                  f"spec {args.spec} is below this circuit's delay floor")
+            return 1
+        print(f"TILOS: area {seed.area:.1f} "
+              f"({seed.area / dag.area(dag.min_sizes()):.2f}x min), "
+              f"{seed.runtime_seconds:.2f}s")
+        result = minflotransit(
+            dag, target, MinfloOptions(flow_backend=args.backend), x0=seed.x
+        )
     print(result.summary())
     print(f"area saved over TILOS: "
           f"{100 * (1 - result.area / seed.area):.2f}%")
     if args.flow_stats:
         _print_iteration_stats(seed, result)
-        _print_flow_stats()
+        _print_flow_stats(flow_totals)
     if args.out:
         with open(args.out, "w") as handle:
             for vertex in dag.vertices:
@@ -89,11 +114,8 @@ def _cmd_size(args: argparse.Namespace) -> int:
     return 0
 
 
-def _print_flow_stats() -> None:
-    """Per-backend flow-solver totals accumulated during this run."""
-    from repro.flow.registry import solver_statistics
-
-    totals = solver_statistics()
+def _print_flow_stats(totals: dict) -> None:
+    """Per-backend flow-solver totals of one run (a stats_scope dict)."""
     if not totals:
         print("no flow solves recorded")
         return
@@ -145,6 +167,9 @@ def _print_iteration_stats(seed, result) -> None:
 def _cmd_stats(args: argparse.Namespace) -> int:
     circuit = _resolve_circuit(args.circuit)
     stats = circuit_stats(circuit)
+    if args.json:
+        print(json.dumps(asdict(stats), indent=2))
+        return 0
     print(stats.summary())
     rows = sorted(stats.cells.items(), key=lambda kv: -kv[1])
     print(format_table(
@@ -153,7 +178,23 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_suite(_args: argparse.Namespace) -> int:
+def _cmd_suite(args: argparse.Namespace) -> int:
+    if args.json:
+        print(json.dumps(
+            [
+                {
+                    "name": spec.name,
+                    "paper_gates": spec.paper_gates,
+                    "delay_spec": spec.delay_spec,
+                    "paper_area_saving_percent":
+                        spec.paper_area_saving_percent,
+                    "tier": spec.tier,
+                }
+                for spec in SUITE
+            ],
+            indent=2,
+        ))
+        return 0
     rows = [
         [
             spec.name,
@@ -170,6 +211,139 @@ def _cmd_suite(_args: argparse.Namespace) -> int:
         title="ISCAS85-equivalent suite (Table 1 rows)",
     ))
     return 0
+
+
+def _campaign_cache(args: argparse.Namespace):
+    from repro.runner import DEFAULT_CACHE_DIR, ResultCache
+
+    if args.no_cache:
+        return None
+    return ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro import runner
+    from repro.runner import CampaignSpec, campaign_to_dict, format_campaign
+    from repro.runner.spec import tier_preset
+
+    if args.circuits:
+        delay_specs = ()
+        if args.specs:
+            delay_specs = tuple(_parse_float_list(args.specs, "--specs"))
+            if any(s <= 0 for s in delay_specs):
+                print(f"error: delay specs must be positive fractions of "
+                      f"Dmin, got {args.specs}", file=sys.stderr)
+                return 2
+        spec = CampaignSpec(
+            name=args.name or "campaign",
+            circuits=tuple(args.circuits.split(",")),
+            delay_specs=delay_specs,
+            flow_backends=(args.backend,),
+        )
+    else:
+        spec = tier_preset(args.tier, flow_backend=args.backend)
+    run_dir = Path(args.run_dir or Path("runs") / spec.name)
+    result = runner.run(
+        spec,
+        jobs=args.jobs,
+        cache=_campaign_cache(args),
+        run_dir=run_dir,
+        timeout=args.timeout,
+    )
+    if args.json:
+        print(json.dumps(campaign_to_dict(result), indent=2))
+    else:
+        print(format_campaign(result))
+        print(f"run log: {run_dir / 'campaign.jsonl'}")
+    return 0 if result.n_failed == 0 else 1
+
+
+def _cmd_campaign_resume(args: argparse.Namespace) -> int:
+    from repro import runner
+    from repro.runner import campaign_to_dict, format_campaign
+
+    result = runner.resume(
+        args.run_dir,
+        jobs=args.jobs,
+        cache=_campaign_cache(args),
+        timeout=args.timeout,
+    )
+    if args.json:
+        print(json.dumps(campaign_to_dict(result), indent=2))
+    else:
+        print(format_campaign(result))
+    return 0 if result.n_failed == 0 else 1
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.runner import format_status, load_run, status_dict
+
+    state = load_run(args.run_dir)
+    if args.json:
+        print(json.dumps(status_dict(state), indent=2))
+    else:
+        print(format_status(state))
+    return 0
+
+
+def _add_campaign_parser(sub) -> None:
+    p_camp = sub.add_parser(
+        "campaign",
+        help="parallel sizing campaigns (cached, resumable)",
+        description="Run circuit×target sweeps on a process pool with a "
+                    "content-addressed result cache and a resumable "
+                    "JSONL run log.",
+    )
+    camp_sub = p_camp.add_subparsers(dest="campaign_command", required=True)
+
+    def _common(p, with_spec: bool) -> None:
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = run in-process)")
+        p.add_argument("--cache-dir", default=None,
+                       help="result cache directory "
+                            "(default .repro-cache)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache entirely")
+        p.add_argument("--timeout", type=float, default=None,
+                       help="per-job wall-time budget in seconds")
+        p.add_argument("--json", action="store_true",
+                       help="print a JSON digest instead of tables")
+        if with_spec:
+            p.add_argument("--circuits", default=None,
+                           help="comma-separated circuit tokens (suite "
+                                "names, rca:N, .bench paths)")
+            p.add_argument("--specs", default=None,
+                           help="comma-separated delay-target fractions "
+                                "of Dmin (default: each circuit's "
+                                "Table 1 spec)")
+            p.add_argument("--tier", default=None,
+                           choices=["smoke", "paper"],
+                           help="preset sweep when --circuits is absent")
+            p.add_argument("--flow-backend", "--backend", dest="backend",
+                           default="auto")
+            p.add_argument("--name", default=None,
+                           help="campaign name (run-dir default stem)")
+            p.add_argument("--run-dir", default=None,
+                           help="run-log directory "
+                                "(default runs/<name>)")
+
+    p_run = camp_sub.add_parser("run", help="run a campaign")
+    _common(p_run, with_spec=True)
+    p_run.set_defaults(func=_cmd_campaign_run)
+
+    p_resume = camp_sub.add_parser(
+        "resume", help="resume an interrupted campaign"
+    )
+    p_resume.add_argument("run_dir", help="directory with campaign.jsonl")
+    _common(p_resume, with_spec=False)
+    p_resume.set_defaults(func=_cmd_campaign_resume)
+
+    p_status = camp_sub.add_parser(
+        "status", help="summarize a run directory"
+    )
+    p_status.add_argument("run_dir", help="directory with campaign.jsonl")
+    p_status.add_argument("--json", action="store_true")
+    p_status.set_defaults(func=_cmd_campaign_status)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -199,45 +373,69 @@ def main(argv: list[str] | None = None) -> int:
 
     p_stats = sub.add_parser("stats", help="structural statistics")
     p_stats.add_argument("circuit")
+    p_stats.add_argument("--json", action="store_true",
+                         help="machine-readable output")
     p_stats.set_defaults(func=_cmd_stats)
 
     p_suite = sub.add_parser("suite", help="list the benchmark suite")
+    p_suite.add_argument("--json", action="store_true",
+                         help="machine-readable output")
     p_suite.set_defaults(func=_cmd_suite)
+
+    _add_campaign_parser(sub)
 
     p_t1 = sub.add_parser("table1", help="regenerate Table 1")
     p_t1.add_argument("--tier", default=None, choices=["smoke", "paper"])
     p_t1.add_argument("--flow-backend", "--backend", dest="backend",
                       default="auto")
+    p_t1.add_argument("--jobs", type=int, default=1)
+    p_t1.add_argument("--cache-dir", default=None,
+                      help="replay/store rows in a campaign result cache")
     p_f7 = sub.add_parser("figure7", help="regenerate Figure 7")
     p_f7.add_argument("--circuits", default=None)
     p_f7.add_argument("--ratios", default=None)
+    p_f7.add_argument("--jobs", type=int, default=1)
+    p_f7.add_argument("--cache-dir", default=None,
+                      help="replay/store points in a campaign result cache")
 
     args = parser.parse_args(argv)
-    if args.command == "table1":
-        from repro.experiments.table1 import format_table1, run_table1
+    try:
+        if args.command == "table1":
+            from repro.experiments.table1 import format_table1, run_table1
 
-        print(format_table1(run_table1(args.tier, args.backend)))
-        return 0
-    if args.command == "figure7":
-        from repro.experiments.figure7 import (
-            DEFAULT_RATIOS,
-            default_circuits,
-            format_panel,
-            run_panel,
-        )
+            print(format_table1(run_table1(
+                args.tier, args.backend, jobs=args.jobs,
+                cache=args.cache_dir,
+            )))
+            return 0
+        if args.command == "figure7":
+            from repro.experiments.figure7 import (
+                DEFAULT_RATIOS,
+                default_circuits,
+                format_panel,
+                run_panel,
+            )
 
-        names = (
-            args.circuits.split(",") if args.circuits else default_circuits()
-        )
-        ratios = (
-            [float(t) for t in args.ratios.split(",")]
-            if args.ratios
-            else DEFAULT_RATIOS
-        )
-        for name in names:
-            print(format_panel(run_panel(name, ratios)))
-        return 0
-    return args.func(args)
+            names = (
+                args.circuits.split(",") if args.circuits
+                else default_circuits()
+            )
+            ratios = (
+                _parse_float_list(args.ratios, "--ratios")
+                if args.ratios
+                else DEFAULT_RATIOS
+            )
+            for name in names:
+                print(format_panel(run_panel(
+                    name, ratios, jobs=args.jobs, cache=args.cache_dir,
+                )))
+            return 0
+        return args.func(args)
+    except ReproError as exc:
+        # Library-level misuse (unknown circuit token, bad backend name,
+        # malformed run dir, ...): a clean diagnostic, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -63,3 +63,13 @@ class InfeasibleTimingError(SizingError):
 class ConvergenceError(SizingError):
     """Raised when an iterative sizer exceeds its iteration budget without
     satisfying its convergence criterion."""
+
+
+class RunnerError(ReproError):
+    """Raised for malformed campaign specifications or corrupt run
+    logs in the sizing-campaign subsystem (:mod:`repro.runner`)."""
+
+
+class JobTimeoutError(RunnerError):
+    """Raised inside a campaign worker when a job exceeds its wall-time
+    budget; the executor records the job as timed out and moves on."""

@@ -1,13 +1,21 @@
-"""Experiment harnesses reproducing the paper's table and figures."""
+"""Experiment harnesses reproducing the paper's table and figures.
+
+All three harnesses (Table 1, Figure 7, the scaling study) build
+:class:`repro.runner.CampaignSpec` sweeps and execute them on the
+campaign runner — parallel under ``jobs=N``, cacheable, resumable.
+"""
 
 from repro.experiments.figure7 import (
     DEFAULT_RATIOS,
     default_circuits,
     format_panel,
+    panel_spec,
     run_panel,
 )
+from repro.experiments.scaling import scaling_spec
 from repro.experiments.table1 import (
     Table1Row,
+    campaign_spec,
     format_table1,
     run_row,
     run_table1,
@@ -17,11 +25,14 @@ from repro.experiments.table1 import (
 __all__ = [
     "DEFAULT_RATIOS",
     "Table1Row",
+    "campaign_spec",
     "default_circuits",
     "format_panel",
     "format_table1",
+    "panel_spec",
     "run_panel",
     "run_row",
     "run_table1",
+    "scaling_spec",
     "select_specs",
 ]

@@ -5,10 +5,16 @@ normalized delay for c432 and c6288, TILOS vs MINFLOTRANSIT.  This
 harness sweeps the same delay ratios on the equivalent circuits and
 renders an ASCII version of each panel plus the underlying series.
 
+Each (circuit, ratio) point is one :mod:`repro.runner` sizing job, so a
+panel is an ordinary campaign: points size in parallel under
+``--jobs N`` and, with ``--cache-dir``, replay from the result cache
+on repeat runs.
+
 Run as a module::
 
     python -m repro.experiments.figure7 [--circuits c432eq,c6288eq]
-                                        [--ratios 0.4,0.5,...]
+                                        [--ratios 0.4,0.5,...] [--jobs N]
+                                        [--cache-dir DIR]
 
 The c6288 panel is heavy (a 16x16 multiplier swept over many targets);
 the default circuit list honours the ``REPRO_BENCH_TIER`` environment
@@ -21,12 +27,16 @@ import argparse
 import os
 
 from repro.analysis.reporting import ascii_plot, format_table
-from repro.analysis.tradeoff import TradeoffCurve, area_delay_curve
-from repro.dag import build_sizing_dag
-from repro.generators.iscas import build_circuit
-from repro.tech import default_technology
+from repro.analysis.tradeoff import CurvePoint, TradeoffCurve
+from repro.runner import CampaignSpec, run
 
-__all__ = ["run_panel", "format_panel", "default_circuits", "DEFAULT_RATIOS"]
+__all__ = [
+    "run_panel",
+    "panel_spec",
+    "format_panel",
+    "default_circuits",
+    "DEFAULT_RATIOS",
+]
 
 DEFAULT_RATIOS = [0.4, 0.45, 0.5, 0.55, 0.6, 0.7, 0.8, 0.9, 1.0]
 
@@ -38,13 +48,62 @@ def default_circuits(tier: str | None = None) -> list[str]:
     return ["c432eq", "c499eq"]
 
 
+def panel_spec(name: str, ratios: list[float] | None = None) -> CampaignSpec:
+    """One figure-7 panel as a campaign (one job per delay ratio)."""
+    return CampaignSpec(
+        name=f"figure7-{name}",
+        circuits=(name,),
+        delay_specs=tuple(ratios or DEFAULT_RATIOS),
+    )
+
+
 def run_panel(
-    name: str, ratios: list[float] | None = None
+    name: str,
+    ratios: list[float] | None = None,
+    jobs: int = 1,
+    cache=None,
 ) -> TradeoffCurve:
     """Sweep one circuit; returns the trade-off curve."""
-    circuit = build_circuit(name)
-    dag = build_sizing_dag(circuit, default_technology(), mode="gate")
-    return area_delay_curve(dag, ratios or DEFAULT_RATIOS)
+    result = run(panel_spec(name, ratios), jobs=jobs, cache=cache)
+    curve: TradeoffCurve | None = None
+    points: list[CurvePoint] = []
+    for outcome in result.outcomes:
+        if not outcome.completed:
+            raise RuntimeError(
+                f"job {outcome.job.label()} {outcome.status}: {outcome.error}"
+            )
+        payload = outcome.payload
+        if curve is None:
+            curve = TradeoffCurve(
+                name=payload["name"],
+                d_min=payload["d_min"],
+                min_area=payload["min_area"],
+            )
+        seed = payload["seed"]
+        sized = payload["result"]
+        if sized is None:
+            points.append(CurvePoint(
+                delay_ratio=payload["delay_spec"],
+                target=payload["target"],
+                tilos_area_ratio=None,
+                minflo_area_ratio=None,
+                tilos_seconds=seed["runtime_seconds"],
+                minflo_seconds=0.0,
+                saving_percent=None,
+            ))
+            continue
+        points.append(CurvePoint(
+            delay_ratio=payload["delay_spec"],
+            target=payload["target"],
+            tilos_area_ratio=seed["area"] / payload["min_area"],
+            minflo_area_ratio=sized["area"] / payload["min_area"],
+            tilos_seconds=seed["runtime_seconds"],
+            minflo_seconds=sized["runtime_seconds"],
+            saving_percent=100.0 * (1.0 - sized["area"] / seed["area"]),
+        ))
+    assert curve is not None  # specs always expand to >= 1 job
+    curve.points = sorted(points, key=lambda p: p.delay_ratio)
+    return curve
 
 
 def format_panel(curve: TradeoffCurve) -> str:
@@ -79,6 +138,9 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--circuits", default=None)
     parser.add_argument("--ratios", default=None)
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--cache-dir", default=None,
+                        help="replay/store points in a campaign result cache")
     args = parser.parse_args()
     names = (
         args.circuits.split(",") if args.circuits else default_circuits()
@@ -89,7 +151,7 @@ def main() -> None:
         else DEFAULT_RATIOS
     )
     for name in names:
-        curve = run_panel(name, ratios)
+        curve = run_panel(name, ratios, jobs=args.jobs, cache=args.cache_dir)
         print(format_panel(curve))
         print()
 

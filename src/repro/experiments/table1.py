@@ -5,31 +5,46 @@ specification (fraction of the minimum-sized circuit's delay), the area
 saving of MINFLOTRANSIT over the TILOS seed, TILOS CPU time and the
 extra time MINFLOTRANSIT needs on top (the paper reports both columns).
 
+The rows are one campaign on :mod:`repro.runner`: ``--jobs N`` sizes
+rows in parallel, and with ``--cache-dir`` each (circuit, spec) job
+replays from the content-addressed store, so re-running the table
+against a warm cache is free.
+
 Run as a module::
 
-    python -m repro.experiments.table1 [--tier smoke|paper] [--backend auto]
+    python -m repro.experiments.table1 [--tier smoke|paper]
+                                       [--backend auto] [--jobs N]
+                                       [--cache-dir DIR]
 
-or through the pytest-benchmark wrapper in ``benchmarks/``.
+or through the pytest-benchmark wrapper in ``benchmarks/``, or as
+``python -m repro campaign run --tier smoke``.
 """
 
 from __future__ import annotations
 
 import argparse
 import os
-import time
 from dataclasses import dataclass
 
 from repro.analysis.reporting import format_table
-from repro.dag import build_sizing_dag
 from repro.generators.iscas import SUITE, BenchmarkSpec
-from repro.sizing import MinfloOptions, minflotransit, tilos_size
-from repro.tech import default_technology
-from repro.timing import GraphTimer
+from repro.runner import CampaignSpec, Job, JobOutcome, run, tier_preset
+from repro.runner.executor import execute_job
 
-__all__ = ["Table1Row", "run_row", "run_table1", "format_table1", "select_specs"]
+__all__ = [
+    "Table1Row",
+    "campaign_spec",
+    "row_from_outcome",
+    "run_row",
+    "run_table1",
+    "format_table1",
+    "select_specs",
+]
 
 #: Environment variable choosing the benchmark tier.
 TIER_ENV = "REPRO_BENCH_TIER"
+
+_PAPER_ROWS = {spec.name: spec for spec in SUITE}
 
 
 @dataclass(frozen=True)
@@ -59,64 +74,89 @@ def select_specs(tier: str | None = None) -> list[BenchmarkSpec]:
     raise ValueError(f"unknown tier {tier!r} (use 'smoke' or 'paper')")
 
 
-def run_row(
-    spec: BenchmarkSpec,
-    flow_backend: str = "auto",
-) -> Table1Row:
-    """Build, seed with TILOS and refine with MINFLOTRANSIT."""
-    circuit = spec.builder()
-    tech = default_technology()
-    dag = build_sizing_dag(circuit, tech, mode="gate")
-    timer = GraphTimer(dag)
-    x_min = dag.min_sizes()
-    d_min = timer.analyze(dag.delays(x_min)).critical_path_delay
-    target = spec.delay_spec * d_min
+def campaign_spec(
+    tier: str | None = None, flow_backend: str = "auto"
+) -> CampaignSpec:
+    """The Table 1 sweep as a runner campaign (one job per row)."""
+    return tier_preset(tier, flow_backend=flow_backend)
 
-    start = time.perf_counter()
-    seed = tilos_size(dag, target, timer=timer)
-    tilos_seconds = time.perf_counter() - start
-    if not seed.feasible:
+
+def row_from_outcome(outcome: JobOutcome) -> Table1Row:
+    """Convert one sizing-job outcome into a table row."""
+    if not outcome.completed:
+        raise RuntimeError(
+            f"job {outcome.job.label()} {outcome.status}: {outcome.error}"
+        )
+    payload = outcome.payload
+    paper = _PAPER_ROWS.get(payload["name"])
+    seed = payload["seed"]
+    result = payload["result"]
+    if result is None:
         return Table1Row(
-            name=spec.name,
-            n_gates=circuit.n_gates,
-            paper_gates=spec.paper_gates,
-            delay_spec=spec.delay_spec,
+            name=payload["name"],
+            n_gates=payload["n_gates"],
+            paper_gates=paper.paper_gates if paper else 0,
+            delay_spec=payload["delay_spec"],
             feasible=False,
             area_saving_percent=float("nan"),
-            paper_saving_percent=spec.paper_area_saving_percent,
-            tilos_seconds=tilos_seconds,
+            paper_saving_percent=(
+                paper.paper_area_saving_percent if paper else float("nan")
+            ),
+            tilos_seconds=seed["runtime_seconds"],
             minflo_extra_seconds=float("nan"),
             minflo_iterations=0,
             area_ratio_vs_min=float("nan"),
         )
-
-    start = time.perf_counter()
-    result = minflotransit(
-        dag,
-        target,
-        options=MinfloOptions(flow_backend=flow_backend),
-        x0=seed.x,
-    )
-    minflo_seconds = time.perf_counter() - start
     return Table1Row(
-        name=spec.name,
-        n_gates=circuit.n_gates,
-        paper_gates=spec.paper_gates,
-        delay_spec=spec.delay_spec,
+        name=payload["name"],
+        n_gates=payload["n_gates"],
+        paper_gates=paper.paper_gates if paper else 0,
+        delay_spec=payload["delay_spec"],
         feasible=True,
-        area_saving_percent=100.0 * (1.0 - result.area / seed.area),
-        paper_saving_percent=spec.paper_area_saving_percent,
-        tilos_seconds=tilos_seconds,
-        minflo_extra_seconds=minflo_seconds,
-        minflo_iterations=result.n_iterations,
-        area_ratio_vs_min=result.area / dag.area(x_min),
+        area_saving_percent=100.0 * (1.0 - result["area"] / seed["area"]),
+        paper_saving_percent=(
+            paper.paper_area_saving_percent if paper else float("nan")
+        ),
+        tilos_seconds=seed["runtime_seconds"],
+        minflo_extra_seconds=result["runtime_seconds"],
+        minflo_iterations=len(result["iterations"]),
+        area_ratio_vs_min=result["area"] / payload["min_area"],
     )
+
+
+def run_row(
+    spec: BenchmarkSpec,
+    flow_backend: str = "auto",
+) -> Table1Row:
+    """Build, seed with TILOS and refine with MINFLOTRANSIT (one row)."""
+    job = Job(
+        circuit=spec.name,
+        delay_spec=spec.delay_spec,
+        flow_backend=flow_backend,
+    )
+    status, payload = execute_job(job)
+    return row_from_outcome(JobOutcome(
+        index=0,
+        job=job,
+        key=None,
+        status=status,
+        cached=False,
+        wall_seconds=0.0,
+        payload=payload,
+    ))
 
 
 def run_table1(
-    tier: str | None = None, flow_backend: str = "auto"
+    tier: str | None = None,
+    flow_backend: str = "auto",
+    jobs: int = 1,
+    cache=None,
 ) -> list[Table1Row]:
-    return [run_row(spec, flow_backend) for spec in select_specs(tier)]
+    """All rows of a tier, as one (cacheable, parallelizable) campaign."""
+    result = run(
+        campaign_spec(tier, flow_backend), jobs=jobs, cache=cache
+    )
+    return [row_from_outcome(outcome) for outcome in result.outcomes]
 
 
 def format_table1(rows: list[Table1Row]) -> str:
@@ -160,8 +200,13 @@ def main() -> None:
     parser.add_argument("--tier", default=None, choices=["smoke", "paper"])
     parser.add_argument("--flow-backend", "--backend", dest="backend",
                         default="auto")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (1 = run in-process)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="replay/store rows in a campaign result cache")
     args = parser.parse_args()
-    rows = run_table1(tier=args.tier, flow_backend=args.backend)
+    rows = run_table1(tier=args.tier, flow_backend=args.backend,
+                      jobs=args.jobs, cache=args.cache_dir)
     print(format_table1(rows))
 
 

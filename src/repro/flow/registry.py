@@ -25,6 +25,7 @@ lookup, so registering a backend can never create an import cycle.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from typing import Callable
 
@@ -41,6 +42,7 @@ __all__ = [
     "reset_solver_statistics",
     "select_backend",
     "solver_statistics",
+    "stats_scope",
 ]
 
 #: Canonical backend names, in documentation order.  Kept static so
@@ -280,6 +282,42 @@ def solver_statistics() -> dict[str, SolveStats]:
 
 def reset_solver_statistics() -> None:
     _TOTALS.clear()
+
+
+@contextmanager
+def stats_scope():
+    """Collect solver statistics for exactly the enclosed work.
+
+    The module-level totals are cumulative since import, which makes
+    them wrong for any consumer that needs *per-run* numbers (the CLI's
+    ``--flow-stats``, the campaign executor's per-job telemetry): totals
+    from earlier runs in the same process would leak in.  This context
+    manager isolates a scope — the yielded dict is filled with the
+    scope's own per-backend :class:`SolveStats` on exit — and then folds
+    the scoped counters back into the outer totals so nested/global
+    accounting still adds up.
+
+    Usage::
+
+        with stats_scope() as scoped:
+            minflotransit(...)
+        print(scoped)   # only this run's solves
+    """
+    outer = {name: replace(total) for name, total in _TOTALS.items()}
+    _TOTALS.clear()
+    scoped: dict[str, SolveStats] = {}
+    try:
+        yield scoped
+    finally:
+        scoped.update(
+            {name: replace(total) for name, total in _TOTALS.items()}
+        )
+        for name, total in outer.items():
+            mine = _TOTALS.get(name)
+            if mine is None:
+                _TOTALS[name] = replace(total)
+            else:
+                mine.merge(total)
 
 
 def timed_solve(backend: FlowBackend, lp, warm_start=None) -> "object":

@@ -1,0 +1,132 @@
+"""Content-addressed on-disk store for campaign job results.
+
+A job's cache key is the SHA-256 of a canonical JSON fingerprint of
+*everything that determines its outcome*:
+
+* the exact netlist (``dumps_bench`` of the resolved circuit — tokens
+  are not trusted, so editing a ``.bench`` file or changing a generator
+  invalidates its entries),
+* the full technology parameter set,
+* the job parameters (mode, delay spec, backend, option overrides),
+* the code schema versions (the sizing-result schema from
+  :mod:`repro.sizing.serialize` plus this cache's own layout version).
+
+Entries live at ``<root>/<key[:2]>/<key>.json`` and carry the job's
+JSON payload (which embeds a full serialized
+:class:`~repro.sizing.result.SizingResult`).  Writes are atomic
+(temp file + rename), so a campaign killed mid-write never leaves a
+truncated entry behind, and concurrent writers of the same key settle
+on one intact copy.  Any unreadable, corrupt, or version-mismatched
+entry is treated as a miss — the job simply re-runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.circuit.bench_io import dumps_bench
+from repro.runner.spec import Job, resolve_circuit
+from repro.sizing import serialize
+from repro.tech import default_technology
+
+__all__ = ["CACHE_LAYOUT_VERSION", "ResultCache", "job_key", "netlist_digest"]
+
+#: Version of the cache entry layout itself (bump to orphan every
+#: existing entry when the payload structure changes incompatibly).
+CACHE_LAYOUT_VERSION = 1
+
+
+def netlist_digest(token: str) -> str:
+    """SHA-256 of the resolved circuit's exact ``.bench`` text."""
+    circuit = resolve_circuit(token)
+    return hashlib.sha256(dumps_bench(circuit).encode()).hexdigest()
+
+
+def job_fingerprint(job: Job, netlist_sha: str | None = None) -> dict:
+    """JSON-ready description of everything that determines the result.
+
+    ``netlist_sha`` lets batch callers (:func:`campaign_keys`) resolve
+    and serialize each distinct circuit token once instead of once per
+    job — a figure-7 panel shares one circuit across every ratio.
+    """
+    return {
+        "cache_layout": CACHE_LAYOUT_VERSION,
+        "result_schema": serialize.SCHEMA_VERSION,
+        "netlist_sha256": netlist_sha or netlist_digest(job.circuit),
+        "technology": asdict(default_technology()),
+        "job": job.to_dict(),
+    }
+
+
+def job_key(job: Job, netlist_sha: str | None = None) -> str:
+    """Content-addressed cache key (hex SHA-256) for a job."""
+    canonical = json.dumps(
+        job_fingerprint(job, netlist_sha),
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed result store rooted at a directory."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The cached payload for ``key``, or None on any kind of miss."""
+        path = self._path(key)
+        try:
+            with open(path) as handle:
+                entry = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if entry.get("cache_layout") != CACHE_LAYOUT_VERSION:
+            return None
+        payload = entry.get("payload")
+        if not isinstance(payload, dict):
+            return None
+        result = payload.get("result")
+        if result is not None and (
+            serialize.payload_schema_version(result) != serialize.SCHEMA_VERSION
+        ):
+            # A result serialized by an older (or newer) build: unusable.
+            return None
+        return payload
+
+    def put(self, key: str, payload: dict) -> Path:
+        """Atomically store ``payload`` under ``key``."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"cache_layout": CACHE_LAYOUT_VERSION, "payload": payload}
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

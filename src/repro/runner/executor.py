@@ -1,0 +1,393 @@
+"""Campaign execution: process pool, timeouts, failure isolation.
+
+:func:`run_campaign` drives an expanded job list to completion:
+
+* **Cache probe first.**  Jobs whose content-addressed key already has
+  a stored payload never reach the pool — a repeated campaign is pure
+  cache replay.
+* **Process pool.**  Remaining jobs run on a
+  :class:`concurrent.futures.ProcessPoolExecutor` (``jobs=1`` runs
+  inline in-process, which is what the tests and the benchmarks use
+  for determinism-by-construction).  Sizing is deterministic, so
+  parallel and serial campaigns produce identical payloads.
+* **Per-job timeout.**  Enforced *inside* the worker via
+  ``SIGALRM``/``setitimer``, so a hung solve cannot wedge a pool slot
+  forever and the pool itself stays healthy.
+* **Failure isolation.**  A job that raises (or times out) becomes a
+  ``failed``/``timeout`` outcome carrying the traceback; the rest of
+  the campaign is unaffected.
+* **Deterministic ordering.**  Outcomes are returned in job-expansion
+  order no matter which worker finished first; streaming consumers
+  (the JSONL run log) observe completion order but every record
+  carries its job index.
+
+Per-job flow-solver telemetry is collected with
+:func:`repro.flow.registry.stats_scope` — never from the module-global
+totals, which would interleave under any concurrent or repeated use.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import asdict, dataclass, field
+
+from repro.errors import JobTimeoutError, ReproError
+from repro.runner.cache import ResultCache, job_key, netlist_digest
+from repro.runner.spec import CampaignSpec, Job, resolve_circuit
+
+__all__ = [
+    "JobOutcome",
+    "CampaignResult",
+    "campaign_keys",
+    "execute_job",
+    "run_campaign",
+]
+
+#: Outcome statuses that represent a finished computation (and are
+#: therefore cacheable); ``failed``/``timeout`` are not.
+COMPLETED_STATUSES = ("ok", "infeasible")
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """One job's fate: status, payload, provenance."""
+
+    index: int
+    job: Job
+    key: str | None
+    status: str  # "ok" | "infeasible" | "failed" | "timeout"
+    cached: bool
+    wall_seconds: float
+    payload: dict | None
+    error: str | None = None
+
+    @property
+    def completed(self) -> bool:
+        return self.status in COMPLETED_STATUSES
+
+
+@dataclass
+class CampaignResult:
+    """All outcomes of one campaign run, in job-expansion order."""
+
+    name: str
+    outcomes: list[JobOutcome] = field(default_factory=list)
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for o in self.outcomes if o.cached)
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for o in self.outcomes if not o.completed)
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for outcome in self.outcomes:
+            out[outcome.status] = out.get(outcome.status, 0) + 1
+        return out
+
+
+# -- job execution (runs in the worker process) -----------------------
+
+
+def _execute_sizing(job: Job) -> tuple[str, dict]:
+    """Full TILOS + MINFLOTRANSIT pipeline for one job."""
+    from repro.circuit.mapping import is_primitive_circuit, map_to_primitives
+    from repro.dag import build_sizing_dag
+    from repro.flow.registry import stats_scope
+    from repro.sizing import minflotransit, tilos_size
+    from repro.sizing.serialize import result_to_dict
+    from repro.tech import default_technology
+    from repro.timing import GraphTimer
+
+    circuit = resolve_circuit(job.circuit)
+    if job.mode == "transistor" and not is_primitive_circuit(circuit):
+        circuit = map_to_primitives(circuit, suffix="")
+    tech = default_technology()
+    dag = build_sizing_dag(circuit, tech, mode=job.mode)
+    timer = GraphTimer(dag)
+    x_min = dag.min_sizes()
+    d_min = timer.analyze(dag.delays(x_min)).critical_path_delay
+    target = job.delay_spec * d_min
+
+    payload = {
+        "kind": "sizing",
+        "circuit": job.circuit,
+        "name": circuit.name,
+        "n_gates": circuit.n_gates,
+        "n_vertices": dag.n,
+        "delay_spec": job.delay_spec,
+        "d_min": d_min,
+        "target": target,
+        "min_area": dag.area(x_min),
+    }
+    with stats_scope() as flow_stats:
+        seed = tilos_size(dag, target, timer=timer)
+        payload["seed"] = {
+            "feasible": seed.feasible,
+            "area": seed.area,
+            "critical_path_delay": seed.critical_path_delay,
+            "runtime_seconds": seed.runtime_seconds,
+            "iterations": seed.iterations,
+            "timing_stats": seed.timing_stats,
+        }
+        if not seed.feasible:
+            payload["result"] = None
+        else:
+            result = minflotransit(
+                dag, target, options=job.minflo_options(), x0=seed.x
+            )
+            payload["result"] = result_to_dict(result)
+    payload["flow_stats"] = {
+        name: asdict(stats) for name, stats in sorted(flow_stats.items())
+    }
+    return ("ok" if seed.feasible else "infeasible"), payload
+
+
+def _execute_phases(job: Job) -> tuple[str, dict]:
+    """Time one STA / balance / W-phase / D-phase pass (scaling study)."""
+    from repro.balancing import balance
+    from repro.dag import build_sizing_dag
+    from repro.sizing import d_phase, tilos_size, w_phase
+    from repro.tech import default_technology
+    from repro.timing import GraphTimer
+
+    def best_of(fn, repeats: int = 3) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    circuit = resolve_circuit(job.circuit)
+    dag = build_sizing_dag(circuit, default_technology(), mode=job.mode)
+    timer = GraphTimer(dag)
+    d_min = timer.analyze(dag.delays(dag.min_sizes())).critical_path_delay
+    target = job.delay_spec * d_min
+    seed = tilos_size(dag, target, timer=timer)
+    x = seed.x if seed.feasible else dag.min_sizes() * 2
+    delays = dag.delays(x)
+    horizon = max(target, timer.analyze(delays).critical_path_delay)
+    config = balance(dag, delays, horizon=horizon, timer=timer)
+    load = delays - dag.model.intrinsic
+    budgets = delays * 1.01
+
+    # Warm up the LP backend once so one-time solver setup does not
+    # pollute the smallest instance's measurement.
+    d_phase(dag, x, config, -0.2 * load, 0.2 * load)
+    width = 0
+    if job.circuit.startswith("rca:"):
+        width = int(job.circuit.split(":", 1)[1])
+    payload = {
+        "kind": "phases",
+        "circuit": job.circuit,
+        "name": circuit.name,
+        "width": width,
+        "n_vertices": dag.n,
+        "n_edges": dag.n_edges,
+        "sta_seconds": best_of(lambda: timer.analyze(delays)),
+        "balance_seconds": best_of(
+            lambda: balance(dag, delays, horizon=horizon, timer=timer)
+        ),
+        "w_phase_seconds": best_of(lambda: w_phase(dag, budgets)),
+        "d_phase_seconds": best_of(
+            lambda: d_phase(dag, x, config, -0.2 * load, 0.2 * load),
+            repeats=1,
+        ),
+    }
+    return "ok", payload
+
+
+_EXECUTORS = {"sizing": _execute_sizing, "phases": _execute_phases}
+
+
+def execute_job(job: Job) -> tuple[str, dict]:
+    """Run one job to completion in this process; returns (status, payload)."""
+    return _EXECUTORS[job.kind](job)
+
+
+def _with_timeout(fn, timeout: float | None):
+    """Run ``fn`` under a wall-time budget (SIGALRM; POSIX main thread).
+
+    Off the main thread (or with no budget) the function simply runs —
+    pool workers always execute jobs on their main thread, so the
+    guard only disarms the inline path under unusual embeddings.
+    """
+    if not timeout or threading.current_thread() is not threading.main_thread():
+        return fn()
+
+    def _alarm(signum, frame):
+        raise JobTimeoutError(f"job exceeded its {timeout:g}s budget")
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return fn()
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _pool_entry(
+    job: Job, timeout: float | None
+) -> tuple[str, dict | None, str | None, float]:
+    """Worker-side wrapper: isolate failures, enforce the timeout."""
+    start = time.perf_counter()
+    try:
+        status, payload = _with_timeout(lambda: execute_job(job), timeout)
+        return status, payload, None, time.perf_counter() - start
+    except JobTimeoutError as exc:
+        return "timeout", None, str(exc), time.perf_counter() - start
+    except Exception as exc:  # noqa: BLE001 — isolation is the point
+        detail = f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+        return "failed", None, detail, time.perf_counter() - start
+
+
+# -- the driver (parent process) --------------------------------------
+
+
+def campaign_keys(
+    job_list: list[Job], cache: ResultCache | None
+) -> list[str | None]:
+    """Cache keys for a job list (None entries when caching is off).
+
+    Keying a job builds its circuit; a job whose token cannot resolve
+    gets a None key here and fails in isolation when executed, instead
+    of taking the whole campaign down before it starts.  Each distinct
+    circuit token is resolved and serialized once per pass no matter
+    how many jobs share it (a figure-7 panel is one circuit × many
+    ratios).
+    """
+    keys: list[str | None] = []
+    digests: dict[str, str | None] = {}
+    for job in job_list:
+        if cache is None:
+            keys.append(None)
+            continue
+        if job.circuit not in digests:
+            try:
+                digests[job.circuit] = netlist_digest(job.circuit)
+            except ReproError:
+                digests[job.circuit] = None
+        sha = digests[job.circuit]
+        keys.append(None if sha is None else job_key(job, netlist_sha=sha))
+    return keys
+
+
+def run_campaign(
+    spec: CampaignSpec | list[Job],
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    timeout: float | None = None,
+    on_outcome=None,
+    keys: list[str | None] | None = None,
+) -> CampaignResult:
+    """Run a campaign; returns outcomes in job-expansion order.
+
+    ``jobs`` is the worker-process count (1 = inline, no pool);
+    ``cache`` short-circuits jobs whose key is already stored and
+    receives every newly completed payload; ``timeout`` is the per-job
+    wall-time budget in seconds; ``on_outcome`` is called once per
+    outcome *in completion order* (the JSONL streamer hooks in here);
+    ``keys`` are precomputed :func:`campaign_keys` (computing a key
+    builds the circuit, so callers that already did — e.g. to write the
+    run-log header — pass them in rather than paying twice).
+    """
+    if isinstance(spec, CampaignSpec):
+        name = spec.name
+        job_list = spec.jobs()
+    else:
+        name = "adhoc"
+        job_list = list(spec)
+    if keys is None:
+        keys = campaign_keys(job_list, cache)
+
+    result = CampaignResult(name=name)
+    slots: list[JobOutcome | None] = [None] * len(job_list)
+
+    def finish(outcome: JobOutcome) -> None:
+        slots[outcome.index] = outcome
+        if (
+            outcome.completed
+            and not outcome.cached
+            and cache is not None
+            and outcome.key is not None
+            # Phase-timing payloads are wall-clock measurements — not
+            # content-addressable, so never cached.
+            and outcome.job.kind == "sizing"
+        ):
+            cache.put(outcome.key, outcome.payload)
+        if on_outcome is not None:
+            on_outcome(outcome)
+
+    pending: list[tuple[int, Job, str | None]] = []
+    for index, job in enumerate(job_list):
+        key = keys[index]
+        payload = (
+            cache.get(key)
+            if cache is not None and key is not None and job.kind == "sizing"
+            else None
+        )
+        if payload is not None:
+            finish(JobOutcome(
+                index=index,
+                job=job,
+                key=key,
+                status=(
+                    "ok" if payload.get("result") is not None else "infeasible"
+                ),
+                cached=True,
+                wall_seconds=0.0,
+                payload=payload,
+            ))
+        else:
+            pending.append((index, job, key))
+
+    if pending and jobs <= 1:
+        for index, job, key in pending:
+            status, payload, error, wall = _pool_entry(job, timeout)
+            finish(JobOutcome(
+                index=index,
+                job=job,
+                key=key,
+                status=status,
+                cached=False,
+                wall_seconds=wall,
+                payload=payload,
+                error=error,
+            ))
+    elif pending:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                pool.submit(_pool_entry, job, timeout): (index, job, key)
+                for index, job, key in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, job, key = futures[future]
+                    try:
+                        status, payload, error, wall = future.result()
+                    except Exception as exc:  # pool broke under this job
+                        status, payload, wall = "failed", None, 0.0
+                        error = f"{type(exc).__name__}: {exc}"
+                    finish(JobOutcome(
+                        index=index,
+                        job=job,
+                        key=key,
+                        status=status,
+                        cached=False,
+                        wall_seconds=wall,
+                        payload=payload,
+                        error=error,
+                    ))
+
+    result.outcomes = [slot for slot in slots if slot is not None]
+    return result

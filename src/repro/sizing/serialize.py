@@ -4,6 +4,11 @@ Downstream flows (placement, simulation, report diffing) need the size
 assignment out of process; this module writes/reads a stable JSON
 schema carrying the per-vertex sizes, the run metadata and the
 iteration history.
+
+Payloads carry an explicit integer ``schema_version``; the loader
+rejects any version other than :data:`SCHEMA_VERSION`, and the campaign
+result cache (:mod:`repro.runner.cache`) treats a mismatch as a cache
+miss, so stale on-disk results can never masquerade as current ones.
 """
 
 from __future__ import annotations
@@ -17,15 +22,30 @@ from repro.dag.circuit_dag import SizingDag
 from repro.errors import SizingError
 from repro.sizing.result import IterationRecord, SizingResult
 
-__all__ = ["result_to_dict", "result_from_dict", "save_result", "load_result"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "payload_schema_version",
+    "result_to_dict",
+    "result_from_dict",
+    "save_result",
+    "load_result",
+]
 
-_SCHEMA = "repro.sizing-result/1"
+#: Version of the persisted result schema.  Bump whenever the payload
+#: layout (or the meaning of a field) changes; loaders refuse other
+#: versions and cached campaign results keyed on an old version simply
+#: re-run.  Version 2 added the explicit ``schema_version`` field.
+SCHEMA_VERSION = 2
+
+_SCHEMA_FAMILY = "repro.sizing-result"
+_SCHEMA = f"{_SCHEMA_FAMILY}/{SCHEMA_VERSION}"
 
 
 def result_to_dict(result: SizingResult, dag: SizingDag | None = None) -> dict:
     """JSON-ready dictionary; includes vertex labels when a DAG is given."""
     payload = {
         "schema": _SCHEMA,
+        "schema_version": SCHEMA_VERSION,
         "name": result.name,
         "mode": result.mode,
         "x": [float(v) for v in result.x],
@@ -62,11 +82,30 @@ def result_to_dict(result: SizingResult, dag: SizingDag | None = None) -> dict:
     return payload
 
 
+def payload_schema_version(payload: dict) -> int | None:
+    """Schema version of a payload, or None when unrecognizable.
+
+    Understands both the explicit ``schema_version`` field (v2+) and
+    the version suffix of the ``schema`` family string (v1 documents).
+    """
+    version = payload.get("schema_version")
+    if isinstance(version, int):
+        return version
+    schema = payload.get("schema")
+    if isinstance(schema, str):
+        family, _, suffix = schema.rpartition("/")
+        if family == _SCHEMA_FAMILY and suffix.isdigit():
+            return int(suffix)
+    return None
+
+
 def result_from_dict(payload: dict) -> SizingResult:
-    if payload.get("schema") != _SCHEMA:
+    version = payload_schema_version(payload)
+    if version != SCHEMA_VERSION:
         raise SizingError(
-            f"unsupported schema {payload.get('schema')!r} "
-            f"(expected {_SCHEMA})"
+            f"unsupported sizing-result schema version {version!r} "
+            f"(schema {payload.get('schema')!r}; this build reads only "
+            f"version {SCHEMA_VERSION})"
         )
     return SizingResult(
         name=payload["name"],

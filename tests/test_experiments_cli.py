@@ -130,3 +130,52 @@ class TestCli:
         from repro.__main__ import main
 
         assert main(["size", "c17", "--spec", "0.6", "--wires"]) == 0
+
+    def test_unknown_circuit_exit_code(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["size", "nosuchckt", "--spec", "0.5"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown benchmark 'nosuchckt'" in err
+        assert "c432eq" in err  # the message lists the known names
+
+    def test_unknown_circuit_stats_exit_code(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["stats", "nosuchckt"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_nonpositive_spec_exit_code(self, capsys):
+        from repro.__main__ import main
+
+        for bad in ("0", "-0.4"):
+            assert main(["size", "c17", "--spec", bad]) == 2
+            assert "positive fraction" in capsys.readouterr().err
+
+    def test_bad_backend_exit_code(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["size", "c17", "--spec", "0.6",
+                     "--flow-backend", "warp-drive"]) == 2
+        assert "unknown flow backend" in capsys.readouterr().err
+
+    def test_suite_json(self, capsys):
+        import json
+
+        from repro.__main__ import main
+
+        assert main(["suite", "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert {e["name"] for e in entries} == {s.name for s in SUITE}
+        assert all("delay_spec" in e and "tier" in e for e in entries)
+
+    def test_stats_json(self, capsys):
+        import json
+
+        from repro.__main__ import main
+
+        assert main(["stats", "c17", "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["name"] == "c17"
+        assert info["n_gates"] == 6
+        assert info["cells"]["NAND2"] == 6

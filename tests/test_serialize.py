@@ -5,7 +5,9 @@ import pytest
 from repro.errors import SizingError
 from repro.sizing import minflotransit
 from repro.sizing.serialize import (
+    SCHEMA_VERSION,
     load_result,
+    payload_schema_version,
     result_from_dict,
     result_to_dict,
     save_result,
@@ -40,8 +42,30 @@ class TestSerialize:
     def test_schema_checked(self, result):
         payload = result_to_dict(result)
         payload["schema"] = "other/9"
+        del payload["schema_version"]
         with pytest.raises(SizingError, match="schema"):
             result_from_dict(payload)
+
+    def test_schema_version_mismatch_rejected(self, result):
+        payload = result_to_dict(result)
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(SizingError, match="version"):
+            result_from_dict(payload)
+
+    def test_v1_documents_rejected(self, result):
+        # Version 1 predates the explicit schema_version field; its
+        # family-string suffix must still be recognized — and refused.
+        payload = result_to_dict(result)
+        del payload["schema_version"]
+        payload["schema"] = "repro.sizing-result/1"
+        assert payload_schema_version(payload) == 1
+        with pytest.raises(SizingError, match="version 1"):
+            result_from_dict(payload)
+
+    def test_payload_carries_current_version(self, result):
+        payload = result_to_dict(result)
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload_schema_version(payload) == SCHEMA_VERSION
 
     def test_derived_properties_survive(self, result, tmp_path):
         again = load_result(save_result(result, tmp_path / "r.json"))
