@@ -8,6 +8,7 @@ Commands
 ``suite``     list the ISCAS85-equivalent benchmark suite (``--json``)
 ``campaign``  run/resume/inspect a parallel sizing campaign (run log +
               content-addressed result cache; see ``campaign --help``)
+``serve``     run the JSON-over-HTTP sizing service (``repro.service``)
 ``table1``    regenerate the paper's Table 1 (alias of experiments.table1)
 ``figure7``   regenerate the paper's Figure 7 (alias of experiments.figure7)
 
@@ -22,6 +23,7 @@ Examples
         --jobs 4 --run-dir runs/demo
     python -m repro campaign resume runs/demo --jobs 4
     python -m repro campaign status runs/demo
+    python -m repro serve --port 8765 --jobs 4 --run-dir runs/service
 
 Exit codes: 0 success; 1 infeasible target or failed campaign jobs;
 2 usage errors (unknown circuit, bad delay target, malformed run dir).
@@ -286,6 +288,48 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import serve
+
+    return serve(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        cache="" if args.no_cache else args.cache_dir,
+        run_dir=args.run_dir,
+        timeout=args.timeout,
+    )
+
+
+def _add_serve_parser(sub) -> None:
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the sizing service (JSON over HTTP)",
+        description="Long-lived sizing service: POST /v1/size against a "
+                    "bounded worker pool with the campaign result cache; "
+                    "GET /v1/jobs/<id>, /v1/circuits, /v1/backends, "
+                    "/v1/healthz, /v1/stats.",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8765,
+                         help="TCP port (default 8765; 0 = pick a free one)")
+    p_serve.add_argument("--jobs", type=int, default=1,
+                         help="sizing workers (1 = one dedicated thread, "
+                              ">1 = a process pool)")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="result cache directory "
+                              "(default .repro-cache)")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="disable the result cache entirely")
+    p_serve.add_argument("--run-dir", default=None,
+                         help="directory for the restart-surviving "
+                              "service.jsonl job log and spooled netlists")
+    p_serve.add_argument("--timeout", type=float, default=None,
+                         help="per-request wall-time budget in seconds")
+    p_serve.set_defaults(func=_cmd_serve)
+
+
 def _add_campaign_parser(sub) -> None:
     p_camp = sub.add_parser(
         "campaign",
@@ -346,7 +390,15 @@ def _add_campaign_parser(sub) -> None:
     p_status.set_defaults(func=_cmd_campaign_status)
 
 
-def main(argv: list[str] | None = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """The complete ``python -m repro`` argument parser.
+
+    Exposed separately from :func:`main` so tooling can validate
+    command lines without executing them — ``tools/check_docs.py``
+    parses every ``python -m repro`` invocation in the documentation
+    against this parser, which is what keeps the user guide's commands
+    copy-pasteable.
+    """
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
@@ -383,6 +435,7 @@ def main(argv: list[str] | None = None) -> int:
     p_suite.set_defaults(func=_cmd_suite)
 
     _add_campaign_parser(sub)
+    _add_serve_parser(sub)
 
     p_t1 = sub.add_parser("table1", help="regenerate Table 1")
     p_t1.add_argument("--tier", default=None, choices=["smoke", "paper"])
@@ -397,7 +450,12 @@ def main(argv: list[str] | None = None) -> int:
     p_f7.add_argument("--jobs", type=int, default=1)
     p_f7.add_argument("--cache-dir", default=None,
                       help="replay/store points in a campaign result cache")
+    return parser
 
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
     args = parser.parse_args(argv)
     try:
         if args.command == "table1":

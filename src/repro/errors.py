@@ -73,3 +73,18 @@ class RunnerError(ReproError):
 class JobTimeoutError(RunnerError):
     """Raised inside a campaign worker when a job exceeds its wall-time
     budget; the executor records the job as timed out and moves on."""
+
+
+class ServiceError(ReproError):
+    """Raised by the sizing service (:mod:`repro.service`) for invalid
+    requests or unknown resources.
+
+    Carries the HTTP status the server should answer with (400 for
+    malformed request bodies, 404 for unknown jobs/paths, 405 for
+    unsupported methods) so handler code can translate every failure
+    into one structured JSON error response.
+    """
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status

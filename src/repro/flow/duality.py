@@ -113,9 +113,11 @@ class DifferenceConstraintLP:
             raise FlowError("difference LP needs at least one pinned node")
 
     def add(self, u: int, v: int, c: float) -> None:
+        """Append the constraint ``r[u] - r[v] <= c``."""
         self.constraints.append((u, v, float(c)))
 
     def objective(self, r: np.ndarray) -> float:
+        """The LP objective ``weights @ r`` for an assignment."""
         return float(self.weights @ r)
 
     def check_feasible(self, r: np.ndarray, tol: float = 1e-6) -> None:
@@ -146,6 +148,8 @@ class GroundedFlow:
 
 @dataclass
 class LpSolution:
+    """A solved difference LP: optimal assignment, objective, telemetry."""
+
     r: np.ndarray
     objective: float
     backend: str

@@ -25,6 +25,8 @@ __all__ = ["Arc", "FlowProblem", "FlowSolution"]
 
 @dataclass(frozen=True)
 class Arc:
+    """One directed arc: endpoints, unit cost, optional capacity."""
+
     src: int
     dst: int
     cost: float
@@ -63,15 +65,18 @@ class FlowProblem:
         return len(self.arcs) - 1
 
     def add_supply(self, node: int, amount: float) -> None:
+        """Add ``amount`` to a node's supply (negative = demand)."""
         assert self.supply is not None
         self.supply[node] += amount
 
     @property
     def total_positive_supply(self) -> float:
+        """Sum of all positive supplies (the flow a solver must route)."""
         assert self.supply is not None
         return float(self.supply[self.supply > 0].sum())
 
     def check_balanced(self, tol: float = 1e-9) -> None:
+        """Raise :class:`FlowError` unless supplies sum to ~zero."""
         assert self.supply is not None
         imbalance = float(self.supply.sum())
         if abs(imbalance) > tol * max(1.0, self.total_positive_supply):

@@ -35,6 +35,7 @@ __all__ = ["solve_lp_networkx", "residual_distances"]
 
 
 def solve_lp_networkx(lp: DifferenceConstraintLP) -> LpSolution:
+    """Solve a difference LP via ``networkx.network_simplex`` on its dual."""
     grounded = ground_flow(lp)
     problem = grounded.problem
     assert problem.supply is not None

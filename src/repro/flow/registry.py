@@ -98,6 +98,7 @@ class SolveStats:
     solves: int = 1
 
     def merge(self, other: "SolveStats") -> None:
+        """Fold another solve's counters into this running total."""
         self.augmentations += other.augmentations
         self.sp_rounds += other.sp_rounds
         self.relax_passes += other.relax_passes
@@ -228,6 +229,7 @@ def registered_backends() -> tuple[FlowBackend, ...]:
 
 
 def get_backend(name: str) -> FlowBackend:
+    """Look a backend up by exact name; FlowError lists known names."""
     _ensure_default_backends()
     try:
         return _REGISTRY[name]
@@ -281,6 +283,7 @@ def solver_statistics() -> dict[str, SolveStats]:
 
 
 def reset_solver_statistics() -> None:
+    """Zero the per-backend running totals."""
     _TOTALS.clear()
 
 

@@ -19,6 +19,7 @@ __all__ = ["solve_lp_scipy"]
 
 
 def solve_lp_scipy(lp: DifferenceConstraintLP) -> LpSolution:
+    """Solve a difference LP directly with HiGHS (``scipy.optimize.linprog``)."""
     free_nodes = [v for v in range(lp.n_nodes) if v not in lp.pinned]
     column = np.full(lp.n_nodes, -1, dtype=np.int64)
     for col, node in enumerate(free_nodes):

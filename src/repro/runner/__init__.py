@@ -30,7 +30,11 @@ from repro.runner.executor import (
     JobOutcome,
     campaign_keys,
     execute_job,
+    pool_entry,
+    probe_cache,
     run_campaign,
+    run_one,
+    store_outcome,
 )
 from repro.runner.progress import RunLog, RunState, load_run
 from repro.runner.report import (
@@ -63,11 +67,15 @@ __all__ = [
     "job_key",
     "load_run",
     "normalize_options",
+    "pool_entry",
+    "probe_cache",
     "resolve_circuit",
     "resume",
     "run",
     "run_campaign",
+    "run_one",
     "status_dict",
+    "store_outcome",
     "tier_preset",
 ]
 

@@ -65,11 +65,7 @@ def job_fingerprint(job: Job, netlist_sha: str | None = None) -> dict:
 
 def job_key(job: Job, netlist_sha: str | None = None) -> str:
     """Content-addressed cache key (hex SHA-256) for a job."""
-    canonical = json.dumps(
-        job_fingerprint(job, netlist_sha),
-        sort_keys=True,
-        separators=(",", ":"),
-    )
+    canonical = serialize.canonical_json(job_fingerprint(job, netlist_sha))
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 

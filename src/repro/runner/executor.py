@@ -44,7 +44,11 @@ __all__ = [
     "CampaignResult",
     "campaign_keys",
     "execute_job",
+    "pool_entry",
+    "probe_cache",
     "run_campaign",
+    "run_one",
+    "store_outcome",
 ]
 
 #: Outcome statuses that represent a finished computation (and are
@@ -67,6 +71,7 @@ class JobOutcome:
 
     @property
     def completed(self) -> bool:
+        """True when the job finished computing (even if infeasible)."""
         return self.status in COMPLETED_STATUSES
 
 
@@ -79,13 +84,16 @@ class CampaignResult:
 
     @property
     def n_cached(self) -> int:
+        """Jobs replayed from the result cache instead of executed."""
         return sum(1 for o in self.outcomes if o.cached)
 
     @property
     def n_failed(self) -> int:
+        """Jobs that did not finish computing (failed or timed out)."""
         return sum(1 for o in self.outcomes if not o.completed)
 
     def counts(self) -> dict[str, int]:
+        """Outcome tally by status (``{"ok": 3, "failed": 1, ...}``)."""
         out: dict[str, int] = {}
         for outcome in self.outcomes:
             out[outcome.status] = out.get(outcome.status, 0) + 1
@@ -234,10 +242,16 @@ def _with_timeout(fn, timeout: float | None):
         signal.signal(signal.SIGALRM, previous)
 
 
-def _pool_entry(
+def pool_entry(
     job: Job, timeout: float | None
 ) -> tuple[str, dict | None, str | None, float]:
-    """Worker-side wrapper: isolate failures, enforce the timeout."""
+    """Worker-side wrapper: isolate failures, enforce the timeout.
+
+    Returns ``(status, payload, error, wall_seconds)`` — a plain tuple
+    of primitives so it pickles cleanly back across the process pool.
+    The campaign pool and the sizing service both submit this exact
+    callable, which is what keeps their results identical.
+    """
     start = time.perf_counter()
     try:
         status, payload = _with_timeout(lambda: execute_job(job), timeout)
@@ -250,6 +264,93 @@ def _pool_entry(
 
 
 # -- the driver (parent process) --------------------------------------
+
+
+def probe_cache(
+    job: Job, key: str | None, cache: ResultCache | None, index: int = 0
+) -> JobOutcome | None:
+    """Replay a job from the result cache, or None on a miss.
+
+    Only ``sizing`` jobs are cacheable (phase-timing payloads are
+    wall-clock measurements); a hit comes back as a completed
+    :class:`JobOutcome` with ``cached=True`` and zero wall time.
+    """
+    if cache is None or key is None or job.kind != "sizing":
+        return None
+    payload = cache.get(key)
+    if payload is None:
+        return None
+    return JobOutcome(
+        index=index,
+        job=job,
+        key=key,
+        status="ok" if payload.get("result") is not None else "infeasible",
+        cached=True,
+        wall_seconds=0.0,
+        payload=payload,
+    )
+
+
+def store_outcome(outcome: JobOutcome, cache: ResultCache | None) -> None:
+    """Store a freshly computed, cacheable outcome in the result cache.
+
+    No-op for cache misses that failed or timed out, for replayed
+    (already cached) outcomes, and for uncacheable job kinds.
+    """
+    if (
+        outcome.completed
+        and not outcome.cached
+        and cache is not None
+        and outcome.key is not None
+        # Phase-timing payloads are wall-clock measurements — not
+        # content-addressable, so never cached.
+        and outcome.job.kind == "sizing"
+    ):
+        cache.put(outcome.key, outcome.payload)
+
+
+_UNRESOLVED = object()  # sentinel: run_one must compute the key itself
+
+
+def run_one(
+    job: Job,
+    cache: ResultCache | None = None,
+    timeout: float | None = None,
+    index: int = 0,
+    key: str | None | object = _UNRESOLVED,
+) -> JobOutcome:
+    """Run a single job in this process: probe, execute, store.
+
+    The one-job counterpart of :func:`run_campaign`, and the execution
+    path the sizing service (:mod:`repro.service`) shares with the
+    campaign loop: cache probe first, then :func:`pool_entry` (failure
+    isolation + wall-time budget), then the cache write — so a service
+    request and a campaign job with the same fingerprint produce (and
+    reuse) the identical cache entry.
+
+    ``key`` may be passed in by callers that already computed it (the
+    service does, to log it); by default it is derived here, and a job
+    whose circuit token cannot resolve simply executes uncached and
+    fails in isolation, exactly like a campaign job would.
+    """
+    if key is _UNRESOLVED:
+        key = campaign_keys([job], cache)[0]
+    hit = probe_cache(job, key, cache, index=index)
+    if hit is not None:
+        return hit
+    status, payload, error, wall = pool_entry(job, timeout)
+    outcome = JobOutcome(
+        index=index,
+        job=job,
+        key=key,
+        status=status,
+        cached=False,
+        wall_seconds=wall,
+        payload=payload,
+        error=error,
+    )
+    store_outcome(outcome, cache)
+    return outcome
 
 
 def campaign_keys(
@@ -313,45 +414,22 @@ def run_campaign(
 
     def finish(outcome: JobOutcome) -> None:
         slots[outcome.index] = outcome
-        if (
-            outcome.completed
-            and not outcome.cached
-            and cache is not None
-            and outcome.key is not None
-            # Phase-timing payloads are wall-clock measurements — not
-            # content-addressable, so never cached.
-            and outcome.job.kind == "sizing"
-        ):
-            cache.put(outcome.key, outcome.payload)
+        store_outcome(outcome, cache)
         if on_outcome is not None:
             on_outcome(outcome)
 
     pending: list[tuple[int, Job, str | None]] = []
     for index, job in enumerate(job_list):
         key = keys[index]
-        payload = (
-            cache.get(key)
-            if cache is not None and key is not None and job.kind == "sizing"
-            else None
-        )
-        if payload is not None:
-            finish(JobOutcome(
-                index=index,
-                job=job,
-                key=key,
-                status=(
-                    "ok" if payload.get("result") is not None else "infeasible"
-                ),
-                cached=True,
-                wall_seconds=0.0,
-                payload=payload,
-            ))
+        hit = probe_cache(job, key, cache, index=index)
+        if hit is not None:
+            finish(hit)
         else:
             pending.append((index, job, key))
 
     if pending and jobs <= 1:
         for index, job, key in pending:
-            status, payload, error, wall = _pool_entry(job, timeout)
+            status, payload, error, wall = pool_entry(job, timeout)
             finish(JobOutcome(
                 index=index,
                 job=job,
@@ -365,7 +443,7 @@ def run_campaign(
     elif pending:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = {
-                pool.submit(_pool_entry, job, timeout): (index, job, key)
+                pool.submit(pool_entry, job, timeout): (index, job, key)
                 for index, job, key in pending
             }
             remaining = set(futures)

@@ -87,6 +87,7 @@ class RunLog:
     def write_header(
         self, spec: CampaignSpec, jobs: list[Job], keys: list[str | None]
     ) -> None:
+        """Write the campaign header record (spec, labels, cache keys)."""
         self._append({
             "type": "campaign",
             "name": spec.name,
@@ -123,13 +124,16 @@ class RunState:
 
     @property
     def spec(self) -> CampaignSpec:
+        """The campaign spec re-expanded from the header record."""
         return CampaignSpec.from_dict(self.header["spec"])
 
     @property
     def n_jobs(self) -> int:
+        """Total jobs the campaign expands to (finished or not)."""
         return int(self.header["n_jobs"])
 
     def counts(self) -> dict[str, int]:
+        """Status tally including ``pending`` for unfinished jobs."""
         out: dict[str, int] = {}
         for record in self.records.values():
             out[record["status"]] = out.get(record["status"], 0) + 1
@@ -139,6 +143,31 @@ class RunState:
         return out
 
 
+def _check_header(header: dict, path: Path) -> dict:
+    """Validate a campaign header record; RunnerError on malformed logs.
+
+    Every field the status/resume paths dereference later is checked
+    here, so a truncated or hand-edited header becomes one clean
+    diagnostic (CLI exit 2) instead of a KeyError traceback deep in
+    :func:`repro.runner.report.status_dict`.
+    """
+    spec = header.get("spec")
+    n_jobs = header.get("n_jobs")
+    labels = header.get("labels")
+    if (
+        not isinstance(spec, dict)
+        or not isinstance(n_jobs, int)
+        or not isinstance(labels, list)
+        or len(labels) != n_jobs
+    ):
+        raise RunnerError(
+            f"{path} has a malformed campaign header (expected spec, "
+            f"n_jobs and one label per job); delete the run directory "
+            f"or restore the log to continue"
+        )
+    return header
+
+
 def load_run(run_dir: str | Path) -> RunState:
     """Read a run directory's JSONL back into a :class:`RunState`."""
     path = Path(run_dir) / RUN_LOG_NAME
@@ -146,19 +175,25 @@ def load_run(run_dir: str | Path) -> RunState:
         raise RunnerError(f"no campaign log at {path}")
     header: dict | None = None
     records: dict[int, dict] = {}
-    with open(path) as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                continue  # torn tail line from an interrupted run
-            if record.get("type") == "campaign":
-                header = record
-            elif record.get("type") == "job":
-                records[int(record["index"])] = record
+    try:
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail line from an interrupted run
+                if record.get("type") == "campaign":
+                    header = record
+                elif record.get("type") == "job":
+                    try:
+                        records[int(record["index"])] = record
+                    except (KeyError, TypeError, ValueError):
+                        continue  # malformed job record: skip, don't crash
+    except OSError as exc:
+        raise RunnerError(f"cannot read campaign log {path}: {exc}") from exc
     if header is None:
         raise RunnerError(f"{path} has no campaign header record")
-    return RunState(header=header, records=records)
+    return RunState(header=_check_header(header, path), records=records)

@@ -106,6 +106,7 @@ def status_dict(state: RunState) -> dict:
 
 
 def format_status(state: RunState) -> str:
+    """Monospace status table for one run directory."""
     info = status_dict(state)
     rows = []
     for record in info["jobs"]:

@@ -109,6 +109,7 @@ class Job:
         return text
 
     def to_dict(self) -> dict:
+        """JSON-ready form (inverse of :meth:`from_dict`)."""
         return {
             "circuit": self.circuit,
             "delay_spec": self.delay_spec,
@@ -120,6 +121,7 @@ class Job:
 
     @staticmethod
     def from_dict(payload: dict) -> "Job":
+        """Rebuild a job from its :meth:`to_dict` form."""
         return Job(
             circuit=payload["circuit"],
             delay_spec=float(payload["delay_spec"]),
@@ -190,6 +192,7 @@ class CampaignSpec:
         return out
 
     def to_dict(self) -> dict:
+        """JSON-ready form (inverse of :meth:`from_dict`)."""
         return {
             "name": self.name,
             "circuits": list(self.circuits),
@@ -202,6 +205,7 @@ class CampaignSpec:
 
     @staticmethod
     def from_dict(payload: dict) -> "CampaignSpec":
+        """Rebuild a spec from its :meth:`to_dict` form (JSONL header)."""
         return CampaignSpec(
             name=payload["name"],
             circuits=tuple(payload["circuits"]),

@@ -1,0 +1,48 @@
+"""Sizing-as-a-service: the campaign pipeline behind a JSON HTTP API.
+
+MINFLOTRANSIT's fast W/D alternation makes sizing cheap enough to be
+*query-shaped*: a long-lived process with a warm content-addressed
+cache can answer "size this netlist to this target" interactively
+instead of batch-only.  This package is that process:
+
+* :mod:`repro.service.app` — :class:`SizingService`: request
+  validation into campaign :class:`~repro.runner.spec.Job` records,
+  cache probe/store, bounded worker pool.  One execution path shared
+  with ``python -m repro campaign`` (see
+  :func:`repro.runner.executor.run_one`), so service answers are
+  byte-identical to CLI answers.
+* :mod:`repro.service.server` — the stdlib ``ThreadingHTTPServer``
+  front end (``POST /v1/size``, ``GET /v1/jobs/<id>``, discovery,
+  health, stats) and :func:`serve`, the ``python -m repro serve``
+  entry point.
+* :mod:`repro.service.jobs` — the job registry with its
+  restart-surviving ``service.jsonl`` append log.
+* :mod:`repro.service.client` — the stdlib client used by the tests,
+  CI and ``examples/query_service.py``.
+
+No dependencies beyond the standard library are introduced; every
+scaling follow-up (sharding, rate limiting, multi-tenant caching)
+layers onto this surface.
+"""
+
+from repro.service.app import SizingService, build_job
+from repro.service.client import ServiceClient
+from repro.service.jobs import JobRecord, JobStore
+from repro.service.server import (
+    WIRE_SCHEMA,
+    SizingHTTPServer,
+    make_server,
+    serve,
+)
+
+__all__ = [
+    "JobRecord",
+    "JobStore",
+    "ServiceClient",
+    "SizingHTTPServer",
+    "SizingService",
+    "WIRE_SCHEMA",
+    "build_job",
+    "make_server",
+    "serve",
+]

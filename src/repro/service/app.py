@@ -1,0 +1,394 @@
+"""The sizing service core: request validation, job admission, execution.
+
+:class:`SizingService` exposes the existing campaign pipeline as a
+long-lived, concurrent request/response engine.  It owns no sizing
+logic of its own — a request is validated into the same frozen
+:class:`~repro.runner.spec.Job` a campaign would expand, keyed with the
+same content-addressed fingerprint, probed against the same
+:class:`~repro.runner.cache.ResultCache`, and executed through the same
+:func:`~repro.runner.executor.pool_entry` wrapper (failure isolation +
+per-job wall-time budget).  That single shared execution path is the
+service's core guarantee: a ``POST /v1/size`` returns results
+byte-identical to ``python -m repro size`` / ``campaign run`` for the
+same (netlist, technology, options), and repeated requests are cache
+hits.
+
+Concurrency model: with ``jobs=1`` and no per-job timeout (the
+default) requests execute on one dedicated worker *thread* —
+serialized, deterministic, and cheap to start, which is what the
+tests use.  With ``jobs>1`` — or whenever a ``timeout`` is configured,
+since the ``SIGALRM`` budget can only be armed on a process's main
+thread — they run on a ``ProcessPoolExecutor``
+(``forkserver``/``spawn`` start method, so the threaded HTTP parent
+never fork-copies its own locks), giving true parallel sizing bounded
+at ``jobs`` workers.  In both cases the HTTP layer may accept
+arbitrarily many concurrent requests; the pool is the backpressure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import shutil
+import tempfile
+import threading
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from pathlib import Path
+
+from repro.circuit.bench_io import loads_bench
+from repro.errors import ReproError, ServiceError
+from repro.flow.registry import get_backend
+from repro.runner import DEFAULT_CACHE_DIR
+from repro.runner.cache import ResultCache, job_key, netlist_digest
+from repro.runner.executor import (
+    JobOutcome,
+    pool_entry,
+    probe_cache,
+    store_outcome,
+)
+from repro.runner.spec import Job, normalize_options
+from repro.service.jobs import JobRecord, JobStore
+
+__all__ = ["SizingService", "build_job"]
+
+#: Request-body keys ``POST /v1/size`` understands.  Unknown keys are a
+#: 400, not a silent default — a typo like ``"dela_spec"`` must never
+#: quietly size at 0.5.
+_REQUEST_FIELDS = frozenset((
+    "circuit", "bench", "delay_spec", "mode", "flow_backend", "options",
+    "async",
+))
+
+
+def _require(condition: bool, message: str) -> None:
+    """Raise a 400-grade :class:`ServiceError` unless ``condition``."""
+    if not condition:
+        raise ServiceError(message, status=400)
+
+
+def build_job(body: dict, netlist_dir: Path | None = None) -> Job:
+    """Validate a ``/v1/size`` request body into a campaign :class:`Job`.
+
+    Exactly one of ``circuit`` (a campaign circuit token: suite name,
+    ``rca:N``, or a server-side ``.bench`` path) and ``bench`` (inline
+    ``.bench`` netlist text) must be present.  Inline netlists are
+    parsed up front (so malformed text is a 400, not a failed job) and
+    spooled content-addressed into ``netlist_dir`` — identical bodies
+    produce the identical token, hence the identical cache key.
+
+    Every validation failure raises :class:`ServiceError` with
+    ``status=400`` and a message naming the offending field.
+    """
+    _require(isinstance(body, dict), "request body must be a JSON object")
+    unknown = sorted(set(body) - _REQUEST_FIELDS)
+    _require(
+        not unknown,
+        f"unknown request field(s) {unknown}; "
+        f"valid: {sorted(_REQUEST_FIELDS)}",
+    )
+
+    circuit = body.get("circuit")
+    bench = body.get("bench")
+    _require(
+        (circuit is None) != (bench is None),
+        "exactly one of 'circuit' (a token) and 'bench' (inline netlist "
+        "text) is required",
+    )
+    if bench is not None:
+        _require(
+            isinstance(bench, str) and bench.strip() != "",
+            "'bench' must be non-empty .bench netlist text",
+        )
+        _require(
+            netlist_dir is not None,
+            "this service does not accept inline netlists",
+        )
+        try:
+            loads_bench(bench)
+        except ReproError as exc:
+            raise ServiceError(f"invalid 'bench' netlist: {exc}") from exc
+        sha = hashlib.sha256(bench.encode()).hexdigest()
+        netlist_dir.mkdir(parents=True, exist_ok=True)
+        path = netlist_dir / f"{sha[:16]}.bench"
+        if not path.exists():
+            path.write_text(bench)
+        circuit = str(path)
+    _require(
+        isinstance(circuit, str) and circuit != "",
+        "'circuit' must be a non-empty token string",
+    )
+
+    delay_spec = body.get("delay_spec", 0.5)
+    _require(
+        isinstance(delay_spec, (int, float)) and not isinstance(
+            delay_spec, bool
+        ) and delay_spec > 0,
+        f"'delay_spec' must be a positive fraction of Dmin, "
+        f"got {delay_spec!r}",
+    )
+    mode = body.get("mode", "gate")
+    _require(
+        mode in ("gate", "transistor"),
+        f"'mode' must be 'gate' or 'transistor', got {mode!r}",
+    )
+    flow_backend = body.get("flow_backend", "auto")
+    _require(
+        isinstance(flow_backend, str),
+        f"'flow_backend' must be a string, got {flow_backend!r}",
+    )
+    if flow_backend != "auto":
+        try:
+            get_backend(flow_backend)
+        except ReproError as exc:
+            raise ServiceError(str(exc)) from exc
+    options = body.get("options")
+    _require(
+        options is None or isinstance(options, dict),
+        f"'options' must be an object of MinfloOptions overrides, "
+        f"got {options!r}",
+    )
+    try:
+        normalized = normalize_options(options)
+    except ReproError as exc:
+        raise ServiceError(str(exc)) from exc
+    return Job(
+        circuit=circuit,
+        delay_spec=float(delay_spec),
+        mode=mode,
+        flow_backend=flow_backend,
+        options=normalized,
+    )
+
+
+class SizingService:
+    """Long-lived sizing engine behind the HTTP API (and usable directly).
+
+    Parameters mirror ``python -m repro serve``: ``jobs`` is the worker
+    count (1 = one dedicated thread, >1 = a process pool), ``cache`` a
+    :class:`ResultCache`/path/None, ``run_dir`` the directory that
+    receives the restart-surviving ``service.jsonl`` job log and
+    spooled inline netlists, ``timeout`` the per-job wall-time budget
+    in seconds.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: ResultCache | str | Path | None = DEFAULT_CACHE_DIR,
+        run_dir: str | Path | None = None,
+        timeout: float | None = None,
+    ):
+        if jobs < 1:
+            raise ServiceError(f"jobs must be >= 1, got {jobs}", status=500)
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self.jobs = jobs
+        self.timeout = timeout
+        self.run_dir = Path(run_dir) if run_dir is not None else None
+        self.store = JobStore(self.run_dir)
+        if self.run_dir is not None:
+            self._netlist_dir = self.run_dir / "netlists"
+        else:
+            self._netlist_dir = Path(
+                tempfile.mkdtemp(prefix="repro-service-netlists-")
+            )
+        self._pool = self._make_pool(jobs, timeout)
+        self._lock = threading.Lock()
+        self._flow_totals: dict[str, dict] = {}
+        self._digests: dict[str, str] = {}
+        self._cache_hits = 0
+        self._executed = 0
+        self._started_at = time.time()
+
+    @staticmethod
+    def _make_pool(jobs: int, timeout: float | None):
+        if jobs == 1 and timeout is None:
+            # A timeout forces the process pool below: the SIGALRM
+            # budget in pool_entry only arms on a main thread, so on a
+            # worker *thread* it would be silently unenforced.
+            return ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-service-worker"
+            )
+        # Never fork the threaded HTTP parent: a fork taken while
+        # another handler thread holds an internal lock can deadlock
+        # the child.  forkserver (Linux) / spawn (everywhere) start
+        # workers from a clean process instead.
+        methods = multiprocessing.get_all_start_methods()
+        method = "forkserver" if "forkserver" in methods else "spawn"
+        return ProcessPoolExecutor(
+            max_workers=jobs, mp_context=multiprocessing.get_context(method)
+        )
+
+    # -- request handling ---------------------------------------------
+
+    def _admit(self, body: dict) -> tuple[JobRecord, JobOutcome | None]:
+        """Validate + register a request; replay it from cache if possible.
+
+        Unlike a campaign (where an unresolvable circuit token becomes
+        a failed job in the sweep), the service rejects it up front as
+        a 400 — the requester is still on the line to hear about it.
+        """
+        job = build_job(body, self._netlist_dir)
+        sha = self._netlist_sha(job.circuit)
+        key = None if self.cache is None else job_key(job, netlist_sha=sha)
+        record = self.store.create(job, key)
+        hit = probe_cache(job, key, self.cache)
+        if hit is not None:
+            with self._lock:
+                self._cache_hits += 1
+            self.store.finish(record.id, hit)
+        return record, hit
+
+    def _netlist_sha(self, token: str) -> str:
+        """Digest of a circuit token's netlist, memoized when immutable.
+
+        Repeat requests must not pay a full netlist resolve+serialize
+        before the cache probe, so digests are remembered for tokens
+        whose content cannot change underneath the service: suite
+        names, ``rca:N`` generators, and our own content-addressed
+        spool files.  An arbitrary on-disk ``.bench`` path is
+        re-hashed every time — the file may have been edited.
+        """
+        mutable = token.endswith(".bench") and not token.startswith(
+            str(self._netlist_dir)
+        )
+        if not mutable:
+            with self._lock:
+                cached = self._digests.get(token)
+            if cached is not None:
+                return cached
+        try:
+            sha = netlist_digest(token)
+        except ReproError as exc:
+            raise ServiceError(
+                f"cannot resolve circuit {token!r}: {exc}"
+            ) from exc
+        if not mutable:
+            with self._lock:
+                if len(self._digests) >= 4096:  # runaway-token backstop
+                    self._digests.clear()
+                self._digests[token] = sha
+        return sha
+
+    def _finish(self, record: JobRecord, outcome: JobOutcome) -> JobRecord:
+        """Store + account one freshly executed outcome."""
+        store_outcome(outcome, self.cache)
+        with self._lock:
+            self._executed += 1
+            for name, stats in (
+                (outcome.payload or {}).get("flow_stats") or {}
+            ).items():
+                total = self._flow_totals.setdefault(name, {})
+                for field_name, value in stats.items():
+                    if isinstance(value, (int, float)):
+                        total[field_name] = total.get(field_name, 0) + value
+        return self.store.finish(record.id, outcome)
+
+    def _outcome_from(self, record: JobRecord, raw: tuple) -> JobOutcome:
+        status, payload, error, wall = raw
+        return JobOutcome(
+            index=0,
+            job=record.job,
+            key=record.key,
+            status=status,
+            cached=False,
+            wall_seconds=wall,
+            payload=payload,
+            error=error,
+        )
+
+    def size_sync(self, body: dict) -> JobRecord:
+        """Handle a synchronous ``/v1/size``: block until the job is done.
+
+        The calling (HTTP handler) thread waits on the shared pool, so
+        concurrent synchronous requests are naturally bounded at
+        ``jobs`` in-flight sizings.
+        """
+        record, hit = self._admit(body)
+        if hit is not None:
+            return self.store.get(record.id)
+        self.store.mark_running(record.id)
+        future = self._pool.submit(pool_entry, record.job, self.timeout)
+        return self._finish(record, self._outcome_from(record, future.result()))
+
+    def size_async(self, body: dict) -> JobRecord:
+        """Handle ``/v1/size`` with ``async=true``: queue and return."""
+        record, hit = self._admit(body)
+        if hit is not None:
+            return self.store.get(record.id)
+        future = self._pool.submit(pool_entry, record.job, self.timeout)
+        self.store.mark_running(record.id)
+
+        def _done(done_future: Future) -> None:
+            try:
+                raw = done_future.result()
+            except Exception as exc:  # pool broke under this job
+                raw = ("failed", None, f"{type(exc).__name__}: {exc}", 0.0)
+            self._finish(record, self._outcome_from(record, raw))
+
+        future.add_done_callback(_done)
+        # Re-read through the store: a consistent snapshot, whether the
+        # callback already ran or the job is still queued.
+        return self.store.get(record.id)
+
+    def get_job(self, job_id: str) -> tuple[JobRecord, dict | None]:
+        """A job record plus its full payload when one is available.
+
+        The payload comes from process memory for jobs finished in this
+        service lifetime, or from the result cache after a restart.  A
+        ``lost`` job (in flight when a previous service died) is
+        upgraded to its completed outcome here if its worker reached
+        the cache write before the crash.
+        """
+        record = self.store.get(job_id)
+        payload = record.payload
+        if payload is None and record.key is not None and (
+            record.status in ("ok", "infeasible", "lost")
+        ):
+            hit = probe_cache(record.job, record.key, self.cache)
+            if hit is not None:
+                payload = hit.payload
+                if record.status == "lost":
+                    record = self.store.finish(record.id, hit)
+        return record, payload
+
+    # -- discovery + introspection ------------------------------------
+
+    def stats(self) -> dict:
+        """Service counters for ``/v1/stats``.
+
+        ``flow`` sums the per-job :class:`~repro.flow.registry.SolveStats`
+        that each sizing collects under its own
+        :func:`~repro.flow.registry.stats_scope` — per-request scoping
+        first, aggregation second, so concurrent jobs never interleave
+        counters.
+        """
+        with self._lock:
+            flow = {name: dict(t) for name, t in self._flow_totals.items()}
+            cache_hits = self._cache_hits
+            executed = self._executed
+        return {
+            "uptime_seconds": time.time() - self._started_at,
+            "jobs": self.store.counts(),
+            "cache_hits": cache_hits,
+            "executed": executed,
+            "executor": {
+                "workers": self.jobs,
+                "kind": "thread" if self.jobs == 1 else "process",
+                "timeout": self.timeout,
+            },
+            "cache_dir": (
+                str(self.cache.root) if self.cache is not None else None
+            ),
+            "flow": flow,
+        }
+
+    def close(self) -> None:
+        """Shut the worker pool down (in-flight jobs finish first)."""
+        self._pool.shutdown(wait=True)
+        if self.run_dir is None:
+            # The spool directory was a mkdtemp this instance owns;
+            # with a run_dir it belongs to the operator and persists.
+            shutil.rmtree(self._netlist_dir, ignore_errors=True)

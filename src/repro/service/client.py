@@ -1,0 +1,135 @@
+"""Tiny stdlib client for the sizing service.
+
+:class:`ServiceClient` wraps the v1 HTTP surface with one method per
+endpoint, raising :class:`~repro.errors.ServiceError` (carrying the
+HTTP status) for every structured error the server returns.  It is the
+client the tests, the CI service smoke, and ``examples/query_service.py``
+all use — which keeps the wire format honest: anything the docs claim
+must round-trip through this code.
+
+Usage::
+
+    client = ServiceClient("http://127.0.0.1:8765")
+    client.healthz()
+    reply = client.size(circuit="c17", delay_spec=0.6)
+    sizes = reply["payload"]["result"]["x"]
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.errors import ServiceError
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """HTTP client for one service base URL (e.g. ``http://host:port``)."""
+
+    def __init__(self, base_url: str, timeout: float = 300.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        """One round trip; structured errors become :class:`ServiceError`."""
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode(errors="replace")
+            try:
+                message = json.loads(detail)["error"]["message"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                message = detail.strip() or exc.reason
+            raise ServiceError(message, status=exc.code) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach sizing service at {self.base_url}: "
+                f"{exc.reason}", status=503,
+            ) from exc
+
+    # -- endpoints -----------------------------------------------------
+
+    def healthz(self) -> dict:
+        """Liveness probe (``GET /v1/healthz``)."""
+        return self._request("GET", "/v1/healthz")
+
+    def circuits(self) -> dict:
+        """Benchmark-suite discovery (``GET /v1/circuits``)."""
+        return self._request("GET", "/v1/circuits")
+
+    def backends(self) -> dict:
+        """Flow-backend discovery (``GET /v1/backends``)."""
+        return self._request("GET", "/v1/backends")
+
+    def stats(self) -> dict:
+        """Service counters (``GET /v1/stats``)."""
+        return self._request("GET", "/v1/stats")
+
+    def job(self, job_id: str) -> dict:
+        """One job's status/result (``GET /v1/jobs/<id>``)."""
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def size(
+        self,
+        circuit: str | None = None,
+        bench: str | None = None,
+        delay_spec: float | None = None,
+        mode: str | None = None,
+        flow_backend: str | None = None,
+        options: dict | None = None,
+        wait: bool = True,
+    ) -> dict:
+        """Size a netlist (``POST /v1/size``).
+
+        Pass either ``circuit`` (a token the server can resolve) or
+        ``bench`` (inline netlist text).  ``wait=True`` (default) runs
+        synchronously and returns the finished job body, payload
+        included; ``wait=False`` submits with ``async=true`` and
+        returns immediately — poll with :meth:`job` /
+        :meth:`wait_for`.
+        """
+        body: dict = {}
+        if circuit is not None:
+            body["circuit"] = circuit
+        if bench is not None:
+            body["bench"] = bench
+        if delay_spec is not None:
+            body["delay_spec"] = delay_spec
+        if mode is not None:
+            body["mode"] = mode
+        if flow_backend is not None:
+            body["flow_backend"] = flow_backend
+        if options is not None:
+            body["options"] = options
+        if not wait:
+            body["async"] = True
+        return self._request("POST", "/v1/size", body)
+
+    def wait_for(
+        self, job_id: str, timeout: float = 300.0, poll: float = 0.05
+    ) -> dict:
+        """Poll an async job until it reaches a terminal status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            reply = self.job(job_id)
+            if reply["status"] not in ("queued", "running"):
+                return reply
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {reply['status']} after "
+                    f"{timeout:g}s", status=504,
+                )
+            time.sleep(poll)

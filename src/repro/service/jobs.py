@@ -1,0 +1,246 @@
+"""Service job records: in-memory registry + append-only JSONL log.
+
+Every request admitted by the sizing service becomes a
+:class:`JobRecord` tracked here.  The store mirrors the campaign run
+log's design (:mod:`repro.runner.progress`): when the service owns a
+run directory, each job appends a ``submitted`` record on admission
+and a ``finished`` record on completion to ``service.jsonl`` — an
+append-only file, flushed per record, so the job history survives a
+service restart.  On startup the store replays the log: finished jobs
+come back with their status, key and summary (their full payloads are
+re-served from the content-addressed result cache), and jobs that were
+in flight when the process died come back as ``lost`` — the service
+upgrades a lost job to a completed one on first access if its worker
+managed to write the cache entry before the crash.
+
+The store is thread-safe: HTTP handler threads admit jobs while
+executor callbacks finish them.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from repro.errors import ServiceError
+from repro.runner.executor import JobOutcome
+from repro.runner.progress import job_summary
+from repro.runner.spec import Job
+
+__all__ = ["JOB_LOG_NAME", "JobRecord", "JobStore"]
+
+JOB_LOG_NAME = "service.jsonl"
+
+#: Statuses a job can be observed in.  ``queued``/``running`` are
+#: live-only; ``lost`` marks a job found in the log without a finish
+#: record after a restart.
+JOB_STATUSES = (
+    "queued", "running", "ok", "infeasible", "failed", "timeout", "lost",
+)
+
+
+@dataclass
+class JobRecord:
+    """One admitted request: identity, parameters, and (later) its fate."""
+
+    id: str
+    job: Job
+    key: str | None
+    created_at: float
+    status: str = "queued"
+    cached: bool = False
+    wall_seconds: float | None = None
+    summary: dict | None = None
+    error: str | None = None
+    finished_at: float | None = None
+    #: Full result payload, held in memory for the current process
+    #: only; after a restart it is re-read from the result cache.
+    payload: dict | None = field(default=None, repr=False)
+
+    @property
+    def done(self) -> bool:
+        """True once the job reached a terminal status."""
+        return self.status not in ("queued", "running")
+
+    def to_wire(self) -> dict:
+        """JSON-ready public view of this record (payload excluded)."""
+        return {
+            "id": self.id,
+            "status": self.status,
+            "job": self.job.to_dict(),
+            "label": self.job.label(),
+            "key": self.key,
+            "cached": self.cached,
+            "wall_seconds": self.wall_seconds,
+            "summary": self.summary,
+            "error": self.error,
+            "created_at": self.created_at,
+            "finished_at": self.finished_at,
+        }
+
+
+class JobStore:
+    """Thread-safe job registry, optionally persisted to ``service.jsonl``."""
+
+    def __init__(self, run_dir: str | Path | None = None):
+        self._lock = threading.Lock()
+        self._records: dict[str, JobRecord] = {}
+        self._counter = 0
+        self.path: Path | None = None
+        if run_dir is not None:
+            run_dir = Path(run_dir)
+            run_dir.mkdir(parents=True, exist_ok=True)
+            self.path = run_dir / JOB_LOG_NAME
+            self._replay()
+
+    # -- persistence ---------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        if self.path is None:
+            return
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(record) + "\n")
+            handle.flush()
+
+    def _replay(self) -> None:
+        """Rebuild records from an existing log (restart path)."""
+        if self.path is None or not self.path.is_file():
+            return
+        try:
+            lines = self.path.read_text().splitlines()
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot read service job log {self.path}: {exc}", status=500
+            ) from exc
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail line from a killed service
+            if entry.get("type") != "service-job":
+                continue
+            if entry.get("event") == "submitted":
+                try:
+                    job = Job.from_dict(entry["job"])
+                except Exception:
+                    continue  # unreadable job parameters: skip the record
+                record = JobRecord(
+                    id=str(entry.get("id")),
+                    job=job,
+                    key=entry.get("key"),
+                    created_at=float(entry.get("created_at") or 0.0),
+                    status="lost",
+                )
+                self._records[record.id] = record
+            elif entry.get("event") == "finished":
+                record = self._records.get(str(entry.get("id")))
+                if record is None:
+                    continue
+                record.status = str(entry.get("status"))
+                record.cached = bool(entry.get("cached"))
+                record.wall_seconds = entry.get("wall_seconds")
+                record.summary = entry.get("summary")
+                record.error = entry.get("error")
+                record.finished_at = entry.get("finished_at")
+        for record in self._records.values():
+            number = _id_number(record.id)
+            if number is not None:
+                self._counter = max(self._counter, number)
+
+    # -- the live API --------------------------------------------------
+
+    def create(self, job: Job, key: str | None) -> JobRecord:
+        """Admit a job: allocate an id, register it, log the submission."""
+        with self._lock:
+            self._counter += 1
+            record = JobRecord(
+                id=f"j{self._counter:06d}",
+                job=job,
+                key=key,
+                created_at=time.time(),
+            )
+            self._records[record.id] = record
+        self._append({
+            "type": "service-job",
+            "event": "submitted",
+            "id": record.id,
+            "job": job.to_dict(),
+            "label": job.label(),
+            "key": key,
+            "created_at": record.created_at,
+        })
+        return record
+
+    def mark_running(self, job_id: str) -> None:
+        """Flip a queued job to ``running`` (best-effort, live-only)."""
+        with self._lock:
+            record = self._records.get(job_id)
+            if record is not None and record.status == "queued":
+                record.status = "running"
+
+    def finish(self, job_id: str, outcome: JobOutcome) -> JobRecord:
+        """Record a job's outcome and log it; returns a snapshot."""
+        with self._lock:
+            record = self._records[job_id]
+            record.status = outcome.status
+            record.cached = outcome.cached
+            record.wall_seconds = outcome.wall_seconds
+            record.summary = job_summary(outcome)
+            record.error = outcome.error
+            record.payload = outcome.payload
+            record.finished_at = time.time()
+            record = replace(record)
+        self._append({
+            "type": "service-job",
+            "event": "finished",
+            "id": record.id,
+            "status": record.status,
+            "cached": record.cached,
+            "wall_seconds": record.wall_seconds,
+            "summary": record.summary,
+            "error": record.error,
+            "finished_at": record.finished_at,
+        })
+        return record
+
+    def get(self, job_id: str) -> JobRecord:
+        """Look a job up by id; unknown ids are a 404-grade error.
+
+        Returns a *snapshot* (shallow copy taken under the lock), never
+        the live record: HTTP handler threads serialize the result
+        while executor callbacks may be mid-:meth:`finish` on the same
+        record, and a torn read (``status == "ok"`` with ``summary``
+        still None) must be impossible.
+        """
+        with self._lock:
+            record = self._records.get(job_id)
+            if record is not None:
+                record = replace(record)
+        if record is None:
+            raise ServiceError(f"no such job {job_id!r}", status=404)
+        return record
+
+    def counts(self) -> dict[str, int]:
+        """Job tally by status (for ``/v1/stats``)."""
+        with self._lock:
+            out: dict[str, int] = {}
+            for record in self._records.values():
+                out[record.status] = out.get(record.status, 0) + 1
+            return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+def _id_number(job_id: str) -> int | None:
+    """The sequence number of a ``jNNNNNN`` id, or None."""
+    if job_id.startswith("j") and job_id[1:].isdigit():
+        return int(job_id[1:])
+    return None

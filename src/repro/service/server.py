@@ -1,0 +1,303 @@
+"""JSON-over-HTTP front end for the sizing service (stdlib only).
+
+A :class:`ThreadingHTTPServer` whose handler translates the v1 REST
+surface onto one shared :class:`~repro.service.app.SizingService`:
+
+========================  =============================================
+``POST /v1/size``         size a netlist; ``"async": true`` queues and
+                          answers 202 with a job id
+``GET /v1/jobs/<id>``     job status + full result when available
+``GET /v1/circuits``      the benchmark suite + accepted token forms
+``GET /v1/backends``      registered flow backends and capabilities
+``GET /v1/healthz``       liveness probe
+``GET /v1/stats``         job counts, cache hits, aggregated SolveStats
+========================  =============================================
+
+Every response body is JSON rendered with
+:func:`repro.sizing.serialize.canonical_json` (sorted keys, compact) —
+so two requests served from the same cache entry return byte-identical
+``payload`` objects.  Every error, including malformed JSON and
+unknown routes, is a structured ``{"error": {"status", "message"}}``
+body with the matching HTTP status, raised internally as
+:class:`~repro.errors.ServiceError`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import ReproError, ServiceError
+from repro.flow.registry import registered_backends
+from repro.generators.iscas import SUITE
+from repro.service.app import SizingService
+from repro.sizing.serialize import canonical_json
+
+__all__ = ["WIRE_SCHEMA", "SizingHTTPServer", "make_server", "serve"]
+
+#: Identifier of the wire format carried by every 2xx response.  Bump
+#: the suffix when a response field changes meaning; clients should
+#: reject families they do not know.
+WIRE_SCHEMA = "repro.service/1"
+
+#: Maximum accepted request-body size (16 MiB) — far above any real
+#: netlist, low enough that a runaway client cannot balloon the heap.
+MAX_BODY_BYTES = 16 << 20
+
+
+def _job_body(record, payload) -> dict:
+    """Wire view of one job record, embedding the payload when known."""
+    body = record.to_wire()
+    body["payload"] = payload
+    return body
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Route the v1 surface; every exception becomes structured JSON."""
+
+    server: "SizingHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:
+        """Access logging, routed through the server's quiet flag."""
+        if not self.server.quiet:
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    def _send_json(self, status: int, body: dict) -> None:
+        # HTTP/1.1 keep-alive: any request body still sitting unread on
+        # the socket (an error answered before _read_body ran) would be
+        # parsed as the *next* request line — drain it first.
+        self._drain_body()
+        data = (canonical_json(body) + "\n").encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _drain_body(self) -> None:
+        if getattr(self, "_body_consumed", True):
+            return
+        self._body_consumed = True
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            return
+        if length > MAX_BODY_BYTES:
+            # Refusing to read an oversized body is the point of the
+            # 413; give up on connection reuse instead of draining it.
+            self.close_connection = True
+            return
+        remaining = length
+        while remaining > 0:
+            chunk = self.rfile.read(min(remaining, 1 << 16))
+            if not chunk:
+                break
+            remaining -= len(chunk)
+
+    def _send_error_body(self, status: int, message: str) -> None:
+        self._send_json(status, {
+            "schema": WIRE_SCHEMA,
+            "error": {"status": status, "message": message},
+        })
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            self._body_consumed = True
+            raise ServiceError("request body required (JSON object)")
+        if length > MAX_BODY_BYTES:
+            raise ServiceError(
+                f"request body exceeds {MAX_BODY_BYTES} bytes", status=413
+            )
+        raw = self.rfile.read(length)
+        self._body_consumed = True
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(f"request body is not valid JSON: {exc}")
+        if not isinstance(body, dict):
+            raise ServiceError("request body must be a JSON object")
+        return body
+
+    def _dispatch(self, method: str) -> None:
+        service = self.server.service
+        self._body_consumed = False
+        path = self.path.split("?", 1)[0].rstrip("/")
+        try:
+            if method == "POST" and path == "/v1/size":
+                self._post_size(service)
+            elif method == "GET" and path.startswith("/v1/jobs/"):
+                record, payload = service.get_job(path.rsplit("/", 1)[1])
+                self._send_json(200, {
+                    "schema": WIRE_SCHEMA, **_job_body(record, payload),
+                })
+            elif method == "GET" and path == "/v1/jobs":
+                self._send_json(200, {
+                    "schema": WIRE_SCHEMA, "counts": service.store.counts(),
+                })
+            elif method == "GET" and path == "/v1/circuits":
+                self._send_json(200, _circuits_body())
+            elif method == "GET" and path == "/v1/backends":
+                self._send_json(200, _backends_body())
+            elif method == "GET" and path == "/v1/healthz":
+                self._send_json(200, {
+                    "schema": WIRE_SCHEMA, "status": "ok",
+                    "workers": service.jobs,
+                })
+            elif method == "GET" and path == "/v1/stats":
+                self._send_json(200, {
+                    "schema": WIRE_SCHEMA, **service.stats(),
+                })
+            elif path in _ROUTES and method != _ROUTES[path]:
+                raise ServiceError(
+                    f"{method} not allowed on {path} "
+                    f"(use {_ROUTES[path]})", status=405,
+                )
+            else:
+                raise ServiceError(f"no such endpoint {path!r}", status=404)
+        except ServiceError as exc:
+            self._send_error_body(exc.status, str(exc))
+        except ReproError as exc:
+            # Library-level rejection of otherwise well-formed input
+            # (bad netlist structure, unknown option value, ...).
+            self._send_error_body(400, str(exc))
+        except Exception as exc:  # noqa: BLE001 — a handler must answer
+            self._send_error_body(500, f"{type(exc).__name__}: {exc}")
+
+    def _post_size(self, service: SizingService) -> None:
+        body = self._read_body()
+        wants_async = bool(body.get("async", False))
+        if wants_async:
+            record = service.size_async(body)
+            payload = record.payload if record.done else None
+            self._send_json(202 if not record.done else 200, {
+                "schema": WIRE_SCHEMA, **_job_body(record, payload),
+            })
+        else:
+            record = service.size_sync(body)
+            self._send_json(200, {
+                "schema": WIRE_SCHEMA, **_job_body(record, record.payload),
+            })
+
+    # BaseHTTPRequestHandler dispatches on these names.
+    def do_GET(self) -> None:  # noqa: N802 (stdlib-required name)
+        """Serve the read-only endpoints."""
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib-required name)
+        """Serve ``/v1/size``."""
+        self._dispatch("POST")
+
+
+#: Method routing for precise 405s on known paths.
+_ROUTES = {
+    "/v1/size": "POST",
+    "/v1/jobs": "GET",
+    "/v1/circuits": "GET",
+    "/v1/backends": "GET",
+    "/v1/healthz": "GET",
+    "/v1/stats": "GET",
+}
+
+
+def _circuits_body() -> dict:
+    """Discovery payload: the suite plus the accepted token grammar."""
+    return {
+        "schema": WIRE_SCHEMA,
+        "circuits": [
+            {
+                "name": spec.name,
+                "paper_gates": spec.paper_gates,
+                "delay_spec": spec.delay_spec,
+                "tier": spec.tier,
+            }
+            for spec in SUITE
+        ],
+        "token_forms": [
+            "a suite name listed under 'circuits'",
+            "rca:N — ripple-carry adder of width N",
+            "a server-side path to a .bench file",
+            "or POST inline netlist text as 'bench' instead of 'circuit'",
+        ],
+    }
+
+
+def _backends_body() -> dict:
+    """Discovery payload: the flow registry's backends + capabilities."""
+    return {
+        "schema": WIRE_SCHEMA,
+        "backends": [
+            {
+                "name": backend.name,
+                "priority": backend.priority,
+                "available": bool(backend.available()),
+                "capabilities": asdict(backend.capabilities),
+            }
+            for backend in registered_backends()
+        ],
+    }
+
+
+class SizingHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`SizingService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: SizingService,
+                 quiet: bool = False):
+        super().__init__(address, _Handler)
+        self.service = service
+        self.quiet = quiet
+
+
+def make_server(
+    service: SizingService, host: str = "127.0.0.1", port: int = 0,
+    quiet: bool = False,
+) -> SizingHTTPServer:
+    """Bind (but do not run) a server; ``port=0`` picks a free port.
+
+    The caller owns the loop: call ``serve_forever()`` (typically on a
+    thread), and ``shutdown()`` + ``server_close()`` + the service's
+    ``close()`` to stop.  Tests and the example use this entry point.
+    """
+    return SizingHTTPServer((host, port), service, quiet=quiet)
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    jobs: int = 1,
+    cache: str | None = None,
+    run_dir: str | None = None,
+    timeout: float | None = None,
+) -> int:
+    """Run the sizing service until interrupted (the CLI entry point).
+
+    ``cache=None`` means the default campaign cache directory; pass
+    ``cache=""`` to disable caching.  Returns the process exit code.
+    """
+    from repro.runner import DEFAULT_CACHE_DIR
+
+    cache_arg: str | None = cache if cache is not None else DEFAULT_CACHE_DIR
+    if cache == "":
+        cache_arg = None
+    service = SizingService(
+        jobs=jobs, cache=cache_arg, run_dir=run_dir, timeout=timeout,
+    )
+    server = make_server(service, host=host, port=port)
+    host_shown, port_shown = server.server_address[:2]
+    print(f"repro sizing service listening on http://{host_shown}:{port_shown}"
+          f" ({jobs} worker{'s' if jobs != 1 else ''}, "
+          f"cache {'off' if service.cache is None else service.cache.root})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+    return 0

@@ -43,6 +43,8 @@ __all__ = ["LagrangianOptions", "LagrangianResult", "lagrangian_size"]
 
 @dataclass(frozen=True)
 class LagrangianOptions:
+    """Knobs of the subgradient Lagrangian sizer."""
+
     max_iterations: int = 120
     subproblem_sweeps: int = 8
     initial_step: float = 2.0
@@ -57,6 +59,8 @@ class LagrangianOptions:
 
 @dataclass
 class LagrangianResult:
+    """Outcome of a Lagrangian sizing run."""
+
     x: np.ndarray
     area: float
     critical_path_delay: float
@@ -69,6 +73,7 @@ class LagrangianResult:
 
     @property
     def meets_target(self) -> bool:
+        """True when the final delay satisfies the target (tolerant)."""
         return self.critical_path_delay <= self.target * (1 + 1e-9)
 
 

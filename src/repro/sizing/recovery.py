@@ -25,6 +25,8 @@ __all__ = ["RecoveryResult", "greedy_downsize"]
 
 @dataclass
 class RecoveryResult:
+    """Outcome of greedy area recovery: sizes, area, moves taken."""
+
     x: np.ndarray
     area: float
     critical_path_delay: float

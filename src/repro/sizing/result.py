@@ -56,6 +56,7 @@ class SizingResult:
 
     @property
     def n_iterations(self) -> int:
+        """Number of W/D iterations recorded."""
         return len(self.iterations)
 
     @property
@@ -67,9 +68,11 @@ class SizingResult:
 
     @property
     def meets_target(self) -> bool:
+        """True when the final delay satisfies the target (tolerant)."""
         return self.critical_path_delay <= self.target * (1 + 1e-9)
 
     def summary(self) -> str:
+        """One-line human-readable digest (the CLI's result line)."""
         return (
             f"{self.name} [{self.mode}]: area {self.area:.2f} "
             f"(initial {self.initial_area:.2f}, "

@@ -24,6 +24,7 @@ from repro.sizing.result import IterationRecord, SizingResult
 
 __all__ = [
     "SCHEMA_VERSION",
+    "canonical_json",
     "payload_schema_version",
     "result_to_dict",
     "result_from_dict",
@@ -39,6 +40,19 @@ SCHEMA_VERSION = 2
 
 _SCHEMA_FAMILY = "repro.sizing-result"
 _SCHEMA = f"{_SCHEMA_FAMILY}/{SCHEMA_VERSION}"
+
+
+def canonical_json(payload: object) -> str:
+    """Canonical JSON text: sorted keys, compact separators.
+
+    The single serialization used wherever JSON must be *comparable or
+    hashable* — the content-addressed cache fingerprint
+    (:func:`repro.runner.cache.job_key`) and the service's
+    byte-identity guarantee (two requests with the same fingerprint
+    serve the same canonical bytes) both depend on identical payloads
+    producing identical text.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
 def result_to_dict(result: SizingResult, dag: SizingDag | None = None) -> dict:
@@ -100,6 +114,7 @@ def payload_schema_version(payload: dict) -> int | None:
 
 
 def result_from_dict(payload: dict) -> SizingResult:
+    """Rebuild a :class:`SizingResult`; rejects unknown schema versions."""
     version = payload_schema_version(payload)
     if version != SCHEMA_VERSION:
         raise SizingError(
@@ -141,6 +156,7 @@ def result_from_dict(payload: dict) -> SizingResult:
 def save_result(
     result: SizingResult, path: str | Path, dag: SizingDag | None = None
 ) -> Path:
+    """Write a result to ``path`` as schema-versioned JSON."""
     path = Path(path)
     with open(path, "w") as handle:
         json.dump(result_to_dict(result, dag), handle, indent=1)
@@ -148,5 +164,6 @@ def save_result(
 
 
 def load_result(path: str | Path) -> SizingResult:
+    """Read a result written by :func:`save_result`."""
     with open(path) as handle:
         return result_from_dict(json.load(handle))

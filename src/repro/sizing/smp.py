@@ -46,6 +46,7 @@ class SmpResult:
 
     @property
     def feasible(self) -> bool:
+        """True when no vertex hit its upper size bound."""
         return not self.clamped
 
 

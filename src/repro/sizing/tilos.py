@@ -66,6 +66,8 @@ class TilosOptions:
 
 @dataclass
 class TilosResult:
+    """Outcome of the greedy TILOS baseline (the W/D loop's seed)."""
+
     x: np.ndarray
     area: float
     critical_path_delay: float

@@ -1,0 +1,51 @@
+"""Smoke tests for the runnable examples (so the docs' links never rot).
+
+Each script in ``tools/check_docs.py``'s :data:`EXAMPLE_SMOKE` list
+must run to completion as a real subprocess — the same check CI's docs
+job performs via ``python tools/check_docs.py --examples``.  The
+scripts self-verify (asserting cache replay, byte-identity, service
+shutdown), so exit code 0 plus their final marker line is a meaningful
+pass.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: script -> marker that its last verification step prints.
+EXAMPLES = {
+    "examples/size_one.py": "read back intact",
+    "examples/sweep_campaign.py": "replay verified",
+    "examples/query_service.py": "service stopped",
+}
+
+
+def _run(script: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    ).rstrip(os.pathsep)
+    return subprocess.run(
+        [sys.executable, str(ROOT / script)],
+        cwd=ROOT, env=env, capture_output=True, text=True, timeout=300,
+    )
+
+
+@pytest.mark.parametrize("script, marker", sorted(EXAMPLES.items()))
+def test_example_runs_clean(script, marker):
+    proc = _run(script)
+    assert proc.returncode == 0, proc.stderr
+    assert marker in proc.stdout
+
+
+def test_example_list_matches_check_docs():
+    """The pytest list and the check_docs list must not drift apart."""
+    sys.path.insert(0, str(ROOT / "tools"))
+    from check_docs import EXAMPLE_SMOKE
+
+    assert set(EXAMPLE_SMOKE) == set(EXAMPLES)

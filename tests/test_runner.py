@@ -220,6 +220,42 @@ class TestExecutor:
             assert sum(s["solves"] for s in flow.values()) == iters
 
 
+class TestRunOne:
+    def test_run_one_executes_and_stores(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        job = Job(circuit="c17", delay_spec=0.7)
+        outcome = runner.run_one(job, cache=cache)
+        assert outcome.status == "ok" and not outcome.cached
+        assert outcome.key in cache
+
+    def test_run_one_replays_from_cache(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path / "cache")
+        job = Job(circuit="c17", delay_spec=0.7)
+        first = runner.run_one(job, cache=cache)
+        monkeypatch.setitem(_EXECUTORS, "sizing", lambda j: (
+            (_ for _ in ()).throw(AssertionError("must replay"))
+        ))
+        second = runner.run_one(job, cache=cache)
+        assert second.cached
+        assert second.payload == first.payload
+
+    def test_run_one_matches_campaign_payload(self, tmp_path):
+        """One shared execution path: run_one == the campaign loop."""
+        spec = small_spec(name="one", specs=(0.7,))
+        campaign = runner.run(spec, jobs=1, cache=None)
+        single = runner.run_one(spec.jobs()[0], cache=None)
+        assert single.payload["result"]["x"] == (
+            campaign.outcomes[0].payload["result"]["x"]
+        )
+
+    def test_run_one_isolates_failures(self):
+        outcome = runner.run_one(
+            Job(circuit="definitely-not-a-circuit", delay_spec=0.5)
+        )
+        assert outcome.status == "failed"
+        assert "definitely-not-a-circuit" in outcome.error
+
+
 class TestResume:
     def test_interrupt_then_resume_identical(self, tmp_path, monkeypatch):
         spec = small_spec(name="resumable")
@@ -406,3 +442,46 @@ class TestCampaignCli:
         monkeypatch.chdir(tmp_path)
         assert main(["campaign", "status", "nowhere"]) == 2
         assert "no campaign log" in capsys.readouterr().err
+
+    def test_status_and_resume_empty_log_exit_2(self, tmp_path, capsys,
+                                                monkeypatch):
+        from repro.__main__ import main
+
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "run").mkdir()
+        (tmp_path / "run" / "campaign.jsonl").write_text("")
+        assert main(["campaign", "status", "run"]) == 2
+        assert "no campaign header" in capsys.readouterr().err
+        assert main(["campaign", "resume", "run"]) == 2
+        assert "no campaign header" in capsys.readouterr().err
+
+    def test_status_and_resume_truncated_header_exit_2(self, tmp_path,
+                                                       capsys, monkeypatch):
+        from repro.__main__ import main
+
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "run").mkdir()
+        # A header record missing n_jobs/labels (e.g. hand-edited or
+        # written by a dead version) must be a diagnostic, not a
+        # KeyError traceback.
+        (tmp_path / "run" / "campaign.jsonl").write_text(
+            json.dumps({"type": "campaign", "name": "x"}) + "\n"
+        )
+        assert main(["campaign", "status", "run"]) == 2
+        assert "malformed campaign header" in capsys.readouterr().err
+        assert main(["campaign", "resume", "run"]) == 2
+        assert "malformed campaign header" in capsys.readouterr().err
+
+    def test_load_run_malformed_job_records_are_skipped(self, tmp_path):
+        spec = small_spec(name="glitch")
+        runner.run(
+            spec, jobs=1, cache=tmp_path / "cache", run_dir=tmp_path / "run"
+        )
+        path = tmp_path / "run" / "campaign.jsonl"
+        path.write_text(
+            path.read_text()
+            + json.dumps({"type": "job", "status": "ok"}) + "\n"
+            + json.dumps({"type": "job", "index": "NaN"}) + "\n"
+        )
+        state = load_run(tmp_path / "run")
+        assert state.counts() == {"ok": 2}

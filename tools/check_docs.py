@@ -1,8 +1,8 @@
-"""Documentation build check: markdown lint + internal link check.
+"""Documentation build check: lint, links, commands, docstrings, examples.
 
 CI's docs job runs this over the repository's documentation set
 (README.md, docs/, benchmarks/README.md and the other top-level
-markdown files) so the paper-to-code map and iteration-internals docs
+markdown files) so the user guide, API reference and architecture map
 cannot rot silently.  Dependency-free on purpose: the checks are
 
 * **links** — every relative markdown link and image target must exist
@@ -12,16 +12,35 @@ cannot rot silently.  Dependency-free on purpose: the checks are
   levels from their predecessor (h2 after h1, not h4), and files must
   end with exactly one trailing newline;
 * **hygiene** — no trailing whitespace, no tab-indented markdown, no
-  lines over 200 characters (tables excepted).
+  lines over 200 characters (tables excepted);
+* **commands** — every ``python -m repro ...`` invocation inside a
+  shell code fence must parse against the real CLI parser
+  (:func:`repro.__main__.build_parser`), and every
+  ``python <repo-script>.py`` must name a script that exists — this is
+  what keeps the user guide copy-pasteable;
+* **docstrings** — every public module/class/function in
+  ``src/repro/{service,runner,flow,sizing}`` must carry a docstring,
+  and the committed ``docs/API.md`` must match a fresh
+  ``tools/gen_api.py`` render;
+* **examples** (``--examples``) — the scripts in
+  :data:`EXAMPLE_SMOKE` must run to completion, so the examples the
+  guide links can never rot.
 
 Usage::
 
-    python tools/check_docs.py [paths...]
+    python tools/check_docs.py [paths...] [--examples]
 """
 
 from __future__ import annotations
 
+import argparse
+import ast
+import contextlib
+import io
+import os
 import re
+import shlex
+import subprocess
 import sys
 from pathlib import Path
 
@@ -35,12 +54,23 @@ DEFAULT_DOCS = (
     "docs",
     "benchmarks/README.md",
 )
+#: Example scripts exercised by ``--examples`` (and by
+#: ``tests/test_examples.py``); each must finish quickly on tiny
+#: circuits.
+EXAMPLE_SMOKE = (
+    "examples/size_one.py",
+    "examples/sweep_campaign.py",
+    "examples/query_service.py",
+)
 MAX_LINE = 200
+#: Shell tokens that end the argument list of a command under check.
+_SHELL_BREAKS = frozenset(("|", "||", "&&", ";", ">", ">>", "<", "2>", "&"))
 
 _LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 _IMAGE = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 _HEADING = re.compile(r"^(#{1,6})\s")
 _EXTERNAL = ("http://", "https://", "mailto:")
+_FENCE = re.compile(r"^\s*```(\w*)")
 
 
 def collect(paths: list[str]) -> tuple[list[Path], list[str]]:
@@ -66,7 +96,194 @@ def collect(paths: list[str]) -> tuple[list[Path], list[str]]:
     return files, errors
 
 
+# -- shell-command verification ----------------------------------------
+
+
+def _cli_parser():
+    """The real ``python -m repro`` parser (imported once, lazily)."""
+    src = str(ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro.__main__ import build_parser
+
+    return build_parser()
+
+
+def _shell_lines(text: str) -> list[tuple[int, str]]:
+    """Logical shell lines inside ``bash``/``sh``/``console`` fences.
+
+    Backslash continuations are joined so a wrapped command verifies as
+    one invocation; the reported line number is the first physical
+    line.
+    """
+    out: list[tuple[int, str]] = []
+    fence_lang: str | None = None
+    logical, logical_start = "", 0
+    for lineno, line in enumerate(text.split("\n"), start=1):
+        fence = _FENCE.match(line)
+        if fence:
+            fence_lang = None if fence_lang is not None else fence.group(1)
+            continue
+        if fence_lang not in ("bash", "sh", "shell", "console"):
+            continue
+        stripped = line.strip()
+        if logical:
+            logical += " " + stripped.rstrip("\\").strip()
+        else:
+            if not stripped or stripped.startswith("#"):
+                continue
+            logical_start = lineno
+            logical = stripped.rstrip("\\").strip()
+        if stripped.endswith("\\"):
+            continue
+        out.append((logical_start, logical))
+        logical, logical_start = "", 0
+    if logical:
+        out.append((logical_start, logical))
+    return out
+
+
+def _check_repro_invocation(args: list[str]) -> str | None:
+    """Parse CLI arguments against the real parser; error text or None."""
+    stderr = io.StringIO()
+    try:
+        with contextlib.redirect_stderr(stderr):
+            _cli_parser().parse_args(args)
+    except SystemExit as exc:
+        if exc.code not in (0, None):
+            reason = stderr.getvalue().strip().splitlines()
+            return reason[-1] if reason else f"exit {exc.code}"
+    return None
+
+
+def check_commands(path: Path) -> list[str]:
+    """Verify the shell commands documented in one markdown file."""
+    errors: list[str] = []
+    rel = path.relative_to(ROOT)
+    for lineno, line in _shell_lines(path.read_text(encoding="utf-8")):
+        try:
+            tokens = shlex.split(line)
+        except ValueError:
+            continue  # heredocs and friends: out of scope
+        tokens = [t for t in tokens if "=" not in t or not t.split("=")[0]
+                  .replace("_", "").isupper()]  # drop ENV=val prefixes
+        for index, token in enumerate(tokens):
+            if token not in ("python", "python3"):
+                continue
+            rest = tokens[index + 1:]
+            for stop, item in enumerate(rest):
+                if item in _SHELL_BREAKS:
+                    rest = rest[:stop]
+                    break
+            if rest[:2] == ["-m", "repro"]:
+                problem = _check_repro_invocation(rest[2:])
+                if problem:
+                    errors.append(
+                        f"{rel}:{lineno}: documented command does not "
+                        f"parse ({problem}): {line}"
+                    )
+            elif rest and rest[0].endswith(".py") and "/" in rest[0]:
+                if not (ROOT / rest[0]).exists():
+                    errors.append(
+                        f"{rel}:{lineno}: documented script missing "
+                        f"from the repo: {rest[0]}"
+                    )
+            break  # one python invocation per logical line is enough
+    return errors
+
+
+# -- docstring gate + generated API reference --------------------------
+
+
+def _iter_public_defs(tree: ast.Module):
+    """Yield ``(lineno, qualified name)`` for every public definition."""
+    for node in tree.body:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+            continue
+        if node.name.startswith("_"):
+            continue
+        yield node, node.name
+        if isinstance(node, ast.ClassDef):
+            for sub in node.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                        and not sub.name.startswith("_"):
+                    yield sub, f"{node.name}.{sub.name}"
+
+
+def check_docstrings() -> list[str]:
+    """Fail on public APIs without docstrings in the gated packages."""
+    sys.path.insert(0, str(ROOT / "tools"))
+    from gen_api import API_PACKAGES, SRC
+
+    errors: list[str] = []
+    for package in API_PACKAGES:
+        for path in sorted((SRC / "repro" / package).rglob("*.py")):
+            rel = path.relative_to(ROOT)
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+            if ast.get_docstring(tree) is None:
+                errors.append(f"{rel}:1: public module lacks a docstring")
+            for node, name in _iter_public_defs(tree):
+                if ast.get_docstring(node) is None:
+                    errors.append(
+                        f"{rel}:{node.lineno}: public API '{name}' lacks "
+                        f"a docstring"
+                    )
+    return errors
+
+
+def check_api_reference() -> list[str]:
+    """Fail when ``docs/API.md`` differs from a fresh render."""
+    sys.path.insert(0, str(ROOT / "tools"))
+    from gen_api import OUT, render_api
+
+    fresh = render_api()
+    on_disk = OUT.read_text(encoding="utf-8") if OUT.exists() else ""
+    if fresh != on_disk:
+        return [
+            f"{OUT.relative_to(ROOT)} is stale — regenerate with "
+            f"'python tools/gen_api.py'"
+        ]
+    return []
+
+
+# -- example smoke -----------------------------------------------------
+
+
+def check_examples() -> list[str]:
+    """Run every :data:`EXAMPLE_SMOKE` script to completion."""
+    errors: list[str] = []
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    ).rstrip(os.pathsep)
+    for script in EXAMPLE_SMOKE:
+        path = ROOT / script
+        if not path.exists():
+            errors.append(f"{script}: example script missing")
+            continue
+        try:
+            proc = subprocess.run(
+                [sys.executable, str(path)],
+                cwd=ROOT, env=env, capture_output=True, text=True,
+                timeout=600,
+            )
+        except subprocess.TimeoutExpired:
+            errors.append(f"{script}: example timed out")
+            continue
+        if proc.returncode != 0:
+            tail = (proc.stderr or proc.stdout).strip().splitlines()[-3:]
+            errors.append(
+                f"{script}: exited {proc.returncode}: " + " | ".join(tail)
+            )
+    return errors
+
+
+# -- markdown lint -----------------------------------------------------
+
+
 def check_file(path: Path) -> list[str]:
+    """Structure, hygiene and link checks for one markdown file."""
     errors: list[str] = []
     rel = path.relative_to(ROOT)
     text = path.read_text(encoding="utf-8")
@@ -117,17 +334,34 @@ def check_file(path: Path) -> list[str]:
 
 
 def main(argv: list[str] | None = None) -> int:
-    paths = (argv or sys.argv[1:]) or list(DEFAULT_DOCS)
+    """Run every documentation check; nonzero on any problem."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="*",
+                        help="markdown files/directories "
+                             "(default: the repo documentation set)")
+    parser.add_argument("--examples", action="store_true",
+                        help="also run the example smoke scripts")
+    args = parser.parse_args(argv)
+
+    paths = args.paths or list(DEFAULT_DOCS)
     files, errors = collect(paths)
     if not files:
         print("check_docs: no markdown files found", file=sys.stderr)
         return 1
     for path in files:
         errors.extend(check_file(path))
+        errors.extend(check_commands(path))
+    errors.extend(check_docstrings())
+    errors.extend(check_api_reference())
+    n_examples = 0
+    if args.examples:
+        n_examples = len(EXAMPLE_SMOKE)
+        errors.extend(check_examples())
     for error in errors:
         print(error, file=sys.stderr)
     print(
-        f"check_docs: {len(files)} files checked, {len(errors)} problem(s)"
+        f"check_docs: {len(files)} files checked, "
+        f"{n_examples} examples run, {len(errors)} problem(s)"
     )
     return 1 if errors else 0
 

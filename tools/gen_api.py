@@ -1,0 +1,210 @@
+"""Generate ``docs/API.md`` from the library's docstrings.
+
+Walks the public surface of the packages listed in :data:`API_PACKAGES`
+with ``ast`` (no imports, so generation cannot execute library code or
+depend on optional backends) and renders one markdown reference:
+
+* a ``##`` section per module, opened with the module docstring's first
+  paragraph;
+* a bullet per public class/function — signature plus the first
+  paragraph of its docstring — with public methods nested beneath
+  their class.
+
+"Public" means: defined at module top level (or directly on a public
+class), name not underscore-prefixed.  The companion gate in
+``tools/check_docs.py`` fails CI when any such definition lacks a
+docstring and when the committed ``docs/API.md`` differs from a fresh
+render — so the reference regenerates or the build goes red.
+
+Usage::
+
+    python tools/gen_api.py            # rewrite docs/API.md
+    python tools/gen_api.py --check    # exit 1 if docs/API.md is stale
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+OUT = ROOT / "docs" / "API.md"
+
+#: Packages whose public surface is documented and docstring-gated.
+API_PACKAGES = ("service", "runner", "flow", "sizing")
+
+HEADER = """\
+# API reference
+
+Generated from docstrings by `tools/gen_api.py` — do not edit by hand
+(`tools/check_docs.py` fails when this file is stale; regenerate with
+`python tools/gen_api.py`).  Covers the public surface of
+`repro.service`, `repro.runner`, `repro.flow` and `repro.sizing`; see
+[`USER_GUIDE.md`](USER_GUIDE.md) for task-oriented walkthroughs and
+[`ARCHITECTURE.md`](ARCHITECTURE.md) for the paper-to-code map.
+"""
+
+
+@dataclass
+class ApiEntry:
+    """One public definition: kind, name, signature, docstring, members."""
+
+    kind: str  # "class" | "function"
+    name: str
+    signature: str
+    lineno: int
+    doc: str | None
+    members: list["ApiEntry"] = field(default_factory=list)
+
+
+@dataclass
+class ModuleApi:
+    """One module's public surface."""
+
+    name: str  # dotted module name, e.g. "repro.runner.cache"
+    path: Path
+    doc: str | None
+    entries: list[ApiEntry]
+
+
+def _signature(node: ast.FunctionDef | ast.AsyncFunctionDef) -> str:
+    """Compact ``name(arg, ...)`` signature (annotations dropped)."""
+    args = node.args
+    parts: list[str] = []
+    n_positional = len(args.posonlyargs) + len(args.args)
+    defaults_start = n_positional - len(args.defaults)
+    for index, arg in enumerate(args.posonlyargs + args.args):
+        text = arg.arg
+        if index >= defaults_start:
+            text += "=…"
+        parts.append(text)
+    if args.vararg is not None:
+        parts.append(f"*{args.vararg.arg}")
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        parts.append(f"{arg.arg}=…" if default is not None else arg.arg)
+    if args.kwarg is not None:
+        parts.append(f"**{args.kwarg.arg}")
+    if parts and parts[0] in ("self", "cls"):
+        parts = parts[1:]
+    return f"{node.name}({', '.join(parts)})"
+
+
+def _first_paragraph(doc: str | None) -> str:
+    """First docstring paragraph flattened to one line."""
+    if not doc:
+        return ""
+    paragraph = doc.strip().split("\n\n", 1)[0]
+    return " ".join(line.strip() for line in paragraph.splitlines())
+
+
+def _entry(node, in_class: bool = False) -> ApiEntry | None:
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+        return None
+    if node.name.startswith("_"):
+        return None
+    if isinstance(node, ast.ClassDef):
+        members = []
+        if not in_class:  # no nested-class recursion: keep the page flat
+            members = [
+                entry
+                for sub in node.body
+                if (entry := _entry(sub, in_class=True)) is not None
+            ]
+        return ApiEntry(
+            kind="class",
+            name=node.name,
+            signature=node.name,
+            lineno=node.lineno,
+            doc=ast.get_docstring(node),
+            members=members,
+        )
+    return ApiEntry(
+        kind="function",
+        name=node.name,
+        signature=_signature(node),
+        lineno=node.lineno,
+        doc=ast.get_docstring(node),
+    )
+
+
+def module_api(path: Path) -> ModuleApi:
+    """Parse one source file's public surface."""
+    relative = path.relative_to(SRC).with_suffix("")
+    dotted = ".".join(relative.parts)
+    if dotted.endswith(".__init__"):
+        dotted = dotted[: -len(".__init__")]
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    entries = [
+        entry for node in tree.body if (entry := _entry(node)) is not None
+    ]
+    return ModuleApi(
+        name=dotted, path=path, doc=ast.get_docstring(tree), entries=entries
+    )
+
+
+def iter_api(packages: tuple[str, ...] = API_PACKAGES) -> list[ModuleApi]:
+    """The public surface of every module in the given repro packages."""
+    modules: list[ModuleApi] = []
+    for package in packages:
+        for path in sorted((SRC / "repro" / package).rglob("*.py")):
+            modules.append(module_api(path))
+    return modules
+
+
+def _render_entry(entry: ApiEntry, lines: list[str], indent: str = "") -> None:
+    summary = _first_paragraph(entry.doc)
+    label = f"`{entry.signature}`"
+    if entry.kind == "class":
+        label = f"class `{entry.name}`"
+    lines.append(f"{indent}- {label} — {summary}")
+    for member in entry.members:
+        _render_entry(member, lines, indent + "  ")
+
+
+def render_api(packages: tuple[str, ...] = API_PACKAGES) -> str:
+    """The full markdown text of ``docs/API.md``."""
+    lines = [HEADER]
+    for module in iter_api(packages):
+        if not module.entries and module.path.name == "__init__.py" and (
+            not _first_paragraph(module.doc)
+        ):
+            continue
+        relative = module.path.relative_to(ROOT).as_posix()
+        lines.append(f"## `{module.name}`")
+        lines.append("")
+        summary = _first_paragraph(module.doc)
+        lines.append(f"[{relative}](../{relative}) — {summary}")
+        if module.entries:
+            lines.append("")
+            for entry in module.entries:
+                _render_entry(entry, lines)
+        lines.append("")
+    return "\n".join(lines).rstrip("\n") + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Write (or with ``--check`` verify) ``docs/API.md``."""
+    argv = sys.argv[1:] if argv is None else argv
+    text = render_api()
+    if "--check" in argv:
+        on_disk = OUT.read_text(encoding="utf-8") if OUT.exists() else ""
+        if on_disk != text:
+            print(
+                f"{OUT.relative_to(ROOT)} is stale — regenerate with "
+                f"'python tools/gen_api.py'",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{OUT.relative_to(ROOT)} is up to date")
+        return 0
+    OUT.write_text(text, encoding="utf-8")
+    print(f"wrote {OUT.relative_to(ROOT)} ({len(text.splitlines())} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
