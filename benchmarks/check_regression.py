@@ -1,21 +1,30 @@
-"""Compare a fresh BENCH_flow.json against the committed baseline.
+"""Compare a fresh benchmark run against its committed baseline.
+
+Handles both harness documents — ``BENCH_flow.json``
+(``repro-bench-flow/1``) and ``BENCH_sizing.json``
+(``repro-bench-sizing/1``); the document schema picks the comparison.
 
 CI runners differ wildly in raw speed, so absolute wall times are never
 compared.  The regression gate uses machine-independent signals only:
 
-* ``speedup_ssp_vs_legacy`` per circuit — both solvers ran on the same
-  machine in the same process, so the ratio survives runner changes.
-  Fails when the current ratio drops more than ``--threshold`` (default
-  20%) below the baseline.
-* solver work counters (``augmentations``, ``sp_rounds``) of the array
-  engine — deterministic for a given algorithm; a jump means the
+* same-process speedup ratios — ``speedup_ssp_vs_legacy`` per circuit
+  for the flow document, the scalar-vs-vectorized W-phase and TILOS
+  ratios for the sizing document.  Both sides of each ratio ran on the
+  same machine in the same process, so the ratio survives runner
+  changes.  Fails when the current ratio drops more than
+  ``--threshold`` (default 20%) below the baseline.
+* deterministic work counters — flow ``augmentations``/``sp_rounds``,
+  sizing W-phase sweep counts and TILOS bump counts; a jump means the
   algorithm got structurally worse even if the runner hides it.
-* ``parity_ok`` — all backends must still agree on the objective.
+* ``parity_ok`` — backends (flow) or kernels (sizing) must still agree
+  on their results.
 
 Usage::
 
     python benchmarks/check_regression.py \
         --baseline benchmarks/BENCH_flow.json --current BENCH_flow.json
+    python benchmarks/check_regression.py \
+        --baseline benchmarks/BENCH_sizing.json --current BENCH_sizing.json
 """
 
 from __future__ import annotations
@@ -67,6 +76,55 @@ def compare(baseline: dict, current: dict, threshold: float) -> list[str]:
     return failures
 
 
+def compare_sizing(baseline: dict, current: dict, threshold: float) -> list[str]:
+    """Sizing-kernel regression check (empty list == pass)."""
+    failures: list[str] = []
+    if not current["summary"]["parity_ok"]:
+        for parity in current["summary"].get("parity_failures", []):
+            failures.append(f"kernel parity broken: {parity}")
+        if not current["summary"].get("parity_failures"):
+            failures.append("kernel parity broken")
+
+    base_circuits = _by_name(baseline)
+    cur_circuits = _by_name(current)
+    for name, base in base_circuits.items():
+        cur = cur_circuits.get(name)
+        if cur is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        for phase in ("w_phase", "tilos"):
+            base_speedup = base[phase].get("speedup")
+            cur_speedup = cur[phase].get("speedup")
+            if base_speedup and cur_speedup:
+                floor = base_speedup * (1.0 - threshold)
+                if cur_speedup < floor:
+                    failures.append(
+                        f"{name}: {phase} vectorized speedup regressed "
+                        f"{base_speedup:.2f}x -> {cur_speedup:.2f}x "
+                        f"(floor {floor:.2f}x)"
+                    )
+        # Deterministic work counters: more relaxation sweeps or more
+        # greedy bumps on the same instance is an algorithmic
+        # regression regardless of the runner.
+        for phase, counter in (("w_phase", "sweeps"), ("tilos", "bumps")):
+            base_value = base[phase][counter]
+            value = cur[phase][counter]
+            ceiling = base_value * (1.0 + threshold) + 8
+            if value > ceiling:
+                failures.append(
+                    f"{name}: {phase} {counter} grew "
+                    f"{base_value} -> {value} (ceiling {ceiling:.0f})"
+                )
+    return failures
+
+
+#: Comparison routine per benchmark document schema.
+COMPARATORS = {
+    "repro-bench-flow/1": compare,
+    "repro-bench-sizing/1": compare_sizing,
+}
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True)
@@ -81,8 +139,13 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[regress] schema mismatch: {baseline.get('schema')} vs "
               f"{current.get('schema')}", file=sys.stderr)
         return 1
+    comparator = COMPARATORS.get(baseline.get("schema"))
+    if comparator is None:
+        print(f"[regress] unknown benchmark schema "
+              f"{baseline.get('schema')!r}", file=sys.stderr)
+        return 1
 
-    failures = compare(baseline, current, args.threshold)
+    failures = comparator(baseline, current, args.threshold)
     if failures:
         for failure in failures:
             print(f"[regress] FAIL: {failure}", file=sys.stderr)

@@ -43,7 +43,7 @@ from repro.circuit.mapping import is_primitive_circuit
 from repro.dag import build_sizing_dag
 from repro.errors import ReproError
 from repro.generators.iscas import SUITE
-from repro.sizing import MinfloOptions, minflotransit, tilos_size
+from repro.sizing import MinfloOptions, TilosOptions, minflotransit, tilos_size
 from repro.tech import default_technology
 from repro.timing import analyze
 
@@ -89,7 +89,7 @@ def _cmd_size(args: argparse.Namespace) -> int:
     # cumulative per process, so printing them directly would mix in any
     # earlier solves (other commands, other library calls).
     with stats_scope() as flow_totals:
-        seed = tilos_size(dag, target)
+        seed = tilos_size(dag, target, TilosOptions(kernel=args.kernel))
         if not seed.feasible:
             print(f"TILOS stalled at {seed.critical_path_delay:.0f} ps — "
                   f"spec {args.spec} is below this circuit's delay floor")
@@ -98,11 +98,16 @@ def _cmd_size(args: argparse.Namespace) -> int:
               f"({seed.area / dag.area(dag.min_sizes()):.2f}x min), "
               f"{seed.runtime_seconds:.2f}s")
         result = minflotransit(
-            dag, target, MinfloOptions(flow_backend=args.backend), x0=seed.x
+            dag,
+            target,
+            MinfloOptions(flow_backend=args.backend, kernel=args.kernel),
+            x0=seed.x,
         )
     print(result.summary())
     print(f"area saved over TILOS: "
           f"{100 * (1 - result.area / seed.area):.2f}%")
+    if args.phase_stats:
+        _print_phase_stats(seed, result)
     if args.flow_stats:
         _print_iteration_stats(seed, result)
         _print_flow_stats(flow_totals)
@@ -139,6 +144,39 @@ def _print_flow_stats(totals: dict) -> None:
          "routed", "wall s"],
         rows,
         title="flow solver statistics",
+    ))
+
+
+def _print_phase_stats(seed, result) -> None:
+    """Per-phase wall-time breakdown of one sizing run.
+
+    Attributes a regression to the phase that caused it: the TILOS
+    seed (with its sensitivity-kernel split), incremental timing,
+    delay balancing, the D-phase flow solve and the W-phase SMP
+    relaxation.
+    """
+    tstats = seed.timing_stats
+    seed_note = (
+        f"kernel {tstats.get('kernel', '?')}: "
+        f"scan {tstats.get('scan_seconds', 0.0):.3f}s, "
+        f"refresh {tstats.get('refresh_seconds', 0.0):.3f}s"
+    )
+    phases = result.phase_seconds
+    rows = [
+        ["TILOS seed", f"{seed.runtime_seconds:.3f}", seed_note],
+        ["timing", f"{phases.get('timing', 0.0):.3f}",
+         "incremental AT/RT maintenance"],
+        ["balance", f"{phases.get('balance', 0.0):.3f}",
+         "FSDU delay balancing"],
+        ["D-phase flow", f"{phases.get('d_phase', 0.0):.3f}",
+         "min-cost-flow budget redistribution"],
+        ["W-phase", f"{phases.get('w_phase', 0.0):.3f}",
+         f"{result.w_sweeps_total} SMP sweeps, kernel "
+         f"{result.iterations[-1].kernel if result.iterations else '?'}"],
+    ]
+    print(format_table(
+        ["phase", "wall s", "notes"], rows,
+        title="per-phase wall time",
     ))
 
 
@@ -418,8 +456,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="D-phase flow solver: 'auto' (registry "
                              "picks per instance) or a registered name "
                              "(ssp/ssp-legacy/networkx/scipy)")
+    p_size.add_argument("--kernel", choices=["vectorized", "scalar"],
+                        default="vectorized",
+                        help="sizing kernels for TILOS sensitivities and "
+                             "the W-phase relaxation: 'vectorized' "
+                             "(level-blocked array kernels, default) or "
+                             "'scalar' (reference loops; identical "
+                             "results)")
     p_size.add_argument("--flow-stats", action="store_true",
                         help="print per-backend solver statistics")
+    p_size.add_argument("--phase-stats", action="store_true",
+                        help="print a per-phase wall-time breakdown "
+                             "(TILOS, timing, balancing, D-phase flow, "
+                             "W-phase sweeps)")
     p_size.add_argument("--out", help="write per-vertex sizes to a file")
     p_size.set_defaults(func=_cmd_size)
 

@@ -103,6 +103,11 @@ class SizingDag:
         self.level = self._levels()
         self.n_levels = int(self.level.max()) + 1 if self.n else 0
         self.blocks = self._block_order()
+        # Per-DAG cache of derived sizing-kernel structures (the SMP
+        # level plan, the TILOS coupling plan): the topology and delay
+        # coefficients are immutable, so consumers build once and reuse
+        # (see repro.sizing.kernels.get_smp_plan / get_tilos_plan).
+        self.kernel_cache: dict[str, object] = {}
 
     # -- construction helpers ------------------------------------------------
 

@@ -93,8 +93,7 @@ class VertexDelayModel:
             )
         if np.any(x <= 0):
             raise DelayModelError("sizes must be strictly positive")
-        g_values = np.array([self.law.g(value) for value in x])
-        return self.intrinsic + g_values * self.load(x)
+        return self.intrinsic + self.law.g_array(x) * self.load(x)
 
     def load_delays(self, x: np.ndarray) -> np.ndarray:
         """The variable part of the delay (total minus intrinsic)."""

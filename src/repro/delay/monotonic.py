@@ -22,6 +22,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import DelayModelError
 
 __all__ = ["SizeLaw", "ElmoreSizeLaw", "PowerSizeLaw", "check_decomposition"]
@@ -42,6 +44,25 @@ class SizeLaw:
         """Solve ``g(x) = value`` for x (value > 0)."""
         raise NotImplementedError
 
+    # Array evaluation: the vectorized sizing kernels
+    # (:mod:`repro.sizing.kernels`) and the delay model's bulk
+    # evaluation call these on whole vertex batches.  The base
+    # implementations fall back to the scalar law element by element,
+    # so custom laws stay correct; the built-in laws override with
+    # closed-form numpy expressions.
+
+    def g_array(self, x: np.ndarray) -> np.ndarray:
+        """``g`` applied elementwise to a size vector."""
+        x = np.asarray(x, dtype=float)
+        return np.fromiter((self.g(float(v)) for v in x), float, x.size)
+
+    def g_inverse_array(self, values: np.ndarray) -> np.ndarray:
+        """``g_inverse`` applied elementwise (all values > 0)."""
+        values = np.asarray(values, dtype=float)
+        return np.fromiter(
+            (self.g_inverse(float(v)) for v in values), float, values.size
+        )
+
 
 @dataclass(frozen=True)
 class ElmoreSizeLaw(SizeLaw):
@@ -52,6 +73,14 @@ class ElmoreSizeLaw(SizeLaw):
 
     def g_inverse(self, value: float) -> float:
         return 1.0 / value
+
+    def g_array(self, x: np.ndarray) -> np.ndarray:
+        """Elementwise ``1/x`` (bitwise identical to the scalar law)."""
+        return 1.0 / np.asarray(x, dtype=float)
+
+    def g_inverse_array(self, values: np.ndarray) -> np.ndarray:
+        """Elementwise ``1/value`` (bitwise identical to the scalar law)."""
+        return 1.0 / np.asarray(values, dtype=float)
 
 
 @dataclass(frozen=True)
@@ -76,6 +105,14 @@ class PowerSizeLaw(SizeLaw):
 
     def g_inverse(self, value: float) -> float:
         return value ** (-1.0 / self.exponent)
+
+    def g_array(self, x: np.ndarray) -> np.ndarray:
+        """Elementwise ``x**(-p)``."""
+        return np.asarray(x, dtype=float) ** (-self.exponent)
+
+    def g_inverse_array(self, values: np.ndarray) -> np.ndarray:
+        """Elementwise ``value**(-1/p)``."""
+        return np.asarray(values, dtype=float) ** (-1.0 / self.exponent)
 
 
 def check_decomposition(

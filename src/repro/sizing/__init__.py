@@ -6,6 +6,14 @@ from repro.sizing.dphase import (
     build_dphase_lp,
     d_phase,
 )
+from repro.sizing.kernels import (
+    SMP_ENGINES,
+    SmpPlan,
+    TilosPlan,
+    get_smp_plan,
+    get_tilos_plan,
+    solve_smp_blocked,
+)
 from repro.sizing.lagrangian import (
     LagrangianOptions,
     LagrangianResult,
@@ -26,14 +34,19 @@ __all__ = [
     "LagrangianResult",
     "MinfloOptions",
     "RecoveryResult",
+    "SMP_ENGINES",
     "SizingResult",
+    "SmpPlan",
     "SmpResult",
     "TilosOptions",
+    "TilosPlan",
     "TilosResult",
     "WPhaseResult",
     "area_sensitivities",
     "build_dphase_lp",
     "d_phase",
+    "get_smp_plan",
+    "get_tilos_plan",
     "greedy_downsize",
     "lagrangian_size",
     "load_result",
@@ -41,6 +54,7 @@ __all__ = [
     "require_feasible",
     "save_result",
     "solve_smp",
+    "solve_smp_blocked",
     "tilos_size",
     "w_phase",
 ]

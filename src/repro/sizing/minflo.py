@@ -26,8 +26,14 @@ actually changes (both are exact — they never alter the iterates):
   seeds the next one, so only the supply drift is re-routed
   (``MinfloOptions.warm_start`` disables this for A/B comparisons).
 
-Per-iteration telemetry (cone size, warm-start reuse, augmentations)
-lands in each :class:`~repro.sizing.result.IterationRecord`.
+Within each iteration the W-phase runs on the vectorized level-blocked
+kernel by default (``MinfloOptions.kernel``; see
+:mod:`repro.sizing.kernels` — identical iterates to the scalar loop).
+
+Per-iteration telemetry (cone size, warm-start reuse, augmentations,
+SMP sweep counts) lands in each
+:class:`~repro.sizing.result.IterationRecord`; cumulative per-phase
+wall times land in :attr:`~repro.sizing.result.SizingResult.phase_seconds`.
 """
 
 from __future__ import annotations
@@ -41,6 +47,7 @@ from repro.balancing.fsdu import balance
 from repro.dag.circuit_dag import SizingDag
 from repro.errors import InfeasibleTimingError, SizingError
 from repro.sizing.dphase import d_phase
+from repro.sizing.kernels import SMP_ENGINES
 from repro.sizing.result import IterationRecord, SizingResult
 from repro.sizing.tilos import TilosOptions, tilos_size
 from repro.sizing.wphase import w_phase
@@ -90,6 +97,10 @@ class MinfloOptions:
     #: (backends that cannot warm-start silently solve cold).  Exact:
     #: warm and cold solves reach the same optimum.
     warm_start: bool = True
+    #: W-phase relaxation engine: "vectorized" (level-blocked kernel,
+    #: :mod:`repro.sizing.kernels`) or "scalar" (per-vertex reference
+    #: loop).  Identical iterates; the kernel is just faster.
+    kernel: str = "vectorized"
     tilos: TilosOptions = TilosOptions()
 
     def __post_init__(self) -> None:
@@ -99,6 +110,11 @@ class MinfloOptions:
             )
         if self.max_iterations < 1:
             raise SizingError("max_iterations must be positive")
+        if self.kernel not in SMP_ENGINES:
+            raise SizingError(
+                f"unknown sizing kernel {self.kernel!r}; "
+                f"pick from {SMP_ENGINES}"
+            )
         if self.flow_backend != "auto":
             from repro.flow.registry import get_backend
 
@@ -150,23 +166,33 @@ def minflotransit(
     # after a rejected step), never a full re-analysis.
     inc = IncrementalTimer(dag, dag.model.delays(x))
     warm = None
+    phase_seconds = {
+        "timing": 0.0, "balance": 0.0, "d_phase": 0.0, "w_phase": 0.0,
+    }
 
     for iteration in range(1, options.max_iterations + 1):
+        tick = time.perf_counter()
         delays = dag.model.delays(x)
         base_work = inc.total_repropagated
         timing_updates = _sync(inc, delays)
+        report = inc.report(horizon=target)
+        phase_seconds["timing"] += time.perf_counter() - tick
+
+        tick = time.perf_counter()
         config = balance(
             dag,
             delays,
             horizon=target,
             method=options.balancing,
             timer=timer,
-            report=inc.report(horizon=target),
+            report=report,
         )
+        phase_seconds["balance"] += time.perf_counter() - tick
         load_delay = delays - dag.model.intrinsic
         max_dd = alpha * load_delay
         min_dd = -alpha * load_delay
 
+        tick = time.perf_counter()
         dres = d_phase(
             dag,
             x,
@@ -176,11 +202,18 @@ def minflotransit(
             backend=options.flow_backend,
             warm_start=warm if options.warm_start else None,
         )
+        phase_seconds["d_phase"] += time.perf_counter() - tick
         warm = dres.warm_basis
         budgets = delays + dres.delta_d
-        wres = w_phase(dag, budgets)
+
+        tick = time.perf_counter()
+        wres = w_phase(dag, budgets, engine=options.kernel)
+        phase_seconds["w_phase"] += time.perf_counter() - tick
+
+        tick = time.perf_counter()
         timing_updates += _sync(inc, dag.model.delays(wres.x))
         report = inc.report(horizon=target)
+        phase_seconds["timing"] += time.perf_counter() - tick
         repropagated = inc.total_repropagated - base_work
 
         area = dag.area(wres.x)
@@ -207,6 +240,8 @@ def minflotransit(
                 warm_start=bool(getattr(fstats, "warm_solves", 0)),
                 augmentations=int(getattr(fstats, "augmentations", 0)),
                 supply_routed=float(getattr(fstats, "supply_routed", 0.0)),
+                w_sweeps=wres.sweeps,
+                kernel=wres.engine,
             )
         )
 
@@ -242,4 +277,5 @@ def minflotransit(
         runtime_seconds=time.perf_counter() - start,
         initial_area=initial_area,
         iterations=records,
+        phase_seconds=phase_seconds,
     )

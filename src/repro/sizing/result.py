@@ -37,6 +37,11 @@ class IterationRecord:
     #: Supply units the flow solve routed (warm solves route only the
     #: divergence gap left by the reused basis).
     supply_routed: float = 0.0
+    #: SMP relaxation sweeps the W-phase took this iteration.
+    w_sweeps: int = 0
+    #: W-phase relaxation engine ("vectorized" level-blocked kernel or
+    #: the "scalar" reference loop); "" on records predating the field.
+    kernel: str = ""
 
 
 @dataclass
@@ -53,11 +58,21 @@ class SizingResult:
     runtime_seconds: float
     initial_area: float
     iterations: list[IterationRecord] = field(default_factory=list)
+    #: Cumulative wall time per phase across all iterations (keys:
+    #: ``timing``, ``balance``, ``d_phase``, ``w_phase``); empty on
+    #: results predating the field.  ``python -m repro size
+    #: --phase-stats`` renders this breakdown.
+    phase_seconds: dict = field(default_factory=dict)
 
     @property
     def n_iterations(self) -> int:
         """Number of W/D iterations recorded."""
         return len(self.iterations)
+
+    @property
+    def w_sweeps_total(self) -> int:
+        """Total SMP sweeps across all recorded W-phases."""
+        return sum(rec.w_sweeps for rec in self.iterations)
 
     @property
     def area_saving_vs_initial(self) -> float:

@@ -69,6 +69,11 @@ def result_to_dict(result: SizingResult, dag: SizingDag | None = None) -> dict:
         "converged": result.converged,
         "runtime_seconds": result.runtime_seconds,
         "initial_area": result.initial_area,
+        # Additive since the original v2 layout: loaders treat the
+        # per-phase wall-time map (and the per-iteration kernel
+        # counters below) as optional, so older v2 documents and
+        # cached campaign payloads still load.
+        "phase_seconds": result.phase_seconds,
         "iterations": [
             {
                 "iteration": rec.iteration,
@@ -83,6 +88,8 @@ def result_to_dict(result: SizingResult, dag: SizingDag | None = None) -> dict:
                 "warm_start": rec.warm_start,
                 "augmentations": rec.augmentations,
                 "supply_routed": rec.supply_routed,
+                "w_sweeps": rec.w_sweeps,
+                "kernel": rec.kernel,
             }
             for rec in result.iterations
         ],
@@ -132,6 +139,8 @@ def result_from_dict(payload: dict) -> SizingResult:
         converged=bool(payload["converged"]),
         runtime_seconds=float(payload["runtime_seconds"]),
         initial_area=float(payload["initial_area"]),
+        # Optional since mid-v2 (older documents simply lack it).
+        phase_seconds=dict(payload.get("phase_seconds", {})),
         iterations=[
             IterationRecord(
                 iteration=rec["iteration"],
@@ -147,6 +156,8 @@ def result_from_dict(payload: dict) -> SizingResult:
                 warm_start=rec.get("warm_start", False),
                 augmentations=rec.get("augmentations", 0),
                 supply_routed=rec.get("supply_routed", 0.0),
+                w_sweeps=rec.get("w_sweeps", 0),
+                kernel=rec.get("kernel", ""),
             )
             for rec in payload["iterations"]
         ],

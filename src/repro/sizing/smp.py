@@ -24,6 +24,7 @@ transistor sizing (devices of one gate couple mutually).  Worst case
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -31,7 +32,7 @@ import numpy as np
 from repro.delay.model import VertexDelayModel
 from repro.errors import SizingError
 
-__all__ = ["SmpResult", "solve_smp"]
+__all__ = ["SmpResult", "find_clamped", "smp_headroom", "solve_smp"]
 
 
 @dataclass
@@ -43,6 +44,11 @@ class SmpResult:
     #: delay budgets are not met (the caller must reject or repair).
     clamped: list[int]
     sweeps: int
+    #: Which relaxation ran: "scalar" (per-vertex Gauss-Seidel) or
+    #: "vectorized" (level-blocked kernel, :mod:`repro.sizing.kernels`).
+    engine: str = "scalar"
+    #: Wall time the relaxation itself took.
+    seconds: float = 0.0
 
     @property
     def feasible(self) -> bool:
@@ -50,21 +56,17 @@ class SmpResult:
         return not self.clamped
 
 
-def solve_smp(
-    model: VertexDelayModel,
-    budgets: np.ndarray,
-    lower: np.ndarray,
-    upper: np.ndarray,
-    sweep_order: np.ndarray,
-    max_sweeps: int = 200,
-    tol: float = 1e-10,
-) -> SmpResult:
-    """Compute minimal sizes meeting per-vertex delay budgets.
+def smp_headroom(
+    model: VertexDelayModel, budgets: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validated ``(headroom, no_load)`` arrays for an SMP instance.
 
-    ``sweep_order`` should list vertices so that dependencies come late
-    (reverse topological order): the relaxation then converges in one
-    sweep for DAG-ordered dependencies and geometrically for
-    intra-block coupling.
+    ``headroom`` is ``budgets - intrinsic``; ``no_load`` flags vertices
+    with neither coupling terms nor constant load (their delay is fixed
+    at the intrinsic value, so any budget is acceptable).  Raises
+    :class:`SizingError` when a loaded vertex has no headroom — shared
+    by the scalar and vectorized relaxations so both reject the same
+    instances with the same diagnostic.
     """
     budgets = np.asarray(budgets, dtype=float)
     headroom = budgets - model.intrinsic
@@ -76,6 +78,49 @@ def solve_smp(
             f"budget {budgets[i]:.6g} at vertex {i} does not exceed the "
             f"intrinsic delay {model.intrinsic[i]:.6g}"
         )
+    return headroom, no_load
+
+
+def solve_smp(
+    model: VertexDelayModel,
+    budgets: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    sweep_order: np.ndarray,
+    max_sweeps: int = 200,
+    tol: float = 1e-10,
+    engine: str = "scalar",
+) -> SmpResult:
+    """Compute minimal sizes meeting per-vertex delay budgets.
+
+    ``sweep_order`` should list vertices so that dependencies come late
+    (reverse topological order): the relaxation then converges in one
+    sweep for DAG-ordered dependencies and geometrically for
+    intra-block coupling.
+
+    ``engine`` selects the implementation: ``"scalar"`` runs the
+    per-vertex Gauss-Seidel loop below; ``"vectorized"`` delegates to
+    the level-blocked kernel in :mod:`repro.sizing.kernels` (identical
+    iterates, whole levels relaxed per numpy call).  Callers that hold
+    a :class:`~repro.dag.circuit_dag.SizingDag` should prefer
+    :func:`repro.sizing.wphase.w_phase`, which reuses a cached level
+    plan instead of rebuilding it per call.
+    """
+    if engine == "vectorized":
+        from repro.sizing.kernels import build_smp_plan, solve_smp_blocked
+
+        plan = build_smp_plan(model, sweep_order)
+        return solve_smp_blocked(
+            model, budgets, lower, upper, plan,
+            max_sweeps=max_sweeps, tol=tol,
+        )
+    if engine != "scalar":
+        raise SizingError(
+            f"unknown SMP engine {engine!r}; pick 'scalar' or 'vectorized'"
+        )
+    solve_start = time.perf_counter()
+    budgets = np.asarray(budgets, dtype=float)
+    headroom, no_load = smp_headroom(model, budgets)
 
     indptr = model.a_matrix.indptr
     indices = model.a_matrix.indices
@@ -103,14 +148,17 @@ def solve_smp(
             elif value > x[i]:
                 x[i] = value
         if largest_move <= tol * scale:
-            clamped = _find_clamped(model, budgets, x, upper, tol)
-            return SmpResult(x=x, clamped=clamped, sweeps=sweep)
+            clamped = find_clamped(model, budgets, x, upper, tol)
+            return SmpResult(
+                x=x, clamped=clamped, sweeps=sweep, engine="scalar",
+                seconds=time.perf_counter() - solve_start,
+            )
     raise SizingError(
         f"SMP relaxation did not converge in {max_sweeps} sweeps"
     )
 
 
-def _find_clamped(
+def find_clamped(
     model: VertexDelayModel,
     budgets: np.ndarray,
     x: np.ndarray,

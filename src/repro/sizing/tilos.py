@@ -20,8 +20,14 @@ Two timing engines produce identical results (asserted by tests):
 ``engine="incremental"`` (default) re-propagates timing only through
 the cone a bump disturbs (see :class:`repro.timing.IncrementalTimer`);
 ``engine="full"`` re-times the whole circuit per bump, which is the
-straightforward reading of [1].  ``TilosResult.timing_stats`` records
-how much of the circuit each engine actually touched.
+straightforward reading of [1].  Orthogonally, two *sensitivity
+kernels* produce identical bump sequences (parity-tested):
+``kernel="vectorized"`` (default) scores the whole critical path and
+refreshes the disturbed delays with the cached array plan of
+:mod:`repro.sizing.kernels`; ``kernel="scalar"`` is the per-candidate
+reference loop.  ``TilosResult.timing_stats`` records how much of the
+circuit each engine actually touched plus the kernel's per-phase wall
+time.
 """
 
 from __future__ import annotations
@@ -33,12 +39,14 @@ import numpy as np
 
 from repro.dag.circuit_dag import SizingDag
 from repro.errors import InfeasibleTimingError, SizingError
+from repro.sizing.kernels import get_tilos_plan
 from repro.timing.incremental import IncrementalTimer
 from repro.timing.sta import GraphTimer
 
 __all__ = ["TilosOptions", "TilosResult", "require_feasible", "tilos_size"]
 
 _ENGINES = ("incremental", "full")
+_KERNELS = ("vectorized", "scalar")
 
 
 @dataclass(frozen=True)
@@ -52,6 +60,10 @@ class TilosOptions:
     batch: int = 1
     #: Timing engine: "incremental" or "full" (identical results).
     engine: str = "incremental"
+    #: Sensitivity kernel: "vectorized" (array scoring over the whole
+    #: critical path) or "scalar" (per-candidate reference loop);
+    #: identical bump sequences.
+    kernel: str = "vectorized"
 
     def __post_init__(self) -> None:
         if self.bump <= 1.0:
@@ -61,6 +73,10 @@ class TilosOptions:
         if self.engine not in _ENGINES:
             raise SizingError(
                 f"unknown engine {self.engine!r}; pick from {_ENGINES}"
+            )
+        if self.kernel not in _KERNELS:
+            raise SizingError(
+                f"unknown kernel {self.kernel!r}; pick from {_KERNELS}"
             )
 
 
@@ -80,7 +96,10 @@ class TilosResult:
     #: Timing-engine work telemetry: ``repropagated_vertices`` (total
     #: vertices the engine touched across all bumps),
     #: ``full_pass_equivalent`` (what a from-scratch engine would have
-    #: touched: ``2 * n`` per bump) and their ratio ``cone_fraction``.
+    #: touched: ``2 * n`` per bump) and their ratio ``cone_fraction``;
+    #: plus the sensitivity kernel's identity (``kernel``) and wall
+    #: time split (``scan_seconds`` for candidate scoring,
+    #: ``refresh_seconds`` for post-bump delay updates).
     timing_stats: dict = field(default_factory=dict)
 
 
@@ -104,7 +123,7 @@ class _TimingFacade:
         if self._timer is not None:
             self._report = self._timer.analyze(delays)
 
-    def update(self, changed: list[int], delays: np.ndarray) -> None:
+    def update(self, changed, delays: np.ndarray) -> None:
         self.updates += 1
         if self._timer is None:
             stats = self._inc.update_delays(changed, delays)
@@ -138,6 +157,15 @@ class _TimingFacade:
         }
 
 
+class _KernelClock:
+    """Wall-time split of the sensitivity kernel's two hot phases."""
+
+    def __init__(self, kernel: str):
+        self.kernel = kernel
+        self.scan_seconds = 0.0
+        self.refresh_seconds = 0.0
+
+
 def tilos_size(
     dag: SizingDag,
     target: float,
@@ -160,10 +188,11 @@ def tilos_size(
     indptr = model.a_matrix.indptr
     indices = model.a_matrix.indices
     data = model.a_matrix.data
-    transpose = model.a_matrix.T.tocsr()
+    plan = get_tilos_plan(dag)
+    vectorized = options.kernel == "vectorized"
 
     x = dag.min_sizes() if x0 is None else np.array(x0, dtype=float)
-    coupling = _coupling_lookup(dag)
+    coupling = plan.coupling
 
     def vertex_load(i: int) -> float:
         lo, hi = indptr[i], indptr[i + 1]
@@ -172,29 +201,7 @@ def tilos_size(
     def vertex_delay(i: int) -> float:
         return model.intrinsic[i] + law.g(x[i]) * vertex_load(i)
 
-    def dependents(i: int) -> list[int]:
-        lo, hi = transpose.indptr[i], transpose.indptr[i + 1]
-        return transpose.indices[lo:hi].tolist()
-
-    start = time.perf_counter()
-    delays = model.delays(x)
-    facade = _TimingFacade(dag, delays, options.engine, timer)
-    trace: list[float] = []
-    iterations = 0
-    while True:
-        cp = facade.critical_path_delay
-        if keep_trace:
-            trace.append(cp)
-        if cp <= target:
-            return _result(
-                dag, x, cp, target, iterations, True, start, trace, facade
-            )
-        if iterations >= options.max_iterations:
-            return _result(
-                dag, x, cp, target, iterations, False, start, trace, facade
-            )
-
-        path = facade.critical_path()
+    def scan_scalar(path: list[int]) -> list[tuple[float, int]]:
         candidates: list[tuple[float, int]] = []
         for position, v in enumerate(path):
             if x[v] >= upper[v] * (1 - 1e-12):
@@ -209,26 +216,71 @@ def tilos_size(
                 delta += law.g(x[pred]) * coupling.get((pred, v), 0.0) * dx
             sensitivity = -delta / (weight[v] * dx)
             candidates.append((sensitivity, v))
-        if not candidates:
-            return _result(
-                dag, x, cp, target, iterations, False, start, trace, facade
-            )
         candidates.sort(reverse=True)
-        best_sensitivity = candidates[0][0]
-        if best_sensitivity <= 0:
-            # No critical-path resize helps: greedy is stuck.
+        return candidates
+
+    start = time.perf_counter()
+    delays = model.delays(x)
+    facade = _TimingFacade(dag, delays, options.engine, timer)
+    clock = _KernelClock(options.kernel)
+    trace: list[float] = []
+    iterations = 0
+    while True:
+        cp = facade.critical_path_delay
+        if keep_trace:
+            trace.append(cp)
+        if cp <= target:
             return _result(
-                dag, x, cp, target, iterations, False, start, trace, facade
+                dag, x, cp, target, iterations, True, start, trace, facade,
+                clock,
+            )
+        if iterations >= options.max_iterations:
+            return _result(
+                dag, x, cp, target, iterations, False, start, trace, facade,
+                clock,
             )
 
-        changed: set[int] = set()
-        for _sens, v in candidates[: options.batch]:
-            x[v] = min(x[v] * options.bump, upper[v])
-            changed.add(v)
-            changed.update(dependents(v))
-        for u in changed:
-            delays[u] = vertex_delay(u)
-        facade.update(sorted(changed), delays)
+        path = facade.critical_path()
+        tick = time.perf_counter()
+        if vectorized:
+            sensitivities, verts = plan.score_path(
+                dag, x, path, options.bump
+            )
+            no_candidates = verts.size == 0
+            best_sensitivity = (
+                float(sensitivities[0]) if verts.size else 0.0
+            )
+        else:
+            candidates = scan_scalar(path)
+            no_candidates = not candidates
+            best_sensitivity = candidates[0][0] if candidates else 0.0
+        clock.scan_seconds += time.perf_counter() - tick
+        if no_candidates or best_sensitivity <= 0:
+            # No critical-path resize helps: greedy is stuck.
+            return _result(
+                dag, x, cp, target, iterations, False, start, trace, facade,
+                clock,
+            )
+
+        tick = time.perf_counter()
+        if vectorized:
+            chosen = verts[: options.batch]
+            x[chosen] = np.minimum(x[chosen] * options.bump, upper[chosen])
+            changed = np.unique(np.concatenate(
+                [chosen] + [plan.dependents(int(v)) for v in chosen]
+            ))
+            plan.refresh_delays(model, changed, x, delays)
+        else:
+            touched: set[int] = set()
+            for _sens, v in candidates[: options.batch]:
+                x[v] = min(x[v] * options.bump, upper[v])
+                touched.add(v)
+                touched.update(plan.dependents(v).tolist())
+            changed = sorted(touched)
+            for u in changed:
+                delays[u] = vertex_delay(u)
+        clock.refresh_seconds += time.perf_counter() - tick
+        facade.update(changed, delays)
         iterations += 1
 
 
@@ -243,15 +295,6 @@ def require_feasible(result: TilosResult) -> TilosResult:
     return result
 
 
-def _coupling_lookup(dag: SizingDag) -> dict[tuple[int, int], float]:
-    """(i, j) -> a_ij for the delay coupling used by sensitivities."""
-    coo = dag.model.a_matrix.tocoo()
-    return {
-        (int(i), int(j)): float(a)
-        for i, j, a in zip(coo.row, coo.col, coo.data)
-    }
-
-
 def _result(
     dag: SizingDag,
     x: np.ndarray,
@@ -262,7 +305,12 @@ def _result(
     start: float,
     trace: list[float],
     facade: _TimingFacade,
+    clock: _KernelClock,
 ) -> TilosResult:
+    stats = facade.timing_stats()
+    stats["kernel"] = clock.kernel
+    stats["scan_seconds"] = clock.scan_seconds
+    stats["refresh_seconds"] = clock.refresh_seconds
     return TilosResult(
         x=x,
         area=dag.area(x),
@@ -272,5 +320,5 @@ def _result(
         feasible=feasible,
         runtime_seconds=time.perf_counter() - start,
         trace=trace,
-        timing_stats=facade.timing_stats(),
+        timing_stats=stats,
     )

@@ -1,10 +1,20 @@
 """W-phase: minimum-area sizes for fixed delay budgets (paper eq. (11)).
 
-Thin orchestration over :mod:`repro.sizing.smp`: derives the sweep
-order from the DAG (reverse topological order, which makes the
-relaxation a single backward-substitution pass for gate sizing, per the
-paper's section 2.3) and verifies the resulting delays against the
-budgets.
+Thin orchestration over the SMP solvers: derives the sweep order from
+the DAG (reverse topological order, which makes the relaxation a single
+backward-substitution pass for gate sizing, per the paper's section
+2.3), dispatches to the selected relaxation engine and verifies the
+resulting delays against the budgets.
+
+Two engines produce identical iterates (parity-tested in
+``tests/test_kernels.py``):
+
+* ``engine="vectorized"`` (default) — the level-blocked kernel of
+  :mod:`repro.sizing.kernels`, relaxing whole dependency levels with
+  sliced CSR matvecs; the level plan is cached on the DAG so repeated
+  W-phases (one per MINFLOTRANSIT iteration) pay the analysis once.
+* ``engine="scalar"`` — the per-vertex Gauss-Seidel reference loop of
+  :mod:`repro.sizing.smp`.
 """
 
 from __future__ import annotations
@@ -14,6 +24,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.dag.circuit_dag import SizingDag
+from repro.errors import SizingError
+from repro.sizing.kernels import SMP_ENGINES, get_smp_plan, solve_smp_blocked
 from repro.sizing.smp import SmpResult, solve_smp
 
 __all__ = ["WPhaseResult", "w_phase"]
@@ -28,6 +40,10 @@ class WPhaseResult:
     budgets: np.ndarray
     clamped: list[int]
     sweeps: int
+    #: Relaxation engine that produced the solution.
+    engine: str = "scalar"
+    #: Wall time of the relaxation itself (excludes the delay check).
+    seconds: float = 0.0
 
     @property
     def feasible(self) -> bool:
@@ -44,17 +60,36 @@ def w_phase(
     dag: SizingDag,
     budgets: np.ndarray,
     max_sweeps: int = 200,
+    engine: str = "vectorized",
 ) -> WPhaseResult:
-    """Solve the W-phase SMP for ``dag`` under per-vertex ``budgets``."""
-    sweep_order = dag.topo_order[::-1]
-    result: SmpResult = solve_smp(
-        model=dag.model,
-        budgets=budgets,
-        lower=dag.lower,
-        upper=dag.upper,
-        sweep_order=sweep_order,
-        max_sweeps=max_sweeps,
-    )
+    """Solve the W-phase SMP for ``dag`` under per-vertex ``budgets``.
+
+    ``engine`` picks the relaxation implementation (``"vectorized"``
+    level-blocked kernel by default, ``"scalar"`` reference loop); both
+    produce the same least fixed point, clamped set and sweep count.
+    """
+    if engine not in SMP_ENGINES:
+        raise SizingError(
+            f"unknown W-phase engine {engine!r}; pick from {SMP_ENGINES}"
+        )
+    if engine == "vectorized":
+        result: SmpResult = solve_smp_blocked(
+            model=dag.model,
+            budgets=budgets,
+            lower=dag.lower,
+            upper=dag.upper,
+            plan=get_smp_plan(dag),
+            max_sweeps=max_sweeps,
+        )
+    else:
+        result = solve_smp(
+            model=dag.model,
+            budgets=budgets,
+            lower=dag.lower,
+            upper=dag.upper,
+            sweep_order=dag.topo_order[::-1],
+            max_sweeps=max_sweeps,
+        )
     delays = dag.model.delays(result.x)
     return WPhaseResult(
         x=result.x,
@@ -62,4 +97,6 @@ def w_phase(
         budgets=np.asarray(budgets, dtype=float),
         clamped=result.clamped,
         sweeps=result.sweeps,
+        engine=result.engine,
+        seconds=result.seconds,
     )
