@@ -1,8 +1,9 @@
 """Compare a fresh benchmark run against its committed baseline.
 
-Handles both harness documents — ``BENCH_flow.json``
-(``repro-bench-flow/1``) and ``BENCH_sizing.json``
-(``repro-bench-sizing/1``); the document schema picks the comparison.
+Handles every harness document — ``BENCH_flow.json``
+(``repro-bench-flow/1``), ``BENCH_sizing.json``
+(``repro-bench-sizing/1``) and ``BENCH_service.json``
+(``repro-bench-service/1``); the document schema picks the comparison.
 
 CI runners differ wildly in raw speed, so absolute wall times are never
 compared.  The regression gate uses machine-independent signals only:
@@ -17,7 +18,10 @@ compared.  The regression gate uses machine-independent signals only:
   sizing W-phase sweep counts and TILOS bump counts; a jump means the
   algorithm got structurally worse even if the runner hides it.
 * ``parity_ok`` — backends (flow) or kernels (sizing) must still agree
-  on their results.
+  on their results; for the service document, cached and cross-replica
+  replies must be byte-identical to fresh executions.
+* service booleans and counters — ``admission_ok``, warm-phase
+  ``cache_hit_rate``, and the cold-phase execution count.
 
 Usage::
 
@@ -118,10 +122,59 @@ def compare_sizing(baseline: dict, current: dict, threshold: float) -> list[str]
     return failures
 
 
+def compare_service(baseline: dict, current: dict, threshold: float) -> list[str]:
+    """Service-tier regression check (empty list == pass).
+
+    Gated signals are booleans (parity, admission), deterministic
+    counters (cold-phase executions, warm hit rate, flood rejections)
+    and the warm-vs-cold throughput ratio.  That ratio mixes compute
+    with HTTP/socket overhead, so it is noisier than the pure-kernel
+    ratios above — the floor is ``base * (1 - 2*threshold)`` with an
+    absolute backstop of 2x, rather than the tight single-threshold
+    floor used for compute benchmarks.
+    """
+    failures: list[str] = []
+    base, cur = baseline["summary"], current["summary"]
+    if not cur["parity_ok"]:
+        failures.append(
+            "service parity broken: cached/cross-replica replies "
+            "diverge from fresh executions"
+        )
+    if not cur["admission_ok"]:
+        failures.append(
+            "admission control broken: flood was not bounded by the "
+            "configured burst or 429s lacked Retry-After"
+        )
+    if cur["cache_hit_rate"] < base["cache_hit_rate"] - 1e-9:
+        failures.append(
+            f"warm cache-hit rate fell {base['cache_hit_rate']:.2f} -> "
+            f"{cur['cache_hit_rate']:.2f}"
+        )
+    ceiling = base["executed_cold"] * (1.0 + threshold) + 8
+    if cur["executed_cold"] > ceiling:
+        failures.append(
+            f"cold-phase executions grew {base['executed_cold']} -> "
+            f"{cur['executed_cold']} (ceiling {ceiling:.0f}) — "
+            f"dedup/caching path got structurally worse"
+        )
+    base_speedup = base.get("speedup_warm_vs_cold")
+    cur_speedup = cur.get("speedup_warm_vs_cold")
+    if base_speedup and cur_speedup:
+        floor = max(2.0, base_speedup * (1.0 - 2.0 * threshold))
+        if cur_speedup < floor:
+            failures.append(
+                f"warm/cold throughput ratio regressed "
+                f"{base_speedup:.2f}x -> {cur_speedup:.2f}x "
+                f"(floor {floor:.2f}x)"
+            )
+    return failures
+
+
 #: Comparison routine per benchmark document schema.
 COMPARATORS = {
     "repro-bench-flow/1": compare,
     "repro-bench-sizing/1": compare_sizing,
+    "repro-bench-service/1": compare_service,
 }
 
 

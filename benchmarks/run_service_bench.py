@@ -1,0 +1,325 @@
+"""Service-tier benchmark: latency, throughput, cache hits, admission.
+
+Exercises the HTTP sizing service the way a fleet client does — over
+real sockets, with concurrent clients — and records the signals the
+regression gate (``check_regression.py``) can compare across CI
+runners.  Absolute wall times are reported for humans but never gated;
+the machine-independent signals are:
+
+* **parity_ok** — warm (cached) replies are byte-identical to their
+  cold originals, and a second replica on the same shared backend
+  serves the same bytes.
+* **cache_hit_rate** — the warm phase must replay entirely from the
+  content-addressed cache (rate 1.0 by construction).
+* **executed** — the cold phase executes exactly one sizing per unique
+  job; growth means the dedup/caching path got structurally worse.
+* **speedup_warm_vs_cold** — warm vs cold throughput measured in the
+  same process on the same machine, so the ratio survives runner
+  changes.
+* **admission_ok** — flooding one client past its token-bucket burst
+  yields exactly ``burst`` admissions and structured 429s (with
+  ``Retry-After``) for the rest; every request is answered.
+
+Phases: **cold** (N unique jobs over C client threads), **warm** (the
+same jobs twice more, all hits), **fleet** (two in-process replicas on
+one shared sqlite queue + cache: jobs computed on replica A replay on
+replica B), **flood** (quota-bounded burst of async submissions).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_service_bench.py \
+        [--out benchmarks/BENCH_service.json] [--clients 4] \
+        [--unique 12] [--check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.errors import ServiceError  # noqa: E402
+from repro.service import ServiceClient, SizingService, make_server  # noqa: E402
+from repro.sizing.serialize import canonical_json  # noqa: E402
+
+SCHEMA = "repro-bench-service/1"
+FLOOD_BURST = 4
+FLOOD_REQUESTS = 16
+TARGET_WARM_SPEEDUP = 2.0
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _latency_block(samples: list[float]) -> dict:
+    return {
+        "p50_ms": round(_percentile(samples, 0.50) * 1e3, 3),
+        "p95_ms": round(_percentile(samples, 0.95) * 1e3, 3),
+        "p99_ms": round(_percentile(samples, 0.99) * 1e3, 3),
+        "mean_ms": round(sum(samples) / len(samples) * 1e3, 3),
+    }
+
+
+class _Box:
+    """One in-process service + HTTP server, torn down cleanly."""
+
+    def __init__(self, **service_kwargs):
+        self.service = SizingService(**service_kwargs)
+        self.server = make_server(self.service, quiet=True)
+        host, port = self.server.server_address[:2]
+        self.url = f"http://{host}:{port}"
+        threading.Thread(
+            target=self.server.serve_forever, daemon=True
+        ).start()
+
+    def stop(self):
+        self.server.shutdown()
+        self.server.server_close()
+        self.service.close()
+
+
+def _run_phase(client, bodies, clients: int):
+    """Issue ``bodies`` concurrently; returns (replies, latencies, wall)."""
+    latencies = [0.0] * len(bodies)
+    replies = [None] * len(bodies)
+
+    def _one(index):
+        start = time.perf_counter()
+        replies[index] = client.size(**bodies[index])
+        latencies[index] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=clients) as pool:
+        list(pool.map(_one, range(len(bodies))))
+    return replies, latencies, time.perf_counter() - start
+
+
+def bench_cold_warm(scratch: Path, clients: int, unique: int) -> dict:
+    """Cold then warm request rounds against one service instance."""
+    box = _Box(jobs=1, cache=scratch / "cache", run_dir=scratch / "run")
+    try:
+        client = ServiceClient(box.url, client_id="bench")
+        bodies = [
+            {"circuit": "c17", "delay_spec": 0.5 + i * (0.45 / unique)}
+            for i in range(unique)
+        ]
+        cold_replies, cold_lat, cold_wall = _run_phase(
+            client, bodies, clients
+        )
+        warm_replies, warm_lat, warm_wall = _run_phase(
+            client, bodies * 2, clients
+        )
+        stats = client.stats()
+        parity = all(
+            canonical_json(warm_replies[i % unique]["payload"])
+            == canonical_json(cold_replies[i % unique]["payload"])
+            for i in range(len(warm_replies))
+        )
+        hit_rate = sum(r["cached"] for r in warm_replies) / len(warm_replies)
+        return {
+            "cold": {
+                "requests": len(bodies),
+                "wall_seconds": round(cold_wall, 6),
+                "throughput_rps": round(len(bodies) / cold_wall, 2),
+                "latency": _latency_block(cold_lat),
+                "executed": stats["executed"],
+            },
+            "warm": {
+                "requests": len(warm_replies),
+                "wall_seconds": round(warm_wall, 6),
+                "throughput_rps": round(len(warm_replies) / warm_wall, 2),
+                "latency": _latency_block(warm_lat),
+                "cache_hit_rate": hit_rate,
+            },
+            "parity_ok": parity,
+            "speedup_warm_vs_cold": round(
+                (len(warm_replies) / warm_wall) / (len(bodies) / cold_wall),
+                3,
+            ),
+        }
+    finally:
+        box.stop()
+
+
+def bench_fleet(scratch: Path, unique: int) -> dict:
+    """Two replicas on one shared sqlite queue + cache: cross-replica
+    replay must be byte-identical."""
+    shared_cache = f"sqlite:{scratch / 'fleet-cache.db'}"
+    boxes = [
+        _Box(jobs=1, cache=shared_cache, run_dir=scratch / f"fleet-{name}",
+             queue=scratch / "fleet-q.db")
+        for name in ("a", "b")
+    ]
+    try:
+        client_a = ServiceClient(boxes[0].url, client_id="bench-a")
+        client_b = ServiceClient(boxes[1].url, client_id="bench-b")
+        bodies = [
+            {"circuit": "c17", "delay_spec": 0.5 + i * (0.45 / unique)}
+            for i in range(min(unique, 6))
+        ]
+        computed = [client_a.size(**body) for body in bodies]
+        replayed = [client_b.size(**body) for body in bodies]
+        cross_hits = sum(r["cached"] for r in replayed)
+        parity = all(
+            canonical_json(r["payload"]) == canonical_json(c["payload"])
+            for r, c in zip(replayed, computed)
+        )
+        visible = sum(
+            client_b.job(c["id"])["status"] == c["status"] for c in computed
+        )
+        return {
+            "jobs": len(bodies),
+            "cross_replica_hits": cross_hits,
+            "cross_replica_visible": visible,
+            "parity_ok": parity and cross_hits == len(bodies),
+        }
+    finally:
+        for box in boxes:
+            box.stop()
+
+
+def bench_flood(scratch: Path) -> dict:
+    """Flood one client past its admission burst; count the refusals."""
+    box = _Box(
+        jobs=1, cache=None, run_dir=scratch / "flood-run",
+        quota_rate=1e-6, quota_burst=float(FLOOD_BURST),
+    )
+    try:
+        client = ServiceClient(box.url, client_id="flooder", retries=0)
+        admitted = rejected = 0
+        retry_after_ok = True
+        for i in range(FLOOD_REQUESTS):
+            try:
+                client.submit(circuit="c17", delay_spec=0.5 + i / 100)
+                admitted += 1
+            except ServiceError as exc:
+                if exc.status != 429:
+                    raise
+                rejected += 1
+                retry_after_ok &= bool(
+                    exc.retry_after and exc.retry_after > 0
+                )
+        return {
+            "requests": FLOOD_REQUESTS,
+            "burst": FLOOD_BURST,
+            "admitted": admitted,
+            "rejected": rejected,
+            "admission_ok": (
+                admitted == FLOOD_BURST
+                and admitted + rejected == FLOOD_REQUESTS
+                and retry_after_ok
+            ),
+        }
+    finally:
+        box.stop()
+
+
+def run(clients: int, unique: int, scratch: Path) -> dict:
+    """Run every phase; returns the benchmark document."""
+    cold_warm = bench_cold_warm(scratch / "single", clients, unique)
+    fleet = bench_fleet(scratch / "fleet", unique)
+    flood = bench_flood(scratch / "flood")
+    return {
+        "schema": SCHEMA,
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "config": {"clients": clients, "unique_jobs": unique},
+        "phases": {
+            "cold": cold_warm["cold"],
+            "warm": cold_warm["warm"],
+            "fleet": fleet,
+            "flood": flood,
+        },
+        "summary": {
+            "parity_ok": cold_warm["parity_ok"] and fleet["parity_ok"],
+            "cache_hit_rate": cold_warm["warm"]["cache_hit_rate"],
+            "speedup_warm_vs_cold": cold_warm["speedup_warm_vs_cold"],
+            "executed_cold": cold_warm["cold"]["executed"],
+            "admission_ok": flood["admission_ok"],
+        },
+    }
+
+
+def check(report: dict) -> list[str]:
+    """Acceptance gate for a fresh run (independent of any baseline)."""
+    failures = []
+    summary = report["summary"]
+    if not summary["parity_ok"]:
+        failures.append("parity broken: cached replies diverge")
+    if summary["cache_hit_rate"] < 1.0:
+        failures.append(
+            f"warm phase missed the cache "
+            f"(hit rate {summary['cache_hit_rate']:.2f})"
+        )
+    if summary["executed_cold"] != report["config"]["unique_jobs"]:
+        failures.append(
+            f"cold phase executed {summary['executed_cold']} sizings "
+            f"for {report['config']['unique_jobs']} unique jobs"
+        )
+    if not summary["admission_ok"]:
+        failures.append("admission control did not bound the flood")
+    if summary["speedup_warm_vs_cold"] < TARGET_WARM_SPEEDUP:
+        failures.append(
+            f"warm/cold speedup {summary['speedup_warm_vs_cold']:.2f}x "
+            f"below target {TARGET_WARM_SPEEDUP:.1f}x"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=None,
+                        help="write the JSON document here")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="concurrent client threads (default 4)")
+    parser.add_argument("--unique", type=int, default=12,
+                        help="unique jobs in the cold phase (default 12)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless the acceptance gates hold")
+    args = parser.parse_args(argv)
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="repro-service-bench-") as tmp:
+        report = run(args.clients, args.unique, Path(tmp))
+
+    summary = report["summary"]
+    print(f"[service-bench] cold p50 "
+          f"{report['phases']['cold']['latency']['p50_ms']}ms "
+          f"({report['phases']['cold']['throughput_rps']} req/s), "
+          f"warm p50 {report['phases']['warm']['latency']['p50_ms']}ms "
+          f"({report['phases']['warm']['throughput_rps']} req/s)")
+    print(f"[service-bench] warm/cold speedup "
+          f"{summary['speedup_warm_vs_cold']}x, hit rate "
+          f"{summary['cache_hit_rate']:.2f}, fleet parity "
+          f"{report['phases']['fleet']['parity_ok']}, flood "
+          f"{report['phases']['flood']['rejected']}/"
+          f"{report['phases']['flood']['requests']} rejected")
+
+    if args.out:
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"[service-bench] wrote {args.out}")
+    if args.check:
+        failures = check(report)
+        for failure in failures:
+            print(f"[service-bench] FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("[service-bench] acceptance gates hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

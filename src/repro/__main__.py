@@ -258,6 +258,9 @@ def _campaign_cache(args: argparse.Namespace):
 
     if args.no_cache:
         return None
+    backend = getattr(args, "cache_backend", None)
+    if backend:
+        return ResultCache(backend)
     return ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
 
 
@@ -329,13 +332,18 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import serve
 
+    cache = args.cache_backend or args.cache_dir
     return serve(
         host=args.host,
         port=args.port,
         jobs=args.jobs,
-        cache="" if args.no_cache else args.cache_dir,
+        cache="" if args.no_cache else cache,
         run_dir=args.run_dir,
         timeout=args.timeout,
+        queue=args.queue,
+        max_queue_depth=args.max_queue_depth,
+        quota_rate=args.quota,
+        quota_burst=args.quota_burst,
     )
 
 
@@ -358,6 +366,10 @@ def _add_serve_parser(sub) -> None:
     p_serve.add_argument("--cache-dir", default=None,
                          help="result cache directory "
                               "(default .repro-cache)")
+    p_serve.add_argument("--cache-backend", default=None,
+                         help="result cache backend spec: disk:PATH, "
+                              "sqlite:PATH, or tiered:LOCAL_DIR,SHARED "
+                              "(overrides --cache-dir)")
     p_serve.add_argument("--no-cache", action="store_true",
                          help="disable the result cache entirely")
     p_serve.add_argument("--run-dir", default=None,
@@ -365,6 +377,18 @@ def _add_serve_parser(sub) -> None:
                               "service.jsonl job log and spooled netlists")
     p_serve.add_argument("--timeout", type=float, default=None,
                          help="per-request wall-time budget in seconds")
+    p_serve.add_argument("--queue", default=None,
+                         help="shared work-queue database; replicas given "
+                              "the same path form one fleet")
+    p_serve.add_argument("--max-queue-depth", type=int, default=None,
+                         help="reject new jobs (429) once this many are "
+                              "queued or running (default: unbounded)")
+    p_serve.add_argument("--quota", type=float, default=None,
+                         help="per-client admission quota in requests/s "
+                              "(default: no quotas)")
+    p_serve.add_argument("--quota-burst", type=float, default=None,
+                         help="per-client burst allowance "
+                              "(default: 2x --quota)")
     p_serve.set_defaults(func=_cmd_serve)
 
 
@@ -384,6 +408,10 @@ def _add_campaign_parser(sub) -> None:
         p.add_argument("--cache-dir", default=None,
                        help="result cache directory "
                             "(default .repro-cache)")
+        p.add_argument("--cache-backend", default=None,
+                       help="result cache backend spec: disk:PATH, "
+                            "sqlite:PATH, or tiered:LOCAL_DIR,SHARED "
+                            "(overrides --cache-dir)")
         p.add_argument("--no-cache", action="store_true",
                        help="disable the result cache entirely")
         p.add_argument("--timeout", type=float, default=None,

@@ -81,10 +81,19 @@ class ServiceError(ReproError):
 
     Carries the HTTP status the server should answer with (400 for
     malformed request bodies, 404 for unknown jobs/paths, 405 for
-    unsupported methods) so handler code can translate every failure
-    into one structured JSON error response.
+    unsupported methods, 429 for admission-control rejections) so
+    handler code can translate every failure into one structured JSON
+    error response.  ``retry_after`` (seconds) is set on 429s — the
+    server renders it as a ``Retry-After`` header and well-behaved
+    clients sleep that long before retrying.
     """
 
-    def __init__(self, message: str, status: int = 400):
+    def __init__(
+        self,
+        message: str,
+        status: int = 400,
+        retry_after: float | None = None,
+    ):
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after

@@ -24,6 +24,13 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.errors import RunnerError
+from repro.runner.backends import (
+    CacheBackend,
+    DiskBackend,
+    SqliteBackend,
+    TieredBackend,
+    open_backend,
+)
 from repro.runner.cache import ResultCache, job_key
 from repro.runner.executor import (
     CampaignResult,
@@ -52,13 +59,17 @@ from repro.runner.spec import (
 )
 
 __all__ = [
+    "CacheBackend",
     "CampaignResult",
     "CampaignSpec",
+    "DiskBackend",
     "Job",
     "JobOutcome",
     "ResultCache",
     "RunLog",
     "RunState",
+    "SqliteBackend",
+    "TieredBackend",
     "campaign_keys",
     "campaign_to_dict",
     "execute_job",
@@ -67,6 +78,7 @@ __all__ = [
     "job_key",
     "load_run",
     "normalize_options",
+    "open_backend",
     "pool_entry",
     "probe_cache",
     "resolve_circuit",

@@ -11,25 +11,27 @@ A job's cache key is the SHA-256 of a canonical JSON fingerprint of
 * the code schema versions (the sizing-result schema from
   :mod:`repro.sizing.serialize` plus this cache's own layout version).
 
-Entries live at ``<root>/<key[:2]>/<key>.json`` and carry the job's
-JSON payload (which embeds a full serialized
-:class:`~repro.sizing.result.SizingResult`).  Writes are atomic
-(temp file + rename), so a campaign killed mid-write never leaves a
-truncated entry behind, and concurrent writers of the same key settle
-on one intact copy.  Any unreadable, corrupt, or version-mismatched
-entry is treated as a miss — the job simply re-runs.
+Where entries *live* is delegated to a pluggable
+:class:`~repro.runner.backends.CacheBackend` — the local per-directory
+store (:class:`~repro.runner.backends.DiskBackend`, the default and
+the original layout at ``<root>/<key[:2]>/<key>.json``), a shared
+SQLite store safe for many processes, or a read-through tiered pair
+(local L1 → shared L2).  Every backend write is atomic per entry, so a
+campaign killed mid-write never leaves a truncated entry behind, and
+concurrent writers of the same key settle on one intact copy.  Any
+unreadable, corrupt, or version-mismatched entry is treated as a miss
+— the job simply re-runs — and the disk backend quarantines corrupt
+files to ``*.bad`` so they cannot poison later probes.
 """
 
 from __future__ import annotations
 
 import hashlib
-import json
-import os
-import tempfile
 from dataclasses import asdict
 from pathlib import Path
 
 from repro.circuit.bench_io import dumps_bench
+from repro.runner.backends import CacheBackend, DiskBackend, open_backend
 from repro.runner.spec import Job, resolve_circuit
 from repro.sizing import serialize
 from repro.tech import default_technology
@@ -70,21 +72,51 @@ def job_key(job: Job, netlist_sha: str | None = None) -> str:
 
 
 class ResultCache:
-    """Content-addressed result store rooted at a directory."""
+    """Content-addressed result store over a pluggable backend.
 
-    def __init__(self, root: str | Path):
-        self.root = Path(root)
+    Construct with a directory path (the classic local-disk layout), a
+    backend spec string understood by
+    :func:`~repro.runner.backends.open_backend` (``disk:…`` /
+    ``sqlite:…`` / ``tiered:…``), or an already-built
+    :class:`~repro.runner.backends.CacheBackend`.  The cache owns the
+    entry envelope — layout and result-schema version checks — while
+    the backend owns raw storage, so every backend enforces identical
+    compatibility rules.
+    """
+
+    def __init__(self, store: CacheBackend | str | Path):
+        if isinstance(store, Path):
+            self.backend: CacheBackend = DiskBackend(store)
+        elif isinstance(store, str):
+            self.backend = open_backend(store)
+        else:
+            self.backend = store
+
+    @property
+    def root(self) -> Path | str:
+        """The store's location: a directory for the classic disk
+        backend (kept for callers that print or glob it), otherwise the
+        backend's ``scheme:location`` description."""
+        if isinstance(self.backend, DiskBackend):
+            return self.backend.root
+        return self.backend.describe()
+
+    def describe(self) -> str:
+        """Human-readable ``scheme:location`` of the backing store."""
+        return self.backend.describe()
 
     def _path(self, key: str) -> Path:
-        return self.root / key[:2] / f"{key}.json"
+        """Entry file for ``key`` (disk backends only; tests poke this)."""
+        if isinstance(self.backend, DiskBackend):
+            return self.backend.path(key)
+        raise TypeError(
+            f"{self.backend.describe()} does not store per-key files"
+        )
 
     def get(self, key: str) -> dict | None:
         """The cached payload for ``key``, or None on any kind of miss."""
-        path = self._path(key)
-        try:
-            with open(path) as handle:
-                entry = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+        entry = self.backend.get(key)
+        if entry is None:
             return None
         if entry.get("cache_layout") != CACHE_LAYOUT_VERSION:
             return None
@@ -99,30 +131,17 @@ class ResultCache:
             return None
         return payload
 
-    def put(self, key: str, payload: dict) -> Path:
+    def put(self, key: str, payload: dict) -> None:
         """Atomically store ``payload`` under ``key``."""
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         entry = {"cache_layout": CACHE_LAYOUT_VERSION, "payload": payload}
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(entry, handle)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        return path
+        self.backend.put(key, entry)
+
+    def scan(self) -> "list[str]":
+        """Every stored key (for corpus mining and fleet accounting)."""
+        return list(self.backend.scan())
 
     def __contains__(self, key: str) -> bool:
         return self.get(key) is not None
 
     def __len__(self) -> int:
-        if not self.root.is_dir():
-            return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return sum(1 for _ in self.backend.scan())

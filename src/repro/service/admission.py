@@ -1,0 +1,176 @@
+"""Admission control for the sizing service: bounded queue + quotas.
+
+A fleet front end must refuse work it cannot absorb — the alternative
+is an unbounded backlog that turns every request into a timeout.  This
+module is the refusal path:
+
+* **Bounded queue depth** — when the number of admitted-but-unfinished
+  jobs reaches ``max_queue_depth``, new submissions are rejected with
+  a structured 429 carrying ``Retry-After`` (estimated from recent
+  drain rate), instead of being buried at position N of a queue nobody
+  will ever reach the front of.
+* **Per-client token buckets** — each client (the ``X-Repro-Client``
+  header, falling back to the peer address) accrues ``quota_rate``
+  request tokens per second up to a burst of ``quota_burst``; a client
+  out of tokens gets a 429 whose ``Retry-After`` is the exact time
+  until its next token, so one chatty client cannot starve the rest.
+
+Both checks raise :class:`~repro.errors.ServiceError` with
+``status=429`` and ``retry_after`` set; the HTTP layer renders the
+``Retry-After`` and ``X-Repro-Queue-Depth`` headers from them.  All
+state is in-process and cheap — admission is per *replica*, which is
+the point: each replica protects its own socket and its share of the
+shared queue.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import ServiceError
+
+__all__ = ["AdmissionController", "TokenBucket"]
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    :meth:`consume` takes one token and returns 0.0, or returns the
+    number of seconds until a token will be available (never consuming
+    on refusal).  Thread-safe; time is injectable for tests.
+    """
+
+    def __init__(self, rate: float, burst: float, clock=time.monotonic):
+        if rate <= 0 or burst <= 0:
+            raise ValueError(
+                f"rate and burst must be positive, got {rate}/{burst}"
+            )
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._tokens = burst
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def consume(self) -> float:
+        """Take one token (0.0) or report the wait in seconds (> 0)."""
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._updated) * self.rate
+            )
+            self._updated = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return 0.0
+            return (1.0 - self._tokens) / self.rate
+
+
+class AdmissionController:
+    """Gatekeeper for new submissions: depth bound + per-client quotas.
+
+    ``max_queue_depth`` bounds admitted-but-unfinished jobs (None =
+    unbounded); ``quota_rate``/``quota_burst`` configure per-client
+    token buckets (rate None = no quotas).  :meth:`admit` raises a
+    429-grade :class:`~repro.errors.ServiceError` on refusal and
+    counts rejections for ``/v1/stats``.
+    """
+
+    #: Hard ceiling on distinct client buckets, so an attacker cycling
+    #: client ids cannot grow the dict without bound.
+    MAX_CLIENTS = 4096
+
+    def __init__(
+        self,
+        max_queue_depth: int | None = None,
+        quota_rate: float | None = None,
+        quota_burst: float | None = None,
+    ):
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ServiceError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}",
+                status=500,
+            )
+        self.max_queue_depth = max_queue_depth
+        self.quota_rate = quota_rate
+        self.quota_burst = quota_burst if quota_burst is not None else (
+            max(1.0, quota_rate * 2) if quota_rate else None
+        )
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+        self._rejected_depth = 0
+        self._rejected_quota = 0
+        #: Exponential moving average of seconds per drained job, the
+        #: Retry-After estimate for depth rejections.
+        self._drain_ema: float | None = None
+
+    # -- accounting hooks ---------------------------------------------
+
+    def observe_drain(self, wall_seconds: float) -> None:
+        """Feed one finished job's wall time into the drain-rate EMA."""
+        if wall_seconds <= 0:
+            return
+        with self._lock:
+            if self._drain_ema is None:
+                self._drain_ema = wall_seconds
+            else:
+                self._drain_ema = 0.8 * self._drain_ema + 0.2 * wall_seconds
+
+    def counters(self) -> dict:
+        """Rejection counters for ``/v1/stats``."""
+        with self._lock:
+            return {
+                "rejected_depth": self._rejected_depth,
+                "rejected_quota": self._rejected_quota,
+                "max_queue_depth": self.max_queue_depth,
+                "quota_rate": self.quota_rate,
+                "quota_burst": self.quota_burst,
+            }
+
+    # -- the gate ------------------------------------------------------
+
+    def admit(self, client: str | None, depth: int) -> None:
+        """Admit one submission or raise a 429 :class:`ServiceError`.
+
+        ``depth`` is the current admitted-but-unfinished job count
+        (queued + running, fleet-wide when the store is shared);
+        ``client`` identifies the quota bucket (None = shared bucket).
+        """
+        if self.max_queue_depth is not None and (
+            depth >= self.max_queue_depth
+        ):
+            with self._lock:
+                self._rejected_depth += 1
+                ema = self._drain_ema
+            retry_after = max(1.0, (ema or 1.0))
+            raise ServiceError(
+                f"queue full: {depth} jobs admitted against a bound of "
+                f"{self.max_queue_depth}; retry after "
+                f"{retry_after:.0f}s",
+                status=429,
+                retry_after=retry_after,
+            )
+        if self.quota_rate is not None:
+            bucket = self._bucket(client or "(anonymous)")
+            wait = bucket.consume()
+            if wait > 0.0:
+                with self._lock:
+                    self._rejected_quota += 1
+                raise ServiceError(
+                    f"client quota exhausted "
+                    f"({self.quota_rate:g} requests/s, burst "
+                    f"{self.quota_burst:g}); retry after {wait:.2f}s",
+                    status=429,
+                    retry_after=wait,
+                )
+
+    def _bucket(self, client: str) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                if len(self._buckets) >= self.MAX_CLIENTS:
+                    self._buckets.clear()  # runaway-client backstop
+                bucket = TokenBucket(self.quota_rate, self.quota_burst)
+                self._buckets[client] = bucket
+            return bucket

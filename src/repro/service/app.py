@@ -23,18 +23,33 @@ thread — they run on a ``ProcessPoolExecutor``
 never fork-copies its own locks), giving true parallel sizing bounded
 at ``jobs`` workers.  In both cases the HTTP layer may accept
 arbitrarily many concurrent requests; the pool is the backpressure.
+
+Fleet mode: given a ``queue`` database
+(:class:`~repro.service.queue.WorkQueue`), this service becomes one
+replica of many.  Submissions *enqueue* — into a durable, shared job
+stream — and ``jobs`` drain threads lease work from that stream
+(leasing + visibility timeout, so a crashed replica's jobs are
+re-claimed), execute it on the local pool, and publish results through
+the shared store and cache backend.  Any replica answers for any job.
+Admission control (:class:`~repro.service.admission.AdmissionController`)
+bounds the shared backlog and rate-limits individual clients in both
+modes; cache hits bypass admission, because replaying a stored result
+consumes no worker.
 """
 
 from __future__ import annotations
 
 import hashlib
 import multiprocessing
+import os
 import shutil
+import socket
 import tempfile
 import threading
 import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from pathlib import Path
+from typing import Iterator
 
 from repro.circuit.bench_io import loads_bench
 from repro.errors import ReproError, ServiceError
@@ -48,7 +63,9 @@ from repro.runner.executor import (
     store_outcome,
 )
 from repro.runner.spec import Job, normalize_options
-from repro.service.jobs import JobRecord, JobStore
+from repro.service.admission import AdmissionController
+from repro.service.jobs import JOB_STATUSES, JobRecord, JobStore
+from repro.service.queue import WorkQueue
 
 __all__ = ["SizingService", "build_job"]
 
@@ -166,10 +183,20 @@ class SizingService:
 
     Parameters mirror ``python -m repro serve``: ``jobs`` is the worker
     count (1 = one dedicated thread, >1 = a process pool), ``cache`` a
-    :class:`ResultCache`/path/None, ``run_dir`` the directory that
-    receives the restart-surviving ``service.jsonl`` job log and
-    spooled inline netlists, ``timeout`` the per-job wall-time budget
-    in seconds.
+    :class:`ResultCache`, a backend spec string (``disk:`` /
+    ``sqlite:`` / ``tiered:``), a path, or None; ``run_dir`` the
+    directory that receives the restart-surviving ``service.jsonl``
+    job log and spooled inline netlists; ``timeout`` the per-job
+    wall-time budget in seconds.
+
+    Fleet parameters: ``queue`` (a path) switches job dispatch onto a
+    durable shared :class:`~repro.service.queue.WorkQueue` that other
+    replicas may also drain; ``max_queue_depth`` bounds the admitted
+    backlog; ``quota_rate``/``quota_burst`` configure per-client token
+    buckets; ``visibility_timeout`` is the lease duration after which
+    a dead replica's in-flight jobs are re-claimed; ``sync_wait`` caps
+    how long a synchronous request blocks on the queue before
+    degrading to an async 202 ticket.
     """
 
     def __init__(
@@ -178,6 +205,12 @@ class SizingService:
         cache: ResultCache | str | Path | None = DEFAULT_CACHE_DIR,
         run_dir: str | Path | None = None,
         timeout: float | None = None,
+        queue: str | Path | None = None,
+        max_queue_depth: int | None = None,
+        quota_rate: float | None = None,
+        quota_burst: float | None = None,
+        visibility_timeout: float = 600.0,
+        sync_wait: float = 300.0,
     ):
         if jobs < 1:
             raise ServiceError(f"jobs must be >= 1, got {jobs}", status=500)
@@ -186,8 +219,20 @@ class SizingService:
         self.cache = cache
         self.jobs = jobs
         self.timeout = timeout
+        self.sync_wait = sync_wait
         self.run_dir = Path(run_dir) if run_dir is not None else None
-        self.store = JobStore(self.run_dir)
+        self.queue_path = Path(queue) if queue is not None else None
+        if self.queue_path is not None:
+            self.store: JobStore | WorkQueue = WorkQueue(
+                self.queue_path, visibility_timeout=visibility_timeout
+            )
+        else:
+            self.store = JobStore(self.run_dir)
+        self.admission = AdmissionController(
+            max_queue_depth=max_queue_depth,
+            quota_rate=quota_rate,
+            quota_burst=quota_burst,
+        )
         if self.run_dir is not None:
             self._netlist_dir = self.run_dir / "netlists"
         else:
@@ -201,6 +246,18 @@ class SizingService:
         self._cache_hits = 0
         self._executed = 0
         self._started_at = time.time()
+        self._stop = threading.Event()
+        self._drainers: list[threading.Thread] = []
+        if self.queue_path is not None:
+            self.worker_id = f"{socket.gethostname()}:{os.getpid()}"
+            for index in range(jobs):
+                thread = threading.Thread(
+                    target=self._drain_loop,
+                    name=f"repro-service-drain-{index}",
+                    daemon=True,
+                )
+                thread.start()
+                self._drainers.append(thread)
 
     @staticmethod
     def _make_pool(jobs: int, timeout: float | None):
@@ -223,18 +280,25 @@ class SizingService:
 
     # -- request handling ---------------------------------------------
 
-    def _admit(self, body: dict) -> tuple[JobRecord, JobOutcome | None]:
-        """Validate + register a request; replay it from cache if possible.
+    def _admit(
+        self, body: dict, client: str | None = None,
+    ) -> tuple[JobRecord, JobOutcome | None]:
+        """Validate + admit a request; replay it from cache if possible.
 
         Unlike a campaign (where an unresolvable circuit token becomes
         a failed job in the sweep), the service rejects it up front as
         a 400 — the requester is still on the line to hear about it.
+        The cache probe runs *before* admission control: a replayed
+        result consumes no worker, so warm traffic is never bounced by
+        a full queue or an exhausted quota.
         """
         job = build_job(body, self._netlist_dir)
         sha = self._netlist_sha(job.circuit)
         key = None if self.cache is None else job_key(job, netlist_sha=sha)
-        record = self.store.create(job, key)
         hit = probe_cache(job, key, self.cache)
+        if hit is None:
+            self.admission.admit(client, self.store.depth())
+        record = self.store.create(job, key, client)
         if hit is not None:
             with self._lock:
                 self._cache_hits += 1
@@ -275,6 +339,7 @@ class SizingService:
     def _finish(self, record: JobRecord, outcome: JobOutcome) -> JobRecord:
         """Store + account one freshly executed outcome."""
         store_outcome(outcome, self.cache)
+        self.admission.observe_drain(outcome.wall_seconds)
         with self._lock:
             self._executed += 1
             for name, stats in (
@@ -299,24 +364,44 @@ class SizingService:
             error=error,
         )
 
-    def size_sync(self, body: dict) -> JobRecord:
+    def size_sync(self, body: dict, client: str | None = None) -> JobRecord:
         """Handle a synchronous ``/v1/size``: block until the job is done.
 
-        The calling (HTTP handler) thread waits on the shared pool, so
-        concurrent synchronous requests are naturally bounded at
-        ``jobs`` in-flight sizings.
+        Local mode: the calling (HTTP handler) thread waits on the
+        shared pool, so concurrent synchronous requests are naturally
+        bounded at ``jobs`` in-flight sizings.  Queue mode: the job
+        enters the shared stream like any other and this thread waits
+        for *whichever replica* drains it, up to ``sync_wait`` seconds
+        — after which the still-unfinished record is returned and the
+        HTTP layer degrades the reply to an async 202 ticket.
         """
-        record, hit = self._admit(body)
+        record, hit = self._admit(body, client)
         if hit is not None:
             return self.store.get(record.id)
+        if self.queue_path is not None:
+            return self._await_queued(record)
         self.store.mark_running(record.id)
         future = self._pool.submit(pool_entry, record.job, self.timeout)
         return self._finish(record, self._outcome_from(record, future.result()))
 
-    def size_async(self, body: dict) -> JobRecord:
+    def _await_queued(self, record: JobRecord) -> JobRecord:
+        """Wait (bounded) for the shared queue to finish a job."""
+        deadline = time.monotonic() + self.sync_wait
+        while not record.done:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            record = self.store.wait(record.id, record.status, remaining)
+        return record
+
+    def size_async(self, body: dict, client: str | None = None) -> JobRecord:
         """Handle ``/v1/size`` with ``async=true``: queue and return."""
-        record, hit = self._admit(body)
+        record, hit = self._admit(body, client)
         if hit is not None:
+            return self.store.get(record.id)
+        if self.queue_path is not None:
+            # Queue mode: the row is already in the shared stream; a
+            # drain worker (here or in another replica) will claim it.
             return self.store.get(record.id)
         future = self._pool.submit(pool_entry, record.job, self.timeout)
         self.store.mark_running(record.id)
@@ -332,6 +417,38 @@ class SizingService:
         # Re-read through the store: a consistent snapshot, whether the
         # callback already ran or the job is still queued.
         return self.store.get(record.id)
+
+    # -- queue drain (fleet mode) --------------------------------------
+
+    def _drain_loop(self) -> None:
+        """One drain worker: lease → probe → execute → publish, forever.
+
+        Every leased job is re-probed against the cache first — another
+        replica may have finished an identical job between enqueue and
+        lease, and the probe also settles the benign race where a
+        cache-hit row is leased before its submitter finishes it.
+        """
+        while not self._stop.is_set():
+            try:
+                record = self.store.lease(self.worker_id)
+            except Exception:  # noqa: BLE001 — a busy/locked DB must not
+                record = None  # kill the drain thread; retry shortly
+            if record is None:
+                self._stop.wait(0.05)
+                continue
+            hit = probe_cache(record.job, record.key, self.cache)
+            if hit is not None:
+                with self._lock:
+                    self._cache_hits += 1
+                self.store.finish(record.id, hit)
+                continue
+            try:
+                raw = self._pool.submit(
+                    pool_entry, record.job, self.timeout
+                ).result()
+            except Exception as exc:  # pool broke under this job
+                raw = ("failed", None, f"{type(exc).__name__}: {exc}", 0.0)
+            self._finish(record, self._outcome_from(record, raw))
 
     def get_job(self, job_id: str) -> tuple[JobRecord, dict | None]:
         """A job record plus its full payload when one is available.
@@ -353,6 +470,54 @@ class SizingService:
                 if record.status == "lost":
                     record = self.store.finish(record.id, hit)
         return record, payload
+
+    def list_jobs(
+        self,
+        status: str | None = None,
+        limit: int = 50,
+        after: str | None = None,
+    ) -> tuple[list[JobRecord], str | None]:
+        """Page through admitted jobs (``GET /v1/jobs``).
+
+        ``status`` filters to one job status, ``limit`` caps the page
+        (1–500), ``after`` is the cursor returned by the previous page.
+        Fleet-wide when the store is a shared queue.
+        """
+        if status is not None and status not in JOB_STATUSES:
+            raise ServiceError(
+                f"unknown status filter {status!r}; "
+                f"valid: {list(JOB_STATUSES)}"
+            )
+        if not 1 <= limit <= 500:
+            raise ServiceError(
+                f"limit must be between 1 and 500, got {limit}"
+            )
+        return self.store.list(status=status, limit=limit, after=after)
+
+    def job_events(
+        self, job_id: str, timeout: float = 30.0,
+    ) -> Iterator[JobRecord]:
+        """Yield a job's status snapshots as they change (long-poll).
+
+        The first snapshot is immediate; subsequent ones arrive on
+        status transitions.  The stream ends after the terminal
+        snapshot, or silently at ``timeout`` — callers reconnect with
+        whatever status they last saw.  Backed by a condition variable
+        on the in-memory store and a short poll on the shared queue.
+        """
+        deadline = time.monotonic() + timeout
+        record = self.store.get(job_id)
+        while True:
+            yield record
+            if record.done:
+                return
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return
+            latest = self.store.wait(job_id, record.status, remaining)
+            if latest.status == record.status and not latest.done:
+                return  # deadline expired without a transition
+            record = latest
 
     # -- discovery + introspection ------------------------------------
 
@@ -382,11 +547,28 @@ class SizingService:
             "cache_dir": (
                 str(self.cache.root) if self.cache is not None else None
             ),
+            "cache_backend": (
+                self.cache.describe() if self.cache is not None else None
+            ),
+            "queue": (
+                {
+                    "mode": "queue",
+                    "path": str(self.queue_path),
+                    "depth": self.store.depth(),
+                    "worker_id": self.worker_id,
+                }
+                if self.queue_path is not None
+                else {"mode": "local", "depth": self.store.depth()}
+            ),
+            "admission": self.admission.counters(),
             "flow": flow,
         }
 
     def close(self) -> None:
-        """Shut the worker pool down (in-flight jobs finish first)."""
+        """Stop drain workers, then the pool (in-flight jobs finish first)."""
+        self._stop.set()
+        for thread in self._drainers:
+            thread.join(timeout=5.0)
         self._pool.shutdown(wait=True)
         if self.run_dir is None:
             # The spool directory was a mkdtemp this instance owns;

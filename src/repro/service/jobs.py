@@ -87,6 +87,7 @@ class JobStore:
 
     def __init__(self, run_dir: str | Path | None = None):
         self._lock = threading.Lock()
+        self._changed = threading.Condition(self._lock)
         self._records: dict[str, JobRecord] = {}
         self._counter = 0
         self.path: Path | None = None
@@ -155,8 +156,15 @@ class JobStore:
 
     # -- the live API --------------------------------------------------
 
-    def create(self, job: Job, key: str | None) -> JobRecord:
-        """Admit a job: allocate an id, register it, log the submission."""
+    def create(
+        self, job: Job, key: str | None, client: str | None = None,
+    ) -> JobRecord:
+        """Admit a job: allocate an id, register it, log the submission.
+
+        ``client`` (the quota identity) is accepted for interface
+        parity with :class:`~repro.service.queue.WorkQueue`; the
+        in-memory store does not persist it.
+        """
         with self._lock:
             self._counter += 1
             record = JobRecord(
@@ -183,6 +191,7 @@ class JobStore:
             record = self._records.get(job_id)
             if record is not None and record.status == "queued":
                 record.status = "running"
+                self._changed.notify_all()
 
     def finish(self, job_id: str, outcome: JobOutcome) -> JobRecord:
         """Record a job's outcome and log it; returns a snapshot."""
@@ -195,6 +204,7 @@ class JobStore:
             record.error = outcome.error
             record.payload = outcome.payload
             record.finished_at = time.time()
+            self._changed.notify_all()
             record = replace(record)
         self._append({
             "type": "service-job",
@@ -233,6 +243,73 @@ class JobStore:
             for record in self._records.values():
                 out[record.status] = out.get(record.status, 0) + 1
             return out
+
+    def depth(self) -> int:
+        """Admitted-but-unfinished jobs (queued + running) — the number
+        admission control bounds."""
+        with self._lock:
+            return sum(
+                1 for record in self._records.values()
+                if record.status in ("queued", "running")
+            )
+
+    def list(
+        self,
+        status: str | None = None,
+        limit: int = 50,
+        after: str | None = None,
+    ) -> tuple[list[JobRecord], str | None]:
+        """Page through jobs in submission order.
+
+        ``after`` is the opaque cursor (the last job id of the previous
+        page); returns ``(records, next_after)`` where ``next_after``
+        is None once the listing is exhausted.  Unknown cursors are a
+        400-grade error, matching the queue-backed store.
+        """
+        with self._lock:
+            if after is not None and after not in self._records:
+                raise ServiceError(f"unknown cursor {after!r}", status=400)
+            ordered = sorted(
+                self._records.values(),
+                key=lambda record: (_id_number(record.id) or 0, record.id),
+            )
+            if after is not None:
+                index = next(
+                    i for i, record in enumerate(ordered)
+                    if record.id == after
+                )
+                ordered = ordered[index + 1:]
+            if status is not None:
+                ordered = [r for r in ordered if r.status == status]
+            page = [replace(record) for record in ordered[:limit]]
+            next_after = page[-1].id if len(ordered) > limit else None
+            return page, next_after
+
+    def wait(
+        self, job_id: str, known_status: str | None, timeout: float,
+    ) -> JobRecord:
+        """Block until the job's status differs from ``known_status``.
+
+        Event-driven (a condition variable notified by
+        :meth:`mark_running`/:meth:`finish`), so the long-poll events
+        endpoint wakes on the transition, not on a poll tick.  Returns
+        the latest snapshot on transition, terminal status, or at the
+        deadline.
+        """
+        deadline = time.monotonic() + timeout
+        with self._lock:
+            while True:
+                record = self._records.get(job_id)
+                if record is None:
+                    raise ServiceError(
+                        f"no such job {job_id!r}", status=404
+                    )
+                if record.status != known_status or record.done:
+                    return replace(record)
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return replace(record)
+                self._changed.wait(remaining)
 
     def __len__(self) -> int:
         with self._lock:

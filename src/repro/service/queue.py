@@ -1,0 +1,332 @@
+"""Durable work-queue job store: one job stream for N serve replicas.
+
+:class:`WorkQueue` is the fleet-shaped counterpart of the in-process
+:class:`~repro.service.jobs.JobStore`: the same record surface
+(``create`` / ``get`` / ``finish`` / ``counts`` / ``list`` / ``wait``)
+backed by one SQLite database (WAL mode) that any number of *serve
+processes* open concurrently.  A submission enqueues a ``queued`` row;
+drain workers — in any replica — claim work with :meth:`lease`, which
+atomically flips the oldest claimable row to ``running`` under a
+**visibility timeout**: if the leasing worker dies (process crash,
+power cut), the lease expires and another worker re-claims the job,
+so a job submitted anywhere eventually runs somewhere.  Execution is
+therefore *at-least-once*; results are deterministic and
+content-addressed, so a double execution settles on byte-identical
+cache entries and the second ``finish`` is a harmless overwrite.
+
+Rows double as the durable job record: terminal status, summary,
+error, wall time and the (JSON) result payload live in the row, which
+is what lets ``GET /v1/jobs/<id>`` answer on any replica for a job
+another replica executed — even with caching disabled.  A job whose
+lease expired :data:`MAX_ATTEMPTS` times is failed permanently rather
+than crash-looping the fleet.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from pathlib import Path
+
+from repro.errors import ServiceError
+from repro.runner.executor import JobOutcome
+from repro.runner.progress import job_summary
+from repro.runner.spec import Job
+from repro.service.jobs import JobRecord
+
+__all__ = ["MAX_ATTEMPTS", "WorkQueue"]
+
+#: Lease claims per job before it is failed permanently — a job that
+#: kills its worker three times is poison, not unlucky.
+MAX_ATTEMPTS = 3
+
+_SCHEMA = """
+    CREATE TABLE IF NOT EXISTS jobs (
+        seq INTEGER PRIMARY KEY AUTOINCREMENT,
+        id TEXT UNIQUE NOT NULL,
+        job TEXT NOT NULL,
+        label TEXT,
+        key TEXT,
+        client TEXT,
+        status TEXT NOT NULL DEFAULT 'queued',
+        created_at REAL NOT NULL,
+        lease_owner TEXT,
+        lease_expires REAL,
+        attempts INTEGER NOT NULL DEFAULT 0,
+        cached INTEGER NOT NULL DEFAULT 0,
+        wall_seconds REAL,
+        summary TEXT,
+        error TEXT,
+        payload TEXT,
+        finished_at REAL
+    )
+"""
+
+
+class WorkQueue:
+    """SQLite-backed durable job queue + shared job record store.
+
+    ``path`` is the database file every replica opens;
+    ``visibility_timeout`` is how long a lease holds before the job is
+    considered abandoned and re-claimable (make it comfortably longer
+    than the worst job, or pair it with a per-job ``timeout`` so jobs
+    cannot outlive their lease).
+    """
+
+    def __init__(
+        self, path: str | Path, visibility_timeout: float = 600.0,
+    ):
+        if visibility_timeout <= 0:
+            raise ServiceError(
+                f"visibility_timeout must be positive, "
+                f"got {visibility_timeout}", status=500,
+            )
+        self.path = Path(path)
+        self.visibility_timeout = visibility_timeout
+        self._local = threading.local()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self._txn() as conn:
+            conn.execute(_SCHEMA)
+            conn.execute(
+                "CREATE INDEX IF NOT EXISTS jobs_status ON jobs (status)"
+            )
+
+    # -- connection plumbing ------------------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = sqlite3.connect(self.path, timeout=30.0)
+            conn.row_factory = sqlite3.Row
+            conn.isolation_level = None  # explicit transactions only
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            self._local.conn = conn
+        return conn
+
+    class _Txn:
+        """``BEGIN IMMEDIATE`` write transaction (cross-process atomic)."""
+
+        def __init__(self, conn: sqlite3.Connection):
+            self.conn = conn
+
+        def __enter__(self) -> sqlite3.Connection:
+            self.conn.execute("BEGIN IMMEDIATE")
+            return self.conn
+
+        def __exit__(self, exc_type, exc, tb) -> None:
+            if exc_type is None:
+                self.conn.execute("COMMIT")
+            else:
+                self.conn.execute("ROLLBACK")
+
+    def _txn(self) -> "WorkQueue._Txn":
+        return WorkQueue._Txn(self._connect())
+
+    # -- record construction ------------------------------------------
+
+    @staticmethod
+    def _record(row: sqlite3.Row) -> JobRecord:
+        """Materialize one row as the service's common JobRecord."""
+        return JobRecord(
+            id=row["id"],
+            job=Job.from_dict(json.loads(row["job"])),
+            key=row["key"],
+            created_at=row["created_at"],
+            status=row["status"],
+            cached=bool(row["cached"]),
+            wall_seconds=row["wall_seconds"],
+            summary=json.loads(row["summary"]) if row["summary"] else None,
+            error=row["error"],
+            finished_at=row["finished_at"],
+            payload=json.loads(row["payload"]) if row["payload"] else None,
+        )
+
+    # -- the JobStore-compatible surface ------------------------------
+
+    def create(
+        self, job: Job, key: str | None, client: str | None = None,
+    ) -> JobRecord:
+        """Enqueue a job: insert a ``queued`` row, allocate its id."""
+        created_at = time.time()
+        with self._txn() as conn:
+            cursor = conn.execute(
+                "INSERT INTO jobs (id, job, label, key, client, status, "
+                "created_at) VALUES ('', ?, ?, ?, ?, 'queued', ?)",
+                (
+                    json.dumps(job.to_dict()), job.label(), key, client,
+                    created_at,
+                ),
+            )
+            seq = cursor.lastrowid
+            job_id = f"j{seq:06d}"
+            conn.execute(
+                "UPDATE jobs SET id = ? WHERE seq = ?", (job_id, seq)
+            )
+        return JobRecord(
+            id=job_id, job=job, key=key, created_at=created_at,
+        )
+
+    def get(self, job_id: str) -> JobRecord:
+        """Look a job up by id; unknown ids are a 404-grade error."""
+        row = self._connect().execute(
+            "SELECT * FROM jobs WHERE id = ?", (job_id,)
+        ).fetchone()
+        if row is None:
+            raise ServiceError(f"no such job {job_id!r}", status=404)
+        return self._record(row)
+
+    def mark_running(self, job_id: str) -> None:
+        """Flip a queued job to ``running`` (the local direct-run path)."""
+        with self._txn() as conn:
+            conn.execute(
+                "UPDATE jobs SET status = 'running', lease_expires = ? "
+                "WHERE id = ? AND status = 'queued'",
+                (time.time() + self.visibility_timeout, job_id),
+            )
+
+    def finish(self, job_id: str, outcome: JobOutcome) -> JobRecord:
+        """Record a job's outcome; returns the stored snapshot."""
+        summary = job_summary(outcome)
+        with self._txn() as conn:
+            conn.execute(
+                "UPDATE jobs SET status = ?, cached = ?, wall_seconds = ?, "
+                "summary = ?, error = ?, payload = ?, finished_at = ?, "
+                "lease_owner = NULL, lease_expires = NULL WHERE id = ?",
+                (
+                    outcome.status,
+                    int(outcome.cached),
+                    outcome.wall_seconds,
+                    json.dumps(summary) if summary is not None else None,
+                    outcome.error,
+                    (
+                        json.dumps(outcome.payload)
+                        if outcome.payload is not None else None
+                    ),
+                    time.time(),
+                    job_id,
+                ),
+            )
+        return self.get(job_id)
+
+    def counts(self) -> dict[str, int]:
+        """Job tally by status (for ``/v1/stats``), fleet-wide."""
+        rows = self._connect().execute(
+            "SELECT status, COUNT(*) AS n FROM jobs GROUP BY status"
+        ).fetchall()
+        return {row["status"]: row["n"] for row in rows}
+
+    def depth(self) -> int:
+        """Admitted-but-unfinished jobs (queued + running), fleet-wide."""
+        return self._connect().execute(
+            "SELECT COUNT(*) FROM jobs "
+            "WHERE status IN ('queued', 'running')"
+        ).fetchone()[0]
+
+    def list(
+        self,
+        status: str | None = None,
+        limit: int = 50,
+        after: str | None = None,
+    ) -> tuple[list[JobRecord], str | None]:
+        """Page through jobs in submission order.
+
+        ``after`` is the opaque cursor (the last job id of the previous
+        page); returns ``(records, next_after)`` where ``next_after``
+        is None once the listing is exhausted.
+        """
+        conn = self._connect()
+        clauses, params = [], []
+        if status is not None:
+            clauses.append("status = ?")
+            params.append(status)
+        if after is not None:
+            row = conn.execute(
+                "SELECT seq FROM jobs WHERE id = ?", (after,)
+            ).fetchone()
+            if row is None:
+                raise ServiceError(f"unknown cursor {after!r}", status=400)
+            clauses.append("seq > ?")
+            params.append(row["seq"])
+        where = f"WHERE {' AND '.join(clauses)}" if clauses else ""
+        rows = conn.execute(
+            f"SELECT * FROM jobs {where} ORDER BY seq LIMIT ?",  # noqa: S608
+            (*params, limit + 1),
+        ).fetchall()
+        records = [self._record(row) for row in rows[:limit]]
+        next_after = records[-1].id if len(rows) > limit else None
+        return records, next_after
+
+    def wait(
+        self, job_id: str, known_status: str | None, timeout: float,
+    ) -> JobRecord:
+        """Block until the job's status differs from ``known_status``.
+
+        Cross-process, so change detection is a poll loop; returns the
+        latest record either on a transition, on a terminal status, or
+        at the deadline (caller inspects ``status`` to tell which).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.get(job_id)
+            if record.status != known_status or record.done:
+                return record
+            if time.monotonic() >= deadline:
+                return record
+            time.sleep(min(0.05, max(0.0, deadline - time.monotonic())))
+
+    def __len__(self) -> int:
+        return self._connect().execute(
+            "SELECT COUNT(*) FROM jobs"
+        ).fetchone()[0]
+
+    # -- the queue surface (drain workers) ----------------------------
+
+    def lease(self, owner: str) -> JobRecord | None:
+        """Claim the oldest runnable job for ``owner``, or None.
+
+        Runnable means ``queued``, or ``running`` with an expired lease
+        (its worker is presumed dead).  The claim is one atomic write
+        transaction, so two workers — in different processes — can
+        never lease the same job twice concurrently.  A job at its
+        :data:`MAX_ATTEMPTS` claim is failed permanently instead of
+        being leased again.
+        """
+        while True:
+            now = time.time()
+            with self._txn() as conn:
+                row = conn.execute(
+                    "SELECT * FROM jobs WHERE status = 'queued' "
+                    "OR (status = 'running' AND lease_expires IS NOT NULL "
+                    "AND lease_expires < ?) ORDER BY seq LIMIT 1",
+                    (now,),
+                ).fetchone()
+                if row is None:
+                    return None
+                if row["attempts"] >= MAX_ATTEMPTS:
+                    conn.execute(
+                        "UPDATE jobs SET status = 'failed', error = ?, "
+                        "finished_at = ?, lease_owner = NULL, "
+                        "lease_expires = NULL WHERE seq = ?",
+                        (
+                            f"lease expired {row['attempts']} times "
+                            f"(visibility timeout "
+                            f"{self.visibility_timeout:g}s); job failed "
+                            f"permanently",
+                            now,
+                            row["seq"],
+                        ),
+                    )
+                    continue  # look for the next candidate
+                conn.execute(
+                    "UPDATE jobs SET status = 'running', lease_owner = ?, "
+                    "lease_expires = ?, attempts = attempts + 1 "
+                    "WHERE seq = ?",
+                    (owner, now + self.visibility_timeout, row["seq"]),
+                )
+                claimed = conn.execute(
+                    "SELECT * FROM jobs WHERE seq = ?", (row["seq"],)
+                ).fetchone()
+            return self._record(claimed)

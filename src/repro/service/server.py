@@ -3,28 +3,39 @@
 A :class:`ThreadingHTTPServer` whose handler translates the v1 REST
 surface onto one shared :class:`~repro.service.app.SizingService`:
 
-========================  =============================================
-``POST /v1/size``         size a netlist; ``"async": true`` queues and
-                          answers 202 with a job id
-``GET /v1/jobs/<id>``     job status + full result when available
-``GET /v1/circuits``      the benchmark suite + accepted token forms
-``GET /v1/backends``      registered flow backends and capabilities
-``GET /v1/healthz``       liveness probe
-``GET /v1/stats``         job counts, cache hits, aggregated SolveStats
-========================  =============================================
+==============================  =========================================
+``POST /v1/size``               size a netlist; ``"async": true`` queues
+                                and answers 202 with a job id
+``GET /v1/jobs``                list jobs; ``?status=`` filter,
+                                ``?limit=`` page size, ``?after=`` cursor
+``GET /v1/jobs/<id>``           job status + full result when available
+``GET /v1/jobs/<id>/events``    long-poll SSE stream of status changes
+``GET /v1/circuits``            the benchmark suite + accepted tokens
+``GET /v1/backends``            registered flow backends + capabilities
+``GET /v1/healthz``             liveness probe
+``GET /v1/stats``               job counts, cache hits, queue + admission
+                                counters, aggregated SolveStats
+==============================  =========================================
 
 Every response body is JSON rendered with
 :func:`repro.sizing.serialize.canonical_json` (sorted keys, compact) —
 so two requests served from the same cache entry return byte-identical
-``payload`` objects.  Every error, including malformed JSON and
-unknown routes, is a structured ``{"error": {"status", "message"}}``
-body with the matching HTTP status, raised internally as
-:class:`~repro.errors.ServiceError`.
+``payload`` objects.  The **wire envelope** is uniform: every success
+carries its result under ``"data"`` and every failure — malformed
+JSON, unknown routes, admission rejections — is a structured
+``{"error": {"status", "message"}}`` body with the matching HTTP
+status, raised internally as :class:`~repro.errors.ServiceError`.
+Admission rejections (429) additionally carry ``Retry-After`` and
+``X-Repro-Queue-Depth`` headers.  Requests may identify themselves
+with an ``X-Repro-Client`` header (quota identity); absent that, the
+peer address is used.
 """
 
 from __future__ import annotations
 
 import json
+import math
+import urllib.parse
 from dataclasses import asdict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
@@ -36,10 +47,14 @@ from repro.sizing.serialize import canonical_json
 
 __all__ = ["WIRE_SCHEMA", "SizingHTTPServer", "make_server", "serve"]
 
-#: Identifier of the wire format carried by every 2xx response.  Bump
-#: the suffix when a response field changes meaning; clients should
-#: reject families they do not know.
-WIRE_SCHEMA = "repro.service/1"
+#: Identifier of the wire format carried by every response.  ``/2``
+#: introduced the uniform ``{"data": ...}`` success envelope; for one
+#: release the ``data`` fields are *also* mirrored at the top level so
+#: ``/1`` clients keep working — that shim goes away with ``/3``.
+WIRE_SCHEMA = "repro.service/2"
+
+#: Longest long-poll an events stream accepts, seconds.
+MAX_EVENTS_TIMEOUT = 300.0
 
 #: Maximum accepted request-body size (16 MiB) — far above any real
 #: netlist, low enough that a runaway client cannot balloon the heap.
@@ -66,7 +81,9 @@ class _Handler(BaseHTTPRequestHandler):
         if not self.server.quiet:
             BaseHTTPRequestHandler.log_message(self, format, *args)
 
-    def _send_json(self, status: int, body: dict) -> None:
+    def _send_json(
+        self, status: int, body: dict, headers: dict | None = None,
+    ) -> None:
         # HTTP/1.1 keep-alive: any request body still sitting unread on
         # the socket (an error answered before _read_body ran) would be
         # parsed as the *next* request line — drain it first.
@@ -75,8 +92,24 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(data)
+
+    def _send_data(self, status: int, data: dict) -> None:
+        """Send one success reply in the uniform ``data`` envelope.
+
+        The one-release ``/1`` compat shim: every ``data`` field is
+        mirrored at the top level (never clobbering the envelope's own
+        keys), so clients written against the flat ``/1`` bodies keep
+        reading the same fields.
+        """
+        body = {"schema": WIRE_SCHEMA, "data": data}
+        for key, value in data.items():
+            if key not in body:
+                body[key] = value
+        self._send_json(status, body)
 
     def _drain_body(self) -> None:
         if getattr(self, "_body_consumed", True):
@@ -97,11 +130,26 @@ class _Handler(BaseHTTPRequestHandler):
                 break
             remaining -= len(chunk)
 
-    def _send_error_body(self, status: int, message: str) -> None:
+    def _send_error_body(
+        self, status: int, message: str, retry_after: float | None = None,
+    ) -> None:
+        error: dict = {"status": status, "message": message}
+        headers: dict = {}
+        if retry_after is not None:
+            error["retry_after"] = retry_after
+            headers["Retry-After"] = str(max(1, math.ceil(retry_after)))
+        if status == 429:
+            # How deep the backlog the rejection protected actually is —
+            # lets a client distinguish "queue full" from "my quota".
+            try:
+                depth = self.server.service.store.depth()
+            except Exception:  # noqa: BLE001 — headers must not 500
+                depth = None
+            if depth is not None:
+                headers["X-Repro-Queue-Depth"] = str(depth)
         self._send_json(status, {
-            "schema": WIRE_SCHEMA,
-            "error": {"status": status, "message": message},
-        })
+            "schema": WIRE_SCHEMA, "error": error,
+        }, headers)
 
     def _read_body(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
@@ -122,35 +170,49 @@ class _Handler(BaseHTTPRequestHandler):
             raise ServiceError("request body must be a JSON object")
         return body
 
+    def _client(self) -> str:
+        """The quota identity: ``X-Repro-Client`` header or peer address."""
+        return (
+            self.headers.get("X-Repro-Client") or self.client_address[0]
+        )
+
     def _dispatch(self, method: str) -> None:
         service = self.server.service
         self._body_consumed = False
-        path = self.path.split("?", 1)[0].rstrip("/")
+        path, _, query = self.path.partition("?")
+        path = path.rstrip("/")
+        params = urllib.parse.parse_qs(query)
         try:
+            parts = path.split("/")
             if method == "POST" and path == "/v1/size":
                 self._post_size(service)
-            elif method == "GET" and path.startswith("/v1/jobs/"):
-                record, payload = service.get_job(path.rsplit("/", 1)[1])
-                self._send_json(200, {
-                    "schema": WIRE_SCHEMA, **_job_body(record, payload),
-                })
+            elif (
+                method == "GET" and len(parts) == 5
+                and path.startswith("/v1/jobs/") and parts[4] == "events"
+            ):
+                self._get_events(service, parts[3], params)
+            elif method == "GET" and len(parts) == 4 and (
+                path.startswith("/v1/jobs/")
+            ):
+                record, payload = service.get_job(parts[3])
+                self._send_data(200, _job_body(record, payload))
             elif method == "GET" and path == "/v1/jobs":
-                self._send_json(200, {
-                    "schema": WIRE_SCHEMA, "counts": service.store.counts(),
-                })
+                self._get_jobs(service, params)
             elif method == "GET" and path == "/v1/circuits":
-                self._send_json(200, _circuits_body())
+                self._send_data(200, _circuits_body())
             elif method == "GET" and path == "/v1/backends":
-                self._send_json(200, _backends_body())
+                self._send_data(200, _backends_body())
             elif method == "GET" and path == "/v1/healthz":
-                self._send_json(200, {
-                    "schema": WIRE_SCHEMA, "status": "ok",
+                self._send_data(200, {
+                    "status": "ok",
                     "workers": service.jobs,
+                    "mode": (
+                        "queue" if service.queue_path is not None
+                        else "local"
+                    ),
                 })
             elif method == "GET" and path == "/v1/stats":
-                self._send_json(200, {
-                    "schema": WIRE_SCHEMA, **service.stats(),
-                })
+                self._send_data(200, service.stats())
             elif path in _ROUTES and method != _ROUTES[path]:
                 raise ServiceError(
                     f"{method} not allowed on {path} "
@@ -159,7 +221,7 @@ class _Handler(BaseHTTPRequestHandler):
             else:
                 raise ServiceError(f"no such endpoint {path!r}", status=404)
         except ServiceError as exc:
-            self._send_error_body(exc.status, str(exc))
+            self._send_error_body(exc.status, str(exc), exc.retry_after)
         except ReproError as exc:
             # Library-level rejection of otherwise well-formed input
             # (bad netlist structure, unknown option value, ...).
@@ -170,17 +232,63 @@ class _Handler(BaseHTTPRequestHandler):
     def _post_size(self, service: SizingService) -> None:
         body = self._read_body()
         wants_async = bool(body.get("async", False))
-        if wants_async:
-            record = service.size_async(body)
-            payload = record.payload if record.done else None
-            self._send_json(202 if not record.done else 200, {
-                "schema": WIRE_SCHEMA, **_job_body(record, payload),
+        sizer = service.size_async if wants_async else service.size_sync
+        record = sizer(body, self._client())
+        # One rule for both modes: a terminal record is a 200 with its
+        # payload; anything still in flight — an async ticket, or a
+        # synchronous wait that hit its queue-mode deadline — is a 202.
+        payload = record.payload if record.done else None
+        self._send_data(200 if record.done else 202,
+                        _job_body(record, payload))
+
+    def _get_jobs(self, service: SizingService, params: dict) -> None:
+        status = _one(params, "status")
+        limit = _int_param(params, "limit", 50)
+        after = _one(params, "after")
+        records, next_after = service.list_jobs(
+            status=status, limit=limit, after=after,
+        )
+        self._send_data(200, {
+            "jobs": [record.to_wire() for record in records],
+            "next_after": next_after,
+            "counts": service.store.counts(),
+        })
+
+    def _get_events(
+        self, service: SizingService, job_id: str, params: dict,
+    ) -> None:
+        """Stream a job's status snapshots as server-sent events.
+
+        Each event is a ``data:`` line carrying the enveloped record;
+        the stream ends at the terminal snapshot or at ``?timeout=``
+        seconds (default 30, capped).  The connection closes with the
+        stream — a reconnecting client just re-requests.
+        """
+        timeout = _float_param(params, "timeout", 30.0)
+        if not 0 < timeout <= MAX_EVENTS_TIMEOUT:
+            raise ServiceError(
+                f"timeout must be in (0, {MAX_EVENTS_TIMEOUT:g}] seconds, "
+                f"got {timeout:g}"
+            )
+        stream = service.job_events(job_id, timeout)
+        first = next(stream)  # 404s surface before headers are sent
+        self._drain_body()
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-store")
+        self.send_header("Connection", "close")
+        self.close_connection = True
+        self.end_headers()
+        record = first
+        while True:
+            event = canonical_json({
+                "schema": WIRE_SCHEMA, "data": record.to_wire(),
             })
-        else:
-            record = service.size_sync(body)
-            self._send_json(200, {
-                "schema": WIRE_SCHEMA, **_job_body(record, record.payload),
-            })
+            self.wfile.write(f"data: {event}\n\n".encode())
+            self.wfile.flush()
+            record = next(stream, None)
+            if record is None:
+                return
 
     # BaseHTTPRequestHandler dispatches on these names.
     def do_GET(self) -> None:  # noqa: N802 (stdlib-required name)
@@ -190,6 +298,42 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 (stdlib-required name)
         """Serve ``/v1/size``."""
         self._dispatch("POST")
+
+
+def _one(params: dict, name: str) -> str | None:
+    """The single value of query parameter ``name``, or None."""
+    values = params.get(name)
+    if not values:
+        return None
+    if len(values) > 1:
+        raise ServiceError(f"query parameter {name!r} given more than once")
+    return values[0]
+
+
+def _int_param(params: dict, name: str, default: int) -> int:
+    """An integer query parameter with a default; bad values are 400s."""
+    raw = _one(params, name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError as exc:
+        raise ServiceError(
+            f"query parameter {name!r} must be an integer, got {raw!r}"
+        ) from exc
+
+
+def _float_param(params: dict, name: str, default: float) -> float:
+    """A float query parameter with a default; bad values are 400s."""
+    raw = _one(params, name)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError as exc:
+        raise ServiceError(
+            f"query parameter {name!r} must be a number, got {raw!r}"
+        ) from exc
 
 
 #: Method routing for precise 405s on known paths.
@@ -273,11 +417,20 @@ def serve(
     cache: str | None = None,
     run_dir: str | None = None,
     timeout: float | None = None,
+    queue: str | None = None,
+    max_queue_depth: int | None = None,
+    quota_rate: float | None = None,
+    quota_burst: float | None = None,
 ) -> int:
     """Run the sizing service until interrupted (the CLI entry point).
 
     ``cache=None`` means the default campaign cache directory; pass
-    ``cache=""`` to disable caching.  Returns the process exit code.
+    ``cache=""`` to disable caching, or a backend spec (``disk:`` /
+    ``sqlite:`` / ``tiered:``) to share the cache across replicas.
+    ``queue`` (a database path shared by all replicas) turns this
+    process into one replica of a fleet; ``max_queue_depth`` and
+    ``quota_rate``/``quota_burst`` configure admission control.
+    Returns the process exit code.
     """
     from repro.runner import DEFAULT_CACHE_DIR
 
@@ -286,12 +439,16 @@ def serve(
         cache_arg = None
     service = SizingService(
         jobs=jobs, cache=cache_arg, run_dir=run_dir, timeout=timeout,
+        queue=queue, max_queue_depth=max_queue_depth,
+        quota_rate=quota_rate, quota_burst=quota_burst,
     )
     server = make_server(service, host=host, port=port)
     host_shown, port_shown = server.server_address[:2]
+    cache_shown = "off" if service.cache is None else service.cache.describe()
+    queue_shown = f", queue {queue}" if queue else ""
     print(f"repro sizing service listening on http://{host_shown}:{port_shown}"
           f" ({jobs} worker{'s' if jobs != 1 else ''}, "
-          f"cache {'off' if service.cache is None else service.cache.root})")
+          f"cache {cache_shown}{queue_shown})")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
