@@ -10,10 +10,11 @@ compared.  The regression gate uses machine-independent signals only:
 
 * same-process speedup ratios — ``speedup_ssp_vs_legacy`` per circuit
   for the flow document, the scalar-vs-vectorized W-phase and TILOS
-  ratios for the sizing document.  Both sides of each ratio ran on the
-  same machine in the same process, so the ratio survives runner
-  changes.  Fails when the current ratio drops more than
-  ``--threshold`` (default 20%) below the baseline.
+  ratios and the batched-campaign throughput ratio for the sizing
+  document.  Both sides of each ratio ran on the same machine in the
+  same process, so the ratio survives runner changes.  Fails when the
+  current ratio drops more than ``--threshold`` (default 20%) below
+  the baseline.
 * deterministic work counters — flow ``augmentations``/``sp_rounds``,
   sizing W-phase sweep counts and TILOS bump counts; a jump means the
   algorithm got structurally worse even if the runner hides it.
@@ -118,6 +119,41 @@ def compare_sizing(baseline: dict, current: dict, threshold: float) -> list[str]
                 failures.append(
                     f"{name}: {phase} {counter} grew "
                     f"{base_value} -> {value} (ceiling {ceiling:.0f})"
+                )
+
+    # Batched-campaign tier: the throughput ratio is same-process like
+    # the kernel speedups, so it gets the same relative floor; a
+    # baseline that has the section requires the current run to have it
+    # too (a silently dropped tier is itself a regression).
+    base_batch = baseline.get("batch")
+    cur_batch = current.get("batch")
+    if base_batch:
+        if not cur_batch:
+            failures.append("batch: tier missing from current run")
+        else:
+            if cur_batch.get("mismatched_payloads"):
+                failures.append(
+                    f"batch: {cur_batch['mismatched_payloads']} job "
+                    f"payload(s) diverge between batched and per-job "
+                    f"execution"
+                )
+            base_ratio = base_batch.get("throughput_ratio")
+            cur_ratio = cur_batch.get("throughput_ratio")
+            if base_ratio and cur_ratio:
+                floor = base_ratio * (1.0 - threshold)
+                if cur_ratio < floor:
+                    failures.append(
+                        f"batch: throughput ratio regressed "
+                        f"{base_ratio:.2f}x -> {cur_ratio:.2f}x "
+                        f"(floor {floor:.2f}x)"
+                    )
+            if current["summary"].get("batch_ratio_ok") is False:
+                failures.append(
+                    f"batch: throughput ratio "
+                    f"{current['summary'].get('batch_throughput_ratio')}x "
+                    f"is below the absolute "
+                    f"{current['summary'].get('target_batch_ratio')}x "
+                    f"target"
                 )
     return failures
 

@@ -21,6 +21,13 @@ way the flow benchmark's ssp-vs-legacy ratio does:
   per-phase wall-time split shows how much of an iteration the W-phase
   is before/after vectorization.
 
+* **Batched campaign tier** — a 200-job ``wphase`` campaign (20 small
+  circuits x 10 delay specs) run twice: the per-job loop vs
+  ``batch=True`` (one stacked kernel call per compatible group, see
+  ``src/repro/sizing/batch.py``).  Per-job payloads must be
+  byte-identical after stripping wall-clock fields; the throughput
+  ratio is the gated signal.
+
 The structural speedup depends on level width: wide DAGs (the array
 multiplier, shallow random logic) relax hundreds of vertices per numpy
 call, while a ripple-carry adder is almost serial (its dependency
@@ -28,8 +35,9 @@ levels hold a handful of vertices), which bounds any blocked kernel —
 the benchmark includes both shapes on purpose.  The committed
 ``benchmarks/BENCH_sizing.json`` is the regression baseline for
 ``check_regression.py``; the acceptance gate (``--check``) requires
-parity everywhere and a >= 3x vectorized W-phase speedup on the
-largest benchmarked circuit.
+parity everywhere, a >= 3x vectorized W-phase speedup on the
+largest benchmarked circuit, and a >= 3x batched-campaign throughput
+ratio.
 
 Usage::
 
@@ -69,6 +77,9 @@ from repro.timing import GraphTimer  # noqa: E402
 
 SCHEMA = "repro-bench-sizing/1"
 TARGET_W_SPEEDUP = 3.0
+#: Required throughput ratio of the batched campaign over the per-job
+#: loop on the 200-small-job sweep (both sides same process/machine).
+BATCH_TARGET_RATIO = 3.0
 PARITY_ATOL = 1e-9
 KERNELS = ("scalar", "vectorized")
 
@@ -234,6 +245,66 @@ def bench_circuit(spec: dict, iterations: int, failures: list[str]) -> dict:
     return entry
 
 
+def bench_batch(failures: list[str]) -> dict:
+    """Batched vs per-job execution of a 200-small-job wphase campaign.
+
+    Both sides run the identical job list with the cache disabled (the
+    comparison is pure execution, not replay).  The per-job loop pays
+    circuit resolution + DAG build + plan analysis + one kernel
+    invocation *per job*; the batched strategy shares one context per
+    distinct circuit and one stacked relaxation per compatible group.
+    Byte-identity of every per-job payload (wall-clock fields
+    stripped) is asserted into ``failures`` — a faster-but-different
+    batch is a bug, not a win.
+    """
+    from repro.runner import run_campaign
+    from repro.runner.spec import CampaignSpec
+    from repro.sizing.serialize import canonical_json, comparable_payload
+
+    spec = CampaignSpec(
+        name="batch-bench",
+        circuits=("c17",) + tuple(f"rca:{n}" for n in range(2, 21)),
+        delay_specs=tuple(round(0.55 + 0.05 * i, 2) for i in range(10)),
+        kind="wphase",
+    )
+    n_jobs = len(spec.jobs())
+    start = time.perf_counter()
+    loop = run_campaign(spec, cache=None)
+    loop_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    batched = run_campaign(spec, cache=None, batch=True)
+    batch_seconds = time.perf_counter() - start
+
+    mismatched = 0
+    for a, b in zip(loop.outcomes, batched.outcomes):
+        same = a.status == b.status and canonical_json(
+            comparable_payload(a.payload)
+        ) == canonical_json(comparable_payload(b.payload))
+        if not same:
+            mismatched += 1
+            if mismatched <= 3:
+                failures.append(
+                    f"batch: {a.job.label()} diverges from the per-job loop"
+                )
+    if mismatched > 3:
+        failures.append(f"batch: {mismatched} divergent jobs in total")
+    stacked = [o for o in batched.outcomes if o.batch_size]
+    ratio = loop_seconds / batch_seconds if batch_seconds > 0 else 0.0
+    return {
+        "n_jobs": n_jobs,
+        "n_circuits": len(spec.circuits),
+        "loop_seconds": round(loop_seconds, 6),
+        "batch_seconds": round(batch_seconds, 6),
+        "throughput_ratio": round(ratio, 3),
+        "batched_jobs": len(stacked),
+        "batched_solve_seconds": round(
+            stacked[0].batched_seconds, 6
+        ) if stacked else 0.0,
+        "statuses": batched.counts(),
+        "mismatched_payloads": mismatched,
+    }
+
+
 def run(tier: str, iterations: int) -> dict:
     """Benchmark every tier instance; returns the report document."""
     failures: list[str] = []
@@ -251,6 +322,15 @@ def run(tier: str, iterations: int) -> dict:
         )
         circuits.append(entry)
 
+    print("[bench] batch campaign (200 wphase jobs) ...", flush=True)
+    batch = bench_batch(failures)
+    print(
+        f"[bench]   batched {batch['throughput_ratio']}x over "
+        f"{batch['n_jobs']} jobs "
+        f"({batch['loop_seconds']:.2f}s -> {batch['batch_seconds']:.2f}s)",
+        flush=True,
+    )
+
     largest = max(circuits, key=lambda e: e["n_vertices"])
     return {
         "schema": SCHEMA,
@@ -261,12 +341,19 @@ def run(tier: str, iterations: int) -> dict:
             "machine": platform.machine(),
         },
         "circuits": circuits,
+        "batch": batch,
         "summary": {
             "largest_circuit": largest["name"],
             "largest_w_speedup": largest["w_phase"]["speedup"],
             "target_w_speedup": TARGET_W_SPEEDUP,
             "w_speedup_ok": bool(
                 largest["w_phase"]["speedup"] >= TARGET_W_SPEEDUP
+            ),
+            "batch_jobs": batch["n_jobs"],
+            "batch_throughput_ratio": batch["throughput_ratio"],
+            "target_batch_ratio": BATCH_TARGET_RATIO,
+            "batch_ratio_ok": bool(
+                batch["throughput_ratio"] >= BATCH_TARGET_RATIO
             ),
             "parity_ok": not failures,
             "parity_failures": failures,
@@ -296,7 +383,10 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"[bench] largest circuit {summary['largest_circuit']}: "
         f"w-phase {summary['largest_w_speedup']}x "
-        f"(target >= {TARGET_W_SPEEDUP}x); parity "
+        f"(target >= {TARGET_W_SPEEDUP}x); batch "
+        f"{summary['batch_throughput_ratio']}x over "
+        f"{summary['batch_jobs']} jobs "
+        f"(target >= {BATCH_TARGET_RATIO}x); parity "
         f"{'ok' if summary['parity_ok'] else 'BROKEN'}"
     )
     if args.check:
@@ -310,6 +400,14 @@ def main(argv: list[str] | None = None) -> int:
                 f"{summary['largest_w_speedup']}x on "
                 f"{summary['largest_circuit']} is below the "
                 f"{TARGET_W_SPEEDUP}x target", file=sys.stderr,
+            )
+            return 1
+        if not summary["batch_ratio_ok"]:
+            print(
+                f"[bench] FAIL: batched campaign throughput "
+                f"{summary['batch_throughput_ratio']}x over "
+                f"{summary['batch_jobs']} jobs is below the "
+                f"{BATCH_TARGET_RATIO}x target", file=sys.stderr,
             )
             return 1
     return 0

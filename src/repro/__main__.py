@@ -32,6 +32,7 @@ Exit codes: 0 success; 1 infeasible target or failed campaign jobs;
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from dataclasses import asdict
@@ -43,6 +44,7 @@ from repro.circuit.mapping import is_primitive_circuit
 from repro.dag import build_sizing_dag
 from repro.errors import ReproError
 from repro.generators.iscas import SUITE
+from repro.runner.spec import JOB_KINDS
 from repro.sizing import MinfloOptions, TilosOptions, minflotransit, tilos_size
 from repro.tech import default_technology
 from repro.timing import analyze
@@ -282,9 +284,12 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             circuits=tuple(args.circuits.split(",")),
             delay_specs=delay_specs,
             flow_backends=(args.backend,),
+            kind=args.kind,
         )
     else:
         spec = tier_preset(args.tier, flow_backend=args.backend)
+        if args.kind != spec.kind:
+            spec = dataclasses.replace(spec, kind=args.kind)
     run_dir = Path(args.run_dir or Path("runs") / spec.name)
     result = runner.run(
         spec,
@@ -292,6 +297,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         cache=_campaign_cache(args),
         run_dir=run_dir,
         timeout=args.timeout,
+        batch=args.batch,
     )
     if args.json:
         print(json.dumps(campaign_to_dict(result), indent=2))
@@ -310,6 +316,7 @@ def _cmd_campaign_resume(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache=_campaign_cache(args),
         timeout=args.timeout,
+        batch=args.batch,
     )
     if args.json:
         print(json.dumps(campaign_to_dict(result), indent=2))
@@ -344,6 +351,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queue_depth=args.max_queue_depth,
         quota_rate=args.quota,
         quota_burst=args.quota_burst,
+        batch_drain=args.batch_drain,
     )
 
 
@@ -380,6 +388,11 @@ def _add_serve_parser(sub) -> None:
     p_serve.add_argument("--queue", default=None,
                          help="shared work-queue database; replicas given "
                               "the same path form one fleet")
+    p_serve.add_argument("--batch-drain", type=int, default=None,
+                         help="queue mode only: lease up to this many "
+                              "records per drain and fuse compatible "
+                              "batchable jobs (kind wphase) into one "
+                              "stacked kernel call")
     p_serve.add_argument("--max-queue-depth", type=int, default=None,
                          help="reject new jobs (429) once this many are "
                               "queued or running (default: unbounded)")
@@ -416,6 +429,10 @@ def _add_campaign_parser(sub) -> None:
                        help="disable the result cache entirely")
         p.add_argument("--timeout", type=float, default=None,
                        help="per-job wall-time budget in seconds")
+        p.add_argument("--batch", action="store_true",
+                       help="fuse compatible batchable jobs (kind "
+                            "wphase) into stacked kernel calls; "
+                            "per-job results are bit-identical")
         p.add_argument("--json", action="store_true",
                        help="print a JSON digest instead of tables")
         if with_spec:
@@ -429,6 +446,12 @@ def _add_campaign_parser(sub) -> None:
             p.add_argument("--tier", default=None,
                            choices=["smoke", "paper"],
                            help="preset sweep when --circuits is absent")
+            p.add_argument("--kind", default="sizing",
+                           choices=list(JOB_KINDS),
+                           help="job kind: sizing (full pipeline), "
+                                "wphase (one W-phase SMP instance, the "
+                                "batchable kernel workload), or phases "
+                                "(timing study)")
             p.add_argument("--flow-backend", "--backend", dest="backend",
                            default="auto")
             p.add_argument("--name", default=None,

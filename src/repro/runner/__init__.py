@@ -103,12 +103,16 @@ def run(
     run_dir: str | Path | None = None,
     timeout: float | None = None,
     append_log: bool = False,
+    batch: bool = False,
 ) -> CampaignResult:
     """Run a campaign end to end: cache probe, pool, JSONL streaming.
 
     ``cache`` may be a :class:`ResultCache`, a directory path, or None
     to disable caching entirely; ``run_dir`` (optional) receives the
-    ``campaign.jsonl`` run log that makes the campaign resumable.
+    ``campaign.jsonl`` run log that makes the campaign resumable;
+    ``batch`` fuses compatible batchable jobs into stacked kernel
+    calls (bit-identical per-job results, see
+    :func:`repro.runner.executor.run_campaign`).
     """
     if cache is not None and not isinstance(cache, ResultCache):
         cache = ResultCache(cache)
@@ -125,6 +129,7 @@ def run(
         timeout=timeout,
         on_outcome=log.record if log is not None else None,
         keys=keys,
+        batch=batch,
     )
 
 
@@ -133,6 +138,7 @@ def resume(
     jobs: int = 1,
     cache: ResultCache | str | Path | None = DEFAULT_CACHE_DIR,
     timeout: float | None = None,
+    batch: bool = False,
 ) -> CampaignResult:
     """Resume an interrupted campaign from its run directory.
 
@@ -156,4 +162,5 @@ def resume(
         run_dir=run_dir,
         timeout=timeout,
         append_log=True,
+        batch=batch,
     )

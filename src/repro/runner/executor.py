@@ -20,6 +20,14 @@
   order no matter which worker finished first; streaming consumers
   (the JSONL run log) observe completion order but every record
   carries its job index.
+* **Batched kernel execution.**  ``run_campaign(..., batch=True)``
+  fuses compatible queued jobs — same kind, mode, backend and options;
+  today the batchable kind is ``wphase`` — into one stacked kernel
+  call (:mod:`repro.sizing.batch`) instead of N per-job invocations.
+  Results are bit-identical to the per-job loop (the cache probe, the
+  JSONL record and the stored payload stay per-job); jobs that fail
+  setup, time out, or refuse to converge fall back to the isolated
+  per-job path alone while the rest of the batch proceeds.
 
 Per-job flow-solver telemetry is collected with
 :func:`repro.flow.registry.stats_scope` — never from the module-global
@@ -42,6 +50,8 @@ from repro.runner.spec import CampaignSpec, Job, resolve_circuit
 __all__ = [
     "JobOutcome",
     "CampaignResult",
+    "batch_entry",
+    "batch_groups",
     "campaign_keys",
     "execute_job",
     "pool_entry",
@@ -54,6 +64,19 @@ __all__ = [
 #: Outcome statuses that represent a finished computation (and are
 #: therefore cacheable); ``failed``/``timeout`` are not.
 COMPLETED_STATUSES = ("ok", "infeasible")
+
+#: Job kinds whose payloads are deterministic functions of the job
+#: fingerprint, hence content-addressable.  ``phases`` payloads are
+#: wall-clock measurements and never cached.
+CACHEABLE_KINDS = ("sizing", "wphase")
+
+#: Job kinds the batched strategy can fuse into one stacked kernel
+#: call.  ``sizing`` jobs are declined on purpose: their cost is
+#: dominated by the D-phase LP/flow solves, whose stacked optima need
+#: not match the per-job degenerate optima bit-for-bit — only the SMP
+#: relaxation has an exact batching story (see
+#: :mod:`repro.sizing.batch`).
+BATCHABLE_KINDS = ("wphase",)
 
 
 @dataclass(frozen=True)
@@ -68,6 +91,12 @@ class JobOutcome:
     wall_seconds: float
     payload: dict | None
     error: str | None = None
+    #: Jobs fused into the stacked kernel call that produced this
+    #: outcome (0 = per-job execution, cached replay, or fallback).
+    batch_size: int = 0
+    #: Wall time of the shared stacked solve for the whole batch (every
+    #: member outcome reports the same figure; 0.0 outside a batch).
+    batched_seconds: float = 0.0
 
     @property
     def completed(self) -> bool:
@@ -212,7 +241,83 @@ def _execute_phases(job: Job) -> tuple[str, dict]:
     return "ok", payload
 
 
-_EXECUTORS = {"sizing": _execute_sizing, "phases": _execute_phases}
+def _wphase_context(job: Job) -> tuple:
+    """Shared per-(circuit, mode) setup for W-phase jobs.
+
+    Returns ``(circuit, dag, load_delay)`` where ``load_delay`` is the
+    load-dependent part of the minimum-size delays.  Everything here is
+    a deterministic function of the circuit token and mode alone, so
+    the batched executor shares one context across every delay spec of
+    the same circuit — the amortization the batch strategy exists for.
+    """
+    from repro.circuit.mapping import is_primitive_circuit, map_to_primitives
+    from repro.dag import build_sizing_dag
+    from repro.tech import default_technology
+
+    circuit = resolve_circuit(job.circuit)
+    if job.mode == "transistor" and not is_primitive_circuit(circuit):
+        circuit = map_to_primitives(circuit, suffix="")
+    dag = build_sizing_dag(circuit, default_technology(), mode=job.mode)
+    load_delay = dag.delays(dag.min_sizes()) - dag.model.intrinsic
+    return circuit, dag, load_delay
+
+
+def _wphase_budgets(dag, load_delay, delay_spec: float):
+    """Per-vertex delay budgets for a W-phase job.
+
+    ``intrinsic + delay_spec * load_delay(x_min)``: a spec of 1.0 is
+    met at minimum sizes, tighter specs force upsizing (and eventually
+    clamping — the ``infeasible`` outcome), and the headroom of every
+    loaded vertex stays positive for any positive spec.
+    """
+    return dag.model.intrinsic + delay_spec * load_delay
+
+
+def _wphase_payload(job: Job, circuit, dag, budgets, smp) -> tuple[str, dict]:
+    """Assemble the (status, payload) of a solved W-phase instance.
+
+    Shared verbatim by the per-job and batched paths — given the same
+    relaxation result both produce the same payload, which is what the
+    differential tests compare byte-for-byte (modulo the volatile
+    ``seconds`` field).
+    """
+    import numpy as np
+
+    delays = dag.model.delays(smp.x)
+    feasible = not smp.clamped
+    payload = {
+        "kind": "wphase",
+        "circuit": job.circuit,
+        "name": circuit.name,
+        "n_vertices": dag.n,
+        "delay_spec": job.delay_spec,
+        "feasible": feasible,
+        "sweeps": int(smp.sweeps),
+        "engine": smp.engine,
+        "clamped": [int(i) for i in smp.clamped],
+        "area": float(dag.area(smp.x)),
+        "worst_violation": float(np.max(delays - budgets)),
+        "sizes": [float(v) for v in smp.x],
+        "seconds": float(smp.seconds),
+    }
+    return ("ok" if feasible else "infeasible"), payload
+
+
+def _execute_wphase(job: Job) -> tuple[str, dict]:
+    """Solve one W-phase SMP instance (the batchable kernel workload)."""
+    from repro.sizing import w_phase
+
+    circuit, dag, load_delay = _wphase_context(job)
+    budgets = _wphase_budgets(dag, load_delay, job.delay_spec)
+    result = w_phase(dag, budgets)
+    return _wphase_payload(job, circuit, dag, budgets, result)
+
+
+_EXECUTORS = {
+    "sizing": _execute_sizing,
+    "wphase": _execute_wphase,
+    "phases": _execute_phases,
+}
 
 
 def execute_job(job: Job) -> tuple[str, dict]:
@@ -263,7 +368,164 @@ def pool_entry(
         return "failed", None, detail, time.perf_counter() - start
 
 
+# -- batched execution (stacked kernel call, runs in the worker) ------
+
+
+def batch_groups(
+    pending: list[tuple[int, Job, str | None]],
+) -> tuple[list[list[tuple[int, Job, str | None]]], list[tuple[int, Job, str | None]]]:
+    """Partition pending jobs into fusable batches plus leftovers.
+
+    Jobs fuse when they share kind, mode, flow backend and option
+    overrides (one technology serves the whole campaign, so this is
+    the "same technology/options" compatibility the stacked kernel
+    needs); everything else — including every non-batchable kind —
+    comes back in ``rest`` and runs through the ordinary per-job
+    paths.  Group order and in-group job order follow expansion order.
+    """
+    groups: dict[tuple, list[tuple[int, Job, str | None]]] = {}
+    rest: list[tuple[int, Job, str | None]] = []
+    for item in pending:
+        job = item[1]
+        if job.kind in BATCHABLE_KINDS:
+            signature = (job.kind, job.mode, job.flow_backend, job.options)
+            groups.setdefault(signature, []).append(item)
+        else:
+            rest.append(item)
+    return list(groups.values()), rest
+
+
+def batch_entry(
+    jobs: list[Job], timeout: float | None
+) -> list[tuple[str, dict | None, str | None, float, float]]:
+    """Run a compatible job group through one stacked kernel call.
+
+    The batched twin of :func:`pool_entry`: returns one
+    ``(status, payload, error, wall_seconds, batched_seconds)`` tuple
+    of primitives per job, in job order, so it pickles cleanly across
+    a process pool.  ``batched_seconds`` is the shared stacked-solve
+    wall time (0.0 when that job was served by the per-job fallback).
+
+    Failure isolation works in three layers:
+
+    * per-job setup (circuit resolution, DAG build, budget validation)
+      runs under the job's own wall-time budget — a bad token or a hung
+      build fails that job alone;
+    * the stacked solve runs under the *sum* of the surviving jobs'
+      budgets; if it raises or times out, every survivor re-runs
+      through :func:`pool_entry` individually, each under its own
+      budget — the batch degrades to the per-job loop instead of
+      failing collectively;
+    * a job whose instance does not converge in the stacked run (its
+      result slot is None) replays through :func:`pool_entry` alone,
+      which raises the same diagnostic a solo run would.
+    """
+    from repro.sizing.kernels import get_smp_plan
+    from repro.sizing.smp import smp_headroom
+
+    n = len(jobs)
+    raws: list[tuple | None] = [None] * n
+    setup_seconds = [0.0] * n
+    contexts: dict[tuple[str, str], tuple] = {}
+    prepared: dict[int, tuple] = {}
+    for pos, job in enumerate(jobs):
+        start = time.perf_counter()
+
+        def setup(job: Job = job):
+            context_key = (job.circuit, job.mode)
+            if context_key not in contexts:
+                # Successes are shared across the batch; failures are
+                # not cached, so every job owning the token reports
+                # the error itself (as it would per-job).
+                contexts[context_key] = _wphase_context(job)
+            circuit, dag, load_delay = contexts[context_key]
+            budgets = _wphase_budgets(dag, load_delay, job.delay_spec)
+            smp_headroom(dag.model, budgets)  # invalid budgets fail here
+            return circuit, dag, budgets, get_smp_plan(dag)
+
+        try:
+            prepared[pos] = _with_timeout(setup, timeout)
+            setup_seconds[pos] = time.perf_counter() - start
+        except JobTimeoutError as exc:
+            raws[pos] = (
+                "timeout", None, str(exc),
+                time.perf_counter() - start, 0.0,
+            )
+        except Exception as exc:  # noqa: BLE001 — isolation is the point
+            detail = f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+            raws[pos] = (
+                "failed", None, detail, time.perf_counter() - start, 0.0,
+            )
+
+    live = sorted(prepared)
+    solved = None
+    batched_seconds = 0.0
+    if live:
+        solve_start = time.perf_counter()
+
+        def stacked():
+            from repro.sizing.batch import (
+                build_batched_smp_plan,
+                solve_smp_batched,
+            )
+
+            models = [prepared[pos][1].model for pos in live]
+            plan = build_batched_smp_plan(
+                models, [prepared[pos][3] for pos in live]
+            )
+            return solve_smp_batched(
+                models,
+                [prepared[pos][2] for pos in live],
+                [prepared[pos][1].lower for pos in live],
+                [prepared[pos][1].upper for pos in live],
+                plan,
+            )
+
+        try:
+            budget = timeout * len(live) if timeout else None
+            solved = _with_timeout(stacked, budget)
+            batched_seconds = time.perf_counter() - solve_start
+        except Exception:  # noqa: BLE001 — degrade to the per-job loop
+            solved = None
+
+    if solved is None:
+        solved = [None] * len(live)
+    for pos, smp in zip(live, solved):
+        job = jobs[pos]
+        if smp is None:
+            # Stacked solve unavailable (failed, timed out) or this
+            # instance did not converge: the isolated per-job path is
+            # the authority, including its error text.
+            raws[pos] = pool_entry(job, timeout) + (0.0,)
+            continue
+        start = time.perf_counter()
+        try:
+            circuit, dag, budgets, _plan = prepared[pos]
+            status, payload = _wphase_payload(job, circuit, dag, budgets, smp)
+            wall = (
+                setup_seconds[pos]
+                + batched_seconds / len(live)
+                + (time.perf_counter() - start)
+            )
+            raws[pos] = (status, payload, None, wall, batched_seconds)
+        except Exception as exc:  # noqa: BLE001 — isolation is the point
+            detail = f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+            raws[pos] = (
+                "failed", None, detail,
+                setup_seconds[pos] + (time.perf_counter() - start),
+                batched_seconds,
+            )
+    return raws
+
+
 # -- the driver (parent process) --------------------------------------
+
+
+def _payload_status(payload: dict) -> str:
+    """Completed status a cached payload replays as (kind-aware)."""
+    if payload.get("kind") == "wphase":
+        return "ok" if payload.get("feasible") else "infeasible"
+    return "ok" if payload.get("result") is not None else "infeasible"
 
 
 def probe_cache(
@@ -271,11 +533,12 @@ def probe_cache(
 ) -> JobOutcome | None:
     """Replay a job from the result cache, or None on a miss.
 
-    Only ``sizing`` jobs are cacheable (phase-timing payloads are
-    wall-clock measurements); a hit comes back as a completed
-    :class:`JobOutcome` with ``cached=True`` and zero wall time.
+    Only :data:`CACHEABLE_KINDS` jobs are cacheable (phase-timing
+    payloads are wall-clock measurements); a hit comes back as a
+    completed :class:`JobOutcome` with ``cached=True`` and zero wall
+    time.
     """
-    if cache is None or key is None or job.kind != "sizing":
+    if cache is None or key is None or job.kind not in CACHEABLE_KINDS:
         return None
     payload = cache.get(key)
     if payload is None:
@@ -284,7 +547,7 @@ def probe_cache(
         index=index,
         job=job,
         key=key,
-        status="ok" if payload.get("result") is not None else "infeasible",
+        status=_payload_status(payload),
         cached=True,
         wall_seconds=0.0,
         payload=payload,
@@ -296,6 +559,9 @@ def store_outcome(outcome: JobOutcome, cache: ResultCache | None) -> None:
 
     No-op for cache misses that failed or timed out, for replayed
     (already cached) outcomes, and for uncacheable job kinds.
+    Batch telemetry lives on the :class:`JobOutcome` and the JSONL
+    record, never in the stored payload — a batched and a per-job
+    execution of the same fingerprint must cache identical entries.
     """
     if (
         outcome.completed
@@ -304,7 +570,7 @@ def store_outcome(outcome: JobOutcome, cache: ResultCache | None) -> None:
         and outcome.key is not None
         # Phase-timing payloads are wall-clock measurements — not
         # content-addressable, so never cached.
-        and outcome.job.kind == "sizing"
+        and outcome.job.kind in CACHEABLE_KINDS
     ):
         cache.put(outcome.key, outcome.payload)
 
@@ -388,6 +654,7 @@ def run_campaign(
     timeout: float | None = None,
     on_outcome=None,
     keys: list[str | None] | None = None,
+    batch: bool = False,
 ) -> CampaignResult:
     """Run a campaign; returns outcomes in job-expansion order.
 
@@ -399,6 +666,14 @@ def run_campaign(
     ``keys`` are precomputed :func:`campaign_keys` (computing a key
     builds the circuit, so callers that already did — e.g. to write the
     run-log header — pass them in rather than paying twice).
+
+    ``batch=True`` fuses compatible cache-missed jobs of
+    :data:`BATCHABLE_KINDS` into stacked kernel calls
+    (:func:`batch_entry`); fused groups run inline in the driver —
+    avoiding N pool round-trips is the point — while incompatible
+    leftovers take the ordinary per-job paths below.  Per-job results
+    are bit-identical either way; only the :class:`JobOutcome` batch
+    telemetry differs.
     """
     if isinstance(spec, CampaignSpec):
         name = spec.name
@@ -426,6 +701,27 @@ def run_campaign(
             finish(hit)
         else:
             pending.append((index, job, key))
+
+    if batch and pending:
+        groups, pending = batch_groups(pending)
+        for group in groups:
+            raws = batch_entry([job for _, job, _ in group], timeout)
+            for (index, job, key), raw in zip(group, raws):
+                status, payload, error, wall, batched_seconds = raw
+                finish(JobOutcome(
+                    index=index,
+                    job=job,
+                    key=key,
+                    status=status,
+                    cached=False,
+                    wall_seconds=wall,
+                    payload=payload,
+                    error=error,
+                    # batched_seconds == 0.0 marks a per-job fallback:
+                    # that outcome was not produced by the stacked call.
+                    batch_size=len(group) if batched_seconds > 0.0 else 0,
+                    batched_seconds=batched_seconds,
+                ))
 
     if pending and jobs <= 1:
         for index, job, key in pending:

@@ -58,6 +58,8 @@ from repro.runner import DEFAULT_CACHE_DIR
 from repro.runner.cache import ResultCache, job_key, netlist_digest
 from repro.runner.executor import (
     JobOutcome,
+    batch_entry,
+    batch_groups,
     pool_entry,
     probe_cache,
     store_outcome,
@@ -73,9 +75,14 @@ __all__ = ["SizingService", "build_job"]
 #: 400, not a silent default — a typo like ``"dela_spec"`` must never
 #: quietly size at 0.5.
 _REQUEST_FIELDS = frozenset((
-    "circuit", "bench", "delay_spec", "mode", "flow_backend", "options",
-    "async",
+    "circuit", "bench", "delay_spec", "kind", "mode", "flow_backend",
+    "options", "async",
 ))
+
+#: Job kinds the service accepts.  ``phases`` is excluded on purpose:
+#: its payloads are wall-clock measurements, meaningless on a shared
+#: service host and never cacheable.
+_SERVICE_KINDS = ("sizing", "wphase")
 
 
 def _require(condition: bool, message: str) -> None:
@@ -136,6 +143,11 @@ def build_job(body: dict, netlist_dir: Path | None = None) -> Job:
         "'circuit' must be a non-empty token string",
     )
 
+    kind = body.get("kind", "sizing")
+    _require(
+        kind in _SERVICE_KINDS,
+        f"'kind' must be one of {list(_SERVICE_KINDS)}, got {kind!r}",
+    )
     delay_spec = body.get("delay_spec", 0.5)
     _require(
         isinstance(delay_spec, (int, float)) and not isinstance(
@@ -172,6 +184,7 @@ def build_job(body: dict, netlist_dir: Path | None = None) -> Job:
     return Job(
         circuit=circuit,
         delay_spec=float(delay_spec),
+        kind=kind,
         mode=mode,
         flow_backend=flow_backend,
         options=normalized,
@@ -197,6 +210,12 @@ class SizingService:
     a dead replica's in-flight jobs are re-claimed; ``sync_wait`` caps
     how long a synchronous request blocks on the queue before
     degrading to an async 202 ticket.
+
+    ``batch_drain`` (queue mode only) makes each drain worker lease up
+    to that many records per round and fuse compatible batchable jobs
+    (kind ``wphase``) into one stacked kernel call
+    (:func:`~repro.runner.executor.batch_entry`); per-job results are
+    bit-identical to the single-lease loop.
     """
 
     def __init__(
@@ -211,9 +230,15 @@ class SizingService:
         quota_burst: float | None = None,
         visibility_timeout: float = 600.0,
         sync_wait: float = 300.0,
+        batch_drain: int | None = None,
     ):
         if jobs < 1:
             raise ServiceError(f"jobs must be >= 1, got {jobs}", status=500)
+        if batch_drain is not None and batch_drain < 1:
+            raise ServiceError(
+                f"batch_drain must be >= 1, got {batch_drain}", status=500
+            )
+        self.batch_drain = batch_drain
         if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
         self.cache = cache
@@ -245,6 +270,7 @@ class SizingService:
         self._digests: dict[str, str] = {}
         self._cache_hits = 0
         self._executed = 0
+        self._batched_jobs = 0
         self._started_at = time.time()
         self._stop = threading.Event()
         self._drainers: list[threading.Thread] = []
@@ -342,6 +368,8 @@ class SizingService:
         self.admission.observe_drain(outcome.wall_seconds)
         with self._lock:
             self._executed += 1
+            if outcome.batch_size:
+                self._batched_jobs += 1
             for name, stats in (
                 (outcome.payload or {}).get("flow_stats") or {}
             ).items():
@@ -351,8 +379,18 @@ class SizingService:
                         total[field_name] = total.get(field_name, 0) + value
         return self.store.finish(record.id, outcome)
 
-    def _outcome_from(self, record: JobRecord, raw: tuple) -> JobOutcome:
-        status, payload, error, wall = raw
+    def _outcome_from(
+        self, record: JobRecord, raw: tuple, batch: int = 0
+    ) -> JobOutcome:
+        """Build a :class:`JobOutcome` from a worker's raw tuple.
+
+        Accepts both the 4-tuple of :func:`pool_entry` and the 5-tuple
+        of :func:`batch_entry` (whose extra element is the shared
+        stacked-solve time; 0.0 there marks a per-job fallback, which
+        is reported as unbatched).
+        """
+        status, payload, error, wall = raw[:4]
+        batched_seconds = raw[4] if len(raw) > 4 else 0.0
         return JobOutcome(
             index=0,
             job=record.job,
@@ -362,6 +400,8 @@ class SizingService:
             wall_seconds=wall,
             payload=payload,
             error=error,
+            batch_size=batch if batched_seconds > 0.0 else 0,
+            batched_seconds=batched_seconds,
         )
 
     def size_sync(self, body: dict, client: str | None = None) -> JobRecord:
@@ -429,6 +469,10 @@ class SizingService:
         cache-hit row is leased before its submitter finishes it.
         """
         while not self._stop.is_set():
+            if self.batch_drain:
+                if not self._drain_batched():
+                    self._stop.wait(0.05)
+                continue
             try:
                 record = self.store.lease(self.worker_id)
             except Exception:  # noqa: BLE001 — a busy/locked DB must not
@@ -449,6 +493,67 @@ class SizingService:
             except Exception as exc:  # pool broke under this job
                 raw = ("failed", None, f"{type(exc).__name__}: {exc}", 0.0)
             self._finish(record, self._outcome_from(record, raw))
+
+    def _drain_batched(self) -> bool:
+        """One batched drain round; True when any work was claimed.
+
+        Leases up to ``batch_drain`` records, replays cache hits, and
+        fuses the batchable remainder (grouped by
+        :func:`~repro.runner.executor.batch_groups`) into stacked
+        kernel calls — each group is *one* pool task, so a fleet
+        replica amortizes pool round-trips exactly like ``campaign run
+        --batch`` amortizes kernel invocations.  Leftover
+        (non-batchable) leases run through :func:`pool_entry` as usual.
+        """
+        records: list[JobRecord] = []
+        while len(records) < self.batch_drain:
+            try:
+                record = self.store.lease(self.worker_id)
+            except Exception:  # noqa: BLE001 — busy DB: stop leasing
+                record = None
+            if record is None:
+                break
+            records.append(record)
+        if not records:
+            return False
+        live: list[JobRecord] = []
+        for record in records:
+            hit = probe_cache(record.job, record.key, self.cache)
+            if hit is not None:
+                with self._lock:
+                    self._cache_hits += 1
+                self.store.finish(record.id, hit)
+            else:
+                live.append(record)
+        items = [
+            (pos, record.job, record.key) for pos, record in enumerate(live)
+        ]
+        groups, rest = batch_groups(items)
+        for group in groups:
+            members = [live[pos] for pos, _job, _key in group]
+            try:
+                raws = self._pool.submit(
+                    batch_entry, [r.job for r in members], self.timeout
+                ).result()
+            except Exception as exc:  # pool broke under this batch
+                raws = [
+                    ("failed", None, f"{type(exc).__name__}: {exc}", 0.0, 0.0)
+                ] * len(members)
+            for record, raw in zip(members, raws):
+                self._finish(
+                    record,
+                    self._outcome_from(record, raw, batch=len(members)),
+                )
+        for pos, _job, _key in rest:
+            record = live[pos]
+            try:
+                raw = self._pool.submit(
+                    pool_entry, record.job, self.timeout
+                ).result()
+            except Exception as exc:  # pool broke under this job
+                raw = ("failed", None, f"{type(exc).__name__}: {exc}", 0.0)
+            self._finish(record, self._outcome_from(record, raw))
+        return True
 
     def get_job(self, job_id: str) -> tuple[JobRecord, dict | None]:
         """A job record plus its full payload when one is available.
@@ -534,15 +639,18 @@ class SizingService:
             flow = {name: dict(t) for name, t in self._flow_totals.items()}
             cache_hits = self._cache_hits
             executed = self._executed
+            batched_jobs = self._batched_jobs
         return {
             "uptime_seconds": time.time() - self._started_at,
             "jobs": self.store.counts(),
             "cache_hits": cache_hits,
             "executed": executed,
+            "batched_jobs": batched_jobs,
             "executor": {
                 "workers": self.jobs,
                 "kind": "thread" if self.jobs == 1 else "process",
                 "timeout": self.timeout,
+                "batch_drain": self.batch_drain,
             },
             "cache_dir": (
                 str(self.cache.root) if self.cache is not None else None

@@ -421,6 +421,7 @@ def serve(
     max_queue_depth: int | None = None,
     quota_rate: float | None = None,
     quota_burst: float | None = None,
+    batch_drain: int | None = None,
 ) -> int:
     """Run the sizing service until interrupted (the CLI entry point).
 
@@ -429,8 +430,9 @@ def serve(
     ``sqlite:`` / ``tiered:``) to share the cache across replicas.
     ``queue`` (a database path shared by all replicas) turns this
     process into one replica of a fleet; ``max_queue_depth`` and
-    ``quota_rate``/``quota_burst`` configure admission control.
-    Returns the process exit code.
+    ``quota_rate``/``quota_burst`` configure admission control;
+    ``batch_drain`` (queue mode) fuses leased batchable jobs into
+    stacked kernel calls.  Returns the process exit code.
     """
     from repro.runner import DEFAULT_CACHE_DIR
 
@@ -441,6 +443,7 @@ def serve(
         jobs=jobs, cache=cache_arg, run_dir=run_dir, timeout=timeout,
         queue=queue, max_queue_depth=max_queue_depth,
         quota_rate=quota_rate, quota_burst=quota_burst,
+        batch_drain=batch_drain,
     )
     server = make_server(service, host=host, port=port)
     host_shown, port_shown = server.server_address[:2]

@@ -1,5 +1,10 @@
 """Sizing optimizers: TILOS baseline, D-phase, W-phase, MINFLOTRANSIT."""
 
+from repro.sizing.batch import (
+    BatchedSmpPlan,
+    build_batched_smp_plan,
+    solve_smp_batched,
+)
 from repro.sizing.dphase import (
     DPhaseResult,
     area_sensitivities,
@@ -28,6 +33,7 @@ from repro.sizing.tilos import TilosOptions, TilosResult, require_feasible, tilo
 from repro.sizing.wphase import WPhaseResult, w_phase
 
 __all__ = [
+    "BatchedSmpPlan",
     "DPhaseResult",
     "IterationRecord",
     "LagrangianOptions",
@@ -43,6 +49,7 @@ __all__ = [
     "TilosResult",
     "WPhaseResult",
     "area_sensitivities",
+    "build_batched_smp_plan",
     "build_dphase_lp",
     "d_phase",
     "get_smp_plan",
@@ -54,6 +61,7 @@ __all__ = [
     "require_feasible",
     "save_result",
     "solve_smp",
+    "solve_smp_batched",
     "solve_smp_blocked",
     "tilos_size",
     "w_phase",

@@ -24,7 +24,9 @@ from repro.sizing.result import IterationRecord, SizingResult
 
 __all__ = [
     "SCHEMA_VERSION",
+    "VOLATILE_PAYLOAD_KEYS",
     "canonical_json",
+    "comparable_payload",
     "payload_schema_version",
     "result_to_dict",
     "result_from_dict",
@@ -53,6 +55,46 @@ def canonical_json(payload: object) -> str:
     producing identical text.
     """
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+#: Payload keys that carry wall-clock measurements.  Everything else in
+#: a job payload is a deterministic function of (netlist, technology,
+#: job parameters), so two executions of the same job — serial vs
+#: parallel, per-job vs batched, replica A vs replica B — must agree on
+#: the payload after these keys are stripped.
+VOLATILE_PAYLOAD_KEYS = frozenset({
+    "seconds",
+    "runtime_seconds",
+    "wall_time_s",
+    "wall_seconds",
+    "phase_seconds",
+    "timing_stats",
+    "scan_seconds",
+    "refresh_seconds",
+    "build_seconds",
+    "batched_seconds",
+})
+
+
+def comparable_payload(payload):
+    """A payload with every wall-clock field recursively removed.
+
+    The byte-identity assertions of the batched execution path
+    (``tests/test_batch.py``, the ``batch`` benchmark tier) compare
+    ``canonical_json(comparable_payload(a)) ==
+    canonical_json(comparable_payload(b))``: deterministic content must
+    match exactly, while timing telemetry — which legitimately differs
+    between a per-job loop and one stacked kernel call — is excluded.
+    """
+    if isinstance(payload, dict):
+        return {
+            key: comparable_payload(value)
+            for key, value in payload.items()
+            if key not in VOLATILE_PAYLOAD_KEYS
+        }
+    if isinstance(payload, list):
+        return [comparable_payload(value) for value in payload]
+    return payload
 
 
 def result_to_dict(result: SizingResult, dag: SizingDag | None = None) -> dict:

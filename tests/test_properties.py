@@ -6,8 +6,13 @@ Random circuits and sizings exercise:
 * delay-balancing legality on arbitrary DAGs and delay vectors,
 * W-phase least-fixed-point minimality and monotonicity,
 * flow/LP duality across solver backends,
-* scale invariance of sizing decisions.
+* scale invariance of sizing decisions,
+* batched-kernel fixed points independent of batch grouping and order,
+* cache-key invariance under job reordering,
+* serialize round-trip identity on schema-v2 payloads.
 """
+
+import json
 
 import numpy as np
 import pytest
@@ -22,7 +27,20 @@ from repro.flow import (
     solve_difference_lp,
 )
 from repro.generators import random_logic
+from repro.runner.cache import job_key
+from repro.runner.executor import campaign_keys
+from repro.runner.spec import Job
 from repro.sizing import w_phase
+from repro.sizing.batch import build_batched_smp_plan, solve_smp_batched
+from repro.sizing.kernels import get_smp_plan, solve_smp_blocked
+from repro.sizing.result import IterationRecord, SizingResult
+from repro.sizing.serialize import (
+    VOLATILE_PAYLOAD_KEYS,
+    canonical_json,
+    comparable_payload,
+    result_from_dict,
+    result_to_dict,
+)
 from repro.tech import default_technology
 from repro.timing import GraphTimer
 
@@ -180,3 +198,208 @@ class TestScaleInvariance:
         r1 = w_phase(dag1, budgets)
         r2 = w_phase(dag2, budgets * 3.0)
         assert r2.x == pytest.approx(r1.x, rel=1e-9)
+
+
+@st.composite
+def batched_cases(draw):
+    """2-4 independent W-phase SMP instances plus a random regrouping:
+    a permutation of the instances and a cut point splitting the
+    permuted order into two batches."""
+    count = draw(st.integers(min_value=2, max_value=4))
+    instances = []
+    for _ in range(count):
+        dag = draw(small_dags())
+        spec = draw(st.floats(min_value=0.5, max_value=1.5))
+        load = dag.delays(dag.min_sizes()) - dag.model.intrinsic
+        budgets = dag.model.intrinsic + spec * load
+        instances.append(
+            (dag.model, budgets, dag.lower, dag.upper, get_smp_plan(dag))
+        )
+    order = list(draw(st.permutations(range(count))))
+    cut = draw(st.integers(min_value=1, max_value=count))
+    return instances, order, cut
+
+
+class TestBatchGroupingInvariance:
+    """The batched SMP kernel is exact: which batch an instance lands
+    in — and where inside the batch — must not change its fixed point,
+    its sweep count, or its clamped set."""
+
+    @given(batched_cases())
+    @settings(deadline=None, max_examples=10,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_fixed_point_independent_of_grouping(self, case):
+        instances, order, cut = case
+        solo = [
+            solve_smp_blocked(model, budgets, lower, upper, plan)
+            for model, budgets, lower, upper, plan in instances
+        ]
+        results = [None] * len(instances)
+        for group in (order[:cut], order[cut:]):
+            if not group:
+                continue
+            models = [instances[i][0] for i in group]
+            plan = build_batched_smp_plan(
+                models, [instances[i][4] for i in group]
+            )
+            batched = solve_smp_batched(
+                models,
+                [instances[i][1] for i in group],
+                [instances[i][2] for i in group],
+                [instances[i][3] for i in group],
+                plan,
+            )
+            for i, result in zip(group, batched):
+                results[i] = result
+        for got, want in zip(results, solo):
+            assert got is not None
+            assert np.array_equal(got.x, want.x)  # bitwise, not approx
+            assert got.sweeps == want.sweeps
+            assert got.clamped == want.clamped
+
+
+@st.composite
+def job_lists(draw):
+    """2-6 campaign jobs over cheap circuits (duplicates allowed)."""
+    count = draw(st.integers(min_value=2, max_value=6))
+    return [
+        Job(
+            circuit=draw(st.sampled_from(["c17", "rca:2", "rca:4", "rca:6"])),
+            delay_spec=draw(st.sampled_from([0.6, 0.8, 1.0, 1.2])),
+            kind=draw(st.sampled_from(["sizing", "wphase"])),
+            mode=draw(st.sampled_from(["gate", "transistor"])),
+        )
+        for _ in range(count)
+    ]
+
+
+class TestCacheKeyProperties:
+    @given(job_lists(), st.integers(min_value=0, max_value=10_000))
+    @settings(**_SETTINGS)
+    def test_keys_invariant_under_job_reordering(self, jobs, seed):
+        """A job's cache key is a pure function of the job — never of
+        its position in the campaign or of its neighbours (the batched
+        executor regroups jobs, so this is what keeps batched and
+        per-job runs hitting the same cache entries)."""
+        order = np.random.default_rng(seed).permutation(len(jobs))
+        sentinel = object()  # campaign_keys only tests `cache is None`
+        forward = campaign_keys(jobs, sentinel)
+        shuffled = campaign_keys([jobs[i] for i in order], sentinel)
+        for position, i in enumerate(order):
+            assert shuffled[position] == forward[i]
+        for job, key in zip(jobs, forward):
+            assert key == job_key(job)
+
+
+_FINITE = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+_FRACTION = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@st.composite
+def sizing_results(draw):
+    """Random schema-v2 SizingResults, including the per-phase wall
+    map (with the batched-execution key) and kernel telemetry."""
+    n = draw(st.integers(min_value=1, max_value=12))
+    x = np.array(
+        draw(st.lists(
+            st.floats(min_value=0.25, max_value=64.0, allow_nan=False),
+            min_size=n, max_size=n,
+        ))
+    )
+    iterations = [
+        IterationRecord(
+            iteration=i,
+            area=draw(_FINITE),
+            critical_path_delay=draw(_FINITE),
+            predicted_gain=draw(_FINITE),
+            alpha=draw(_FRACTION),
+            accepted=draw(st.booleans()),
+            backend=draw(st.sampled_from(["ssp", "scipy", "networkx"])),
+            repropagated_vertices=draw(st.integers(0, 500)),
+            cone_fraction=draw(_FRACTION),
+            warm_start=draw(st.booleans()),
+            augmentations=draw(st.integers(0, 100)),
+            supply_routed=draw(_FINITE),
+            w_sweeps=draw(st.integers(0, 50)),
+            kernel=draw(st.sampled_from(["scalar", "vectorized"])),
+        )
+        for i in range(draw(st.integers(0, 3)))
+    ]
+    return SizingResult(
+        name=draw(st.sampled_from(["c17", "rca:8", "rand"])),
+        mode=draw(st.sampled_from(["gate", "transistor"])),
+        x=x,
+        area=draw(_FINITE),
+        critical_path_delay=draw(_FINITE),
+        target=draw(st.floats(min_value=1e-3, max_value=1e6)),
+        converged=draw(st.booleans()),
+        runtime_seconds=draw(_FINITE),
+        initial_area=draw(_FINITE),
+        iterations=iterations,
+        phase_seconds={
+            "timing": draw(_FINITE),
+            "w_phase": draw(_FINITE),
+            "batched": draw(_FINITE),
+        },
+    )
+
+
+_JSON_LEAVES = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-100, max_value=100),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=8),
+)
+_JSON_PAYLOADS = st.recursive(
+    _JSON_LEAVES,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(
+            st.one_of(
+                st.sampled_from(sorted(VOLATILE_PAYLOAD_KEYS)),
+                st.text(max_size=8),
+            ),
+            children,
+            max_size=4,
+        ),
+    ),
+    max_leaves=20,
+)
+
+
+def _volatile_keys_in(node) -> bool:
+    if isinstance(node, dict):
+        return any(key in VOLATILE_PAYLOAD_KEYS for key in node) or any(
+            _volatile_keys_in(value) for value in node.values()
+        )
+    if isinstance(node, list):
+        return any(_volatile_keys_in(value) for value in node)
+    return False
+
+
+class TestSerializeProperties:
+    @given(sizing_results())
+    @settings(**_SETTINGS)
+    def test_round_trip_identity(self, result):
+        """dict -> canonical JSON -> dict -> SizingResult -> dict is the
+        identity on schema-v2 payloads (the cache stores the first form
+        and replays must be byte-identical)."""
+        first = result_to_dict(result)
+        rebuilt = result_from_dict(json.loads(canonical_json(first)))
+        assert np.array_equal(rebuilt.x, result.x)
+        assert canonical_json(result_to_dict(rebuilt)) \
+            == canonical_json(first)
+
+    @given(_JSON_PAYLOADS)
+    @settings(**_SETTINGS)
+    def test_comparable_payload_strips_volatile_keys(self, payload):
+        """comparable_payload removes every wall-clock key at every
+        depth and is idempotent — the byte-identity checks of the
+        batched path compare exactly this normal form."""
+        stripped = comparable_payload(payload)
+        assert not _volatile_keys_in(stripped)
+        assert comparable_payload(stripped) == stripped
+        # The batched-execution telemetry keys are volatile by
+        # definition: a stacked solve legitimately times differently.
+        assert {"batched_seconds", "build_seconds"} <= VOLATILE_PAYLOAD_KEYS

@@ -70,6 +70,12 @@ class ModuleApi:
     entries: list[ApiEntry]
 
 
+#: Longest rendered signature before the argument list is elided; keeps
+#: every bullet under check_docs' line-length gate no matter how many
+#: keyword knobs an entry point grows.
+MAX_SIGNATURE = 100
+
+
 def _signature(node: ast.FunctionDef | ast.AsyncFunctionDef) -> str:
     """Compact ``name(arg, ...)`` signature (annotations dropped)."""
     args = node.args
@@ -89,7 +95,16 @@ def _signature(node: ast.FunctionDef | ast.AsyncFunctionDef) -> str:
         parts.append(f"**{args.kwarg.arg}")
     if parts and parts[0] in ("self", "cls"):
         parts = parts[1:]
-    return f"{node.name}({', '.join(parts)})"
+    text = f"{node.name}({', '.join(parts)})"
+    if len(text) <= MAX_SIGNATURE:
+        return text
+    kept: list[str] = []
+    for part in parts:
+        candidate = f"{node.name}({', '.join(kept + [part])}, …)"
+        if len(candidate) > MAX_SIGNATURE:
+            break
+        kept.append(part)
+    return f"{node.name}({', '.join(kept)}, …)"
 
 
 def _first_paragraph(doc: str | None) -> str:
