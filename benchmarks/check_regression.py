@@ -193,6 +193,13 @@ def compare_service(baseline: dict, current: dict, threshold: float) -> list[str
             f"{cur['executed_cold']} (ceiling {ceiling:.0f}) — "
             f"dedup/caching path got structurally worse"
         )
+    if not cur.get("trace_overhead_ok", True):
+        failures.append(
+            f"span instrumentation overhead on the warm path exceeds "
+            f"its ceiling (warm p50 ratio "
+            f"{cur.get('trace_overhead_ratio', 0.0):.3f}x traced vs "
+            f"untraced; gate is 1.05x with a 0.5ms absolute backstop)"
+        )
     base_speedup = base.get("speedup_warm_vs_cold")
     cur_speedup = cur.get("speedup_warm_vs_cold")
     if base_speedup and cur_speedup:

@@ -20,10 +20,15 @@ the machine-independent signals are:
   yields exactly ``burst`` admissions and structured 429s (with
   ``Retry-After``) for the rest; every request is answered.
 
+* **trace_overhead_ok** — warm p50 with span emission on stays within
+  5% of the same workload with ``trace=False`` (absolute backstop
+  0.5ms, since warm p50 is noisy on shared runners).
+
 Phases: **cold** (N unique jobs over C client threads), **warm** (the
 same jobs twice more, all hits), **fleet** (two in-process replicas on
 one shared sqlite queue + cache: jobs computed on replica A replay on
-replica B), **flood** (quota-bounded burst of async submissions).
+replica B), **flood** (quota-bounded burst of async submissions),
+**trace_overhead** (warm p50 with spans on vs ``trace=False``).
 
 Usage::
 
@@ -53,6 +58,8 @@ SCHEMA = "repro-bench-service/1"
 FLOOD_BURST = 4
 FLOOD_REQUESTS = 16
 TARGET_WARM_SPEEDUP = 2.0
+TRACE_OVERHEAD_CEILING = 1.05
+TRACE_OVERHEAD_BACKSTOP_S = 0.0005
 
 
 def _percentile(samples: list[float], q: float) -> float:
@@ -188,6 +195,45 @@ def bench_fleet(scratch: Path, unique: int) -> dict:
             box.stop()
 
 
+def bench_trace_overhead(scratch: Path, clients: int, unique: int) -> dict:
+    """Warm-path p50 with span emission on vs off (``trace=False``).
+
+    Both sides run the identical cold-then-warm workload in this
+    process; only the warm (cached) round is measured, where the
+    instrumentation is proportionally largest.  The gate is a ratio
+    with an absolute backstop — warm p50 is sub-millisecond-noisy on
+    shared CI runners, so a 5% relative ceiling alone would flap.
+    """
+
+    def warm_p50(label: str, trace: bool) -> float:
+        box = _Box(
+            jobs=1, cache=scratch / f"cache-{label}",
+            run_dir=scratch / f"run-{label}", trace=trace,
+        )
+        try:
+            client = ServiceClient(box.url, client_id=f"bench-{label}")
+            bodies = [
+                {"circuit": "c17", "delay_spec": 0.5 + i * (0.45 / unique)}
+                for i in range(unique)
+            ]
+            _run_phase(client, bodies, clients)  # cold: populate the cache
+            _, warm_lat, _ = _run_phase(client, bodies * 3, clients)
+            return _percentile(warm_lat, 0.50)
+        finally:
+            box.stop()
+
+    traced = warm_p50("traced", True)
+    bare = warm_p50("bare", False)
+    ratio = traced / bare if bare > 0 else 1.0
+    return {
+        "warm_p50_traced_ms": round(traced * 1e3, 3),
+        "warm_p50_untraced_ms": round(bare * 1e3, 3),
+        "overhead_ratio": round(ratio, 3),
+        "overhead_ok": ratio <= TRACE_OVERHEAD_CEILING
+        or (traced - bare) <= TRACE_OVERHEAD_BACKSTOP_S,
+    }
+
+
 def bench_flood(scratch: Path) -> dict:
     """Flood one client past its admission burst; count the refusals."""
     box = _Box(
@@ -229,6 +275,7 @@ def run(clients: int, unique: int, scratch: Path) -> dict:
     cold_warm = bench_cold_warm(scratch / "single", clients, unique)
     fleet = bench_fleet(scratch / "fleet", unique)
     flood = bench_flood(scratch / "flood")
+    trace_overhead = bench_trace_overhead(scratch / "trace", clients, unique)
     return {
         "schema": SCHEMA,
         "host": {
@@ -241,6 +288,7 @@ def run(clients: int, unique: int, scratch: Path) -> dict:
             "warm": cold_warm["warm"],
             "fleet": fleet,
             "flood": flood,
+            "trace_overhead": trace_overhead,
         },
         "summary": {
             "parity_ok": cold_warm["parity_ok"] and fleet["parity_ok"],
@@ -248,6 +296,8 @@ def run(clients: int, unique: int, scratch: Path) -> dict:
             "speedup_warm_vs_cold": cold_warm["speedup_warm_vs_cold"],
             "executed_cold": cold_warm["cold"]["executed"],
             "admission_ok": flood["admission_ok"],
+            "trace_overhead_ratio": trace_overhead["overhead_ratio"],
+            "trace_overhead_ok": trace_overhead["overhead_ok"],
         },
     }
 
@@ -270,6 +320,13 @@ def check(report: dict) -> list[str]:
         )
     if not summary["admission_ok"]:
         failures.append("admission control did not bound the flood")
+    if not summary.get("trace_overhead_ok", True):
+        failures.append(
+            f"span instrumentation overhead "
+            f"{summary['trace_overhead_ratio']:.3f}x on warm p50 exceeds "
+            f"{TRACE_OVERHEAD_CEILING:.2f}x (backstop "
+            f"{TRACE_OVERHEAD_BACKSTOP_S * 1e3:.1f}ms)"
+        )
     if summary["speedup_warm_vs_cold"] < TARGET_WARM_SPEEDUP:
         failures.append(
             f"warm/cold speedup {summary['speedup_warm_vs_cold']:.2f}x "
@@ -307,6 +364,11 @@ def main(argv=None) -> int:
           f"{report['phases']['fleet']['parity_ok']}, flood "
           f"{report['phases']['flood']['rejected']}/"
           f"{report['phases']['flood']['requests']} rejected")
+    trace_phase = report["phases"]["trace_overhead"]
+    print(f"[service-bench] trace overhead "
+          f"{trace_phase['overhead_ratio']}x on warm p50 "
+          f"({trace_phase['warm_p50_traced_ms']}ms traced vs "
+          f"{trace_phase['warm_p50_untraced_ms']}ms bare)")
 
     if args.out:
         Path(args.out).write_text(json.dumps(report, indent=2) + "\n")

@@ -9,6 +9,7 @@ Commands
 ``campaign``  run/resume/inspect a parallel sizing campaign (run log +
               content-addressed result cache; see ``campaign --help``)
 ``serve``     run the JSON-over-HTTP sizing service (``repro.service``)
+``trace``     render a trace.jsonl span tree as a per-job waterfall
 ``table1``    regenerate the paper's Table 1 (alias of experiments.table1)
 ``figure7``   regenerate the paper's Figure 7 (alias of experiments.figure7)
 
@@ -24,6 +25,7 @@ Examples
     python -m repro campaign resume runs/demo --jobs 4
     python -m repro campaign status runs/demo
     python -m repro serve --port 8765 --jobs 4 --run-dir runs/service
+    python -m repro trace runs/service/trace.jsonl
 
 Exit codes: 0 success; 1 infeasible target or failed campaign jobs;
 2 usage errors (unknown circuit, bad delay target, malformed run dir).
@@ -352,7 +354,46 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         quota_rate=args.quota,
         quota_burst=args.quota_burst,
         batch_drain=args.batch_drain,
+        trace=not args.no_trace,
     )
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.waterfall import trace_report
+
+    report = trace_report(
+        args.ref,
+        files=tuple(args.file or ()),
+        json_out=args.json,
+    )
+    try:
+        print(report)
+    except BrokenPipeError:
+        # Waterfalls are long; `... | head` closing the pipe is normal.
+        sys.stderr.close()
+    return 0
+
+
+def _add_trace_parser(sub) -> None:
+    p_trace = sub.add_parser(
+        "trace",
+        help="render a trace.jsonl span tree as a waterfall",
+        description="Per-job trace waterfall: pass a trace.jsonl path "
+                    "(renders its most recent trace) or a trace id "
+                    "(searched in --file, default ./trace.jsonl).  "
+                    "Shows the span tree with durations, scaled bars "
+                    "and the critical span path.",
+    )
+    p_trace.add_argument("ref",
+                         help="a trace id, or a path to a trace.jsonl")
+    p_trace.add_argument("--file", action="append", default=None,
+                         help="trace.jsonl file(s) to search when REF is "
+                              "a trace id (repeatable; default "
+                              "./trace.jsonl)")
+    p_trace.add_argument("--json", action="store_true",
+                         help="emit the span tree as JSON instead of the "
+                              "rendered waterfall")
+    p_trace.set_defaults(func=_cmd_trace)
 
 
 def _add_serve_parser(sub) -> None:
@@ -402,6 +443,10 @@ def _add_serve_parser(sub) -> None:
     p_serve.add_argument("--quota-burst", type=float, default=None,
                          help="per-client burst allowance "
                               "(default: 2x --quota)")
+    p_serve.add_argument("--no-trace", action="store_true",
+                         help="disable span tracing (metrics stay on); "
+                              "with tracing and a --run-dir, spans "
+                              "append to RUN_DIR/trace.jsonl")
     p_serve.set_defaults(func=_cmd_serve)
 
 
@@ -536,6 +581,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     _add_campaign_parser(sub)
     _add_serve_parser(sub)
+    _add_trace_parser(sub)
 
     p_t1 = sub.add_parser("table1", help="regenerate Table 1")
     p_t1.add_argument("--tier", default=None, choices=["smoke", "paper"])

@@ -1,0 +1,214 @@
+"""Render ``trace.jsonl`` span trees as waterfall reports.
+
+Backs ``python -m repro trace <trace-id|trace.jsonl>``: loads span
+records from one or more trace files, reassembles each trace's span
+tree by parent id (spans from different replicas interleave freely —
+the tree is keyed purely on ids), and renders an indented waterfall
+with per-span durations, duration bars, and the critical path (the
+chain of heaviest children from the heaviest root).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.errors import ReproError
+
+__all__ = [
+    "build_tree",
+    "critical_path",
+    "group_traces",
+    "load_spans",
+    "render_waterfall",
+    "trace_report",
+]
+
+
+def load_spans(paths: Iterable[str | Path]) -> list[dict]:
+    """Read span records from JSONL trace files, skipping malformed
+    lines and non-span records."""
+    spans: list[dict] = []
+    for path in paths:
+        path = Path(path)
+        if not path.exists():
+            raise ReproError(f"trace file not found: {path}")
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(record, dict) and record.get("type") == "span":
+                    spans.append(record)
+    return spans
+
+
+def group_traces(spans: Iterable[dict]) -> dict[str, list[dict]]:
+    """Group span records by trace id, preserving first-seen order."""
+    traces: dict[str, list[dict]] = {}
+    for record in spans:
+        trace_id = record.get("trace")
+        if trace_id:
+            traces.setdefault(str(trace_id), []).append(record)
+    return traces
+
+
+def build_tree(spans: Sequence[dict]) -> list[dict]:
+    """Assemble one trace's spans into a forest.
+
+    Returns root nodes ``{"span": record, "children": [...]}``; a span
+    whose parent id never appears becomes a root (its subtree was
+    recorded elsewhere).  Siblings sort by wall-clock start, then by
+    appearance order for ties.
+    """
+    nodes = {}
+    for i, record in enumerate(spans):
+        sid = record.get("id") or f"anon{i}"
+        nodes[sid] = {"span": record, "children": [], "_order": i}
+    roots = []
+    for node in nodes.values():
+        parent = node["span"].get("parent")
+        if parent and parent in nodes and parent != node["span"].get("id"):
+            nodes[parent]["children"].append(node)
+        else:
+            roots.append(node)
+
+    def sort_key(node: dict) -> tuple:
+        return (float(node["span"].get("ts") or 0.0), node["_order"])
+
+    def sort_rec(items: list[dict]) -> None:
+        items.sort(key=sort_key)
+        for item in items:
+            sort_rec(item["children"])
+
+    sort_rec(roots)
+    return roots
+
+
+def critical_path(root: dict) -> list[dict]:
+    """Follow the heaviest child at each level from ``root`` down."""
+    path = [root]
+    node = root
+    while node["children"]:
+        node = max(
+            node["children"],
+            key=lambda child: float(child["span"].get("duration_s") or 0.0),
+        )
+        path.append(node)
+    return path
+
+
+def _duration(node: dict) -> float:
+    return float(node["span"].get("duration_s") or 0.0)
+
+
+def _label(node: dict) -> str:
+    record = node["span"]
+    name = str(record.get("name") or "?")
+    attrs = record.get("attrs") or {}
+    job = attrs.get("job") or attrs.get("label")
+    return f"{name} [{job}]" if job else name
+
+
+def render_waterfall(trace_id: str, spans: Sequence[dict], width: int = 24) -> str:
+    """Render one trace as an indented waterfall with duration bars."""
+    roots = build_tree(spans)
+    total = sum(_duration(r) for r in roots)
+    scale = max((_duration(r) for r in roots), default=0.0)
+    lines = [
+        f"trace {trace_id} — {len(spans)} spans, "
+        f"{len(roots)} root(s), {total:.3f}s total"
+    ]
+
+    def bar(seconds: float) -> str:
+        if scale <= 0:
+            return ""
+        n = max(1, round(width * seconds / scale)) if seconds > 0 else 0
+        return "█" * min(n, width)
+
+    def walk(node: dict, prefix: str, tail: str) -> None:
+        d = _duration(node)
+        head = f"{prefix}{tail}{_label(node)}"
+        lines.append(f"{head:<48} {d:>9.3f}s  {bar(d)}")
+        children = node["children"]
+        child_prefix = prefix + ("   " if tail in ("", "└─ ") else "│  ")
+        for i, child in enumerate(children):
+            walk(child, child_prefix, "└─ " if i == len(children) - 1 else "├─ ")
+
+    for root in roots:
+        walk(root, "", "")
+    if roots:
+        heavy = max(roots, key=_duration)
+        chain = critical_path(heavy)
+        leaf = chain[-1]
+        share = 100.0 * _duration(leaf) / _duration(heavy) if _duration(heavy) > 0 else 0.0
+        names = " → ".join(_label(n) for n in chain)
+        lines.append(
+            f"critical path: {names} "
+            f"({_duration(leaf):.3f}s leaf, {share:.0f}% of root)"
+        )
+    return "\n".join(lines)
+
+
+def _tree_json(node: dict) -> dict:
+    return {
+        "span": node["span"],
+        "children": [_tree_json(child) for child in node["children"]],
+    }
+
+
+def trace_report(
+    ref: str,
+    files: Sequence[str | Path] = (),
+    json_out: bool = False,
+) -> str:
+    """Build the ``python -m repro trace`` report.
+
+    ``ref`` is either a path to a ``trace.jsonl`` file (the most
+    recent trace in it is rendered) or a trace id looked up in
+    ``files`` (default ``trace.jsonl`` in the working directory).
+    Raises :class:`~repro.errors.ReproError` when nothing matches.
+    """
+    paths = [Path(f) for f in files]
+    ref_path = Path(ref)
+    trace_id = None
+    if ref_path.exists() or ref.endswith(".jsonl"):
+        paths.insert(0, ref_path)
+    else:
+        trace_id = ref
+        if not paths:
+            paths = [Path("trace.jsonl")]
+    traces = group_traces(load_spans(paths))
+    if not traces:
+        raise ReproError(f"no spans found in {', '.join(str(p) for p in paths)}")
+    if trace_id is None:
+        trace_id = max(
+            traces,
+            key=lambda tid: max(float(s.get("ts") or 0.0) for s in traces[tid]),
+        )
+    if trace_id not in traces:
+        raise ReproError(
+            f"trace {trace_id!r} not found "
+            f"({len(traces)} trace(s) in {', '.join(str(p) for p in paths)})"
+        )
+    spans = traces[trace_id]
+    if json_out:
+        return json.dumps(
+            {
+                "trace": trace_id,
+                "n_spans": len(spans),
+                "tree": [_tree_json(r) for r in build_tree(spans)],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    report = render_waterfall(trace_id, spans)
+    others = len(traces) - 1
+    if others:
+        report += f"\n({others} other trace(s) in the same file(s))"
+    return report

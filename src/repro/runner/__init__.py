@@ -104,33 +104,45 @@ def run(
     timeout: float | None = None,
     append_log: bool = False,
     batch: bool = False,
+    trace: bool = True,
 ) -> CampaignResult:
     """Run a campaign end to end: cache probe, pool, JSONL streaming.
 
     ``cache`` may be a :class:`ResultCache`, a directory path, or None
     to disable caching entirely; ``run_dir`` (optional) receives the
-    ``campaign.jsonl`` run log that makes the campaign resumable;
-    ``batch`` fuses compatible batchable jobs into stacked kernel
-    calls (bit-identical per-job results, see
-    :func:`repro.runner.executor.run_campaign`).
+    ``campaign.jsonl`` run log that makes the campaign resumable plus
+    (with ``trace=True``) a ``trace.jsonl`` of per-job span trees
+    readable by ``python -m repro trace``; ``batch`` fuses compatible
+    batchable jobs into stacked kernel calls (bit-identical per-job
+    results, see :func:`repro.runner.executor.run_campaign`).
     """
     if cache is not None and not isinstance(cache, ResultCache):
         cache = ResultCache(cache)
     job_list = spec.jobs()
     keys = campaign_keys(job_list, cache)
     log = None
+    trace_sink = None
     if run_dir is not None:
         log = RunLog(run_dir, append=append_log)
         log.write_header(spec, job_list, keys)
-    return run_campaign(
-        spec,
-        jobs=jobs,
-        cache=cache,
-        timeout=timeout,
-        on_outcome=log.record if log is not None else None,
-        keys=keys,
-        batch=batch,
-    )
+        if trace:
+            from repro.obs.trace import SpanSink
+
+            trace_sink = SpanSink(Path(run_dir) / "trace.jsonl")
+    try:
+        return run_campaign(
+            spec,
+            jobs=jobs,
+            cache=cache,
+            timeout=timeout,
+            on_outcome=log.record if log is not None else None,
+            keys=keys,
+            batch=batch,
+            trace_sink=trace_sink,
+        )
+    finally:
+        if trace_sink is not None:
+            trace_sink.close()
 
 
 def resume(

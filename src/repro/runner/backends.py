@@ -43,6 +43,7 @@ from pathlib import Path
 from typing import Iterator, Protocol, runtime_checkable
 
 from repro.errors import RunnerError
+from repro.obs.metrics import get_registry
 
 __all__ = [
     "CacheBackend",
@@ -51,6 +52,16 @@ __all__ = [
     "TieredBackend",
     "open_backend",
 ]
+
+#: Per-tier probe outcomes for tiered caches, in the process-global
+#: registry (see ``repro_cache_probe_total`` in
+#: :mod:`repro.runner.cache` for the per-backend totals).
+_TIER_PROBES = get_registry().counter(
+    "repro_cache_tier_probe_total",
+    "Tiered-cache probes by tier and outcome; a shared-tier hit is "
+    "promoted into the local tier.",
+    ("tier", "result"),
+)
 
 
 @runtime_checkable
@@ -267,10 +278,15 @@ class TieredBackend:
         """L1 probe, then L2 with promotion into L1 on a hit."""
         entry = self.local.get(key)
         if entry is not None:
+            _TIER_PROBES.inc(tier="local", result="hit")
             return entry
+        _TIER_PROBES.inc(tier="local", result="miss")
         entry = self.shared.get(key)
         if entry is not None:
+            _TIER_PROBES.inc(tier="shared", result="hit")
             self.local.put(key, entry)
+        else:
+            _TIER_PROBES.inc(tier="shared", result="miss")
         return entry
 
     def put(self, key: str, payload: dict) -> None:

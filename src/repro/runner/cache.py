@@ -31,12 +31,22 @@ from dataclasses import asdict
 from pathlib import Path
 
 from repro.circuit.bench_io import dumps_bench
+from repro.obs.metrics import get_registry
 from repro.runner.backends import CacheBackend, DiskBackend, open_backend
 from repro.runner.spec import Job, resolve_circuit
 from repro.sizing import serialize
 from repro.tech import default_technology
 
 __all__ = ["CACHE_LAYOUT_VERSION", "ResultCache", "job_key", "netlist_digest"]
+
+#: Probe outcomes per backend scheme, in the process-global registry
+#: (the cache outlives any one service instance; ``/v1/metrics``
+#: concatenates this registry with the service's own).
+_PROBES = get_registry().counter(
+    "repro_cache_probe_total",
+    "Result-cache probes by backend scheme and outcome.",
+    ("backend", "result"),
+)
 
 #: Version of the cache entry layout itself (bump to orphan every
 #: existing entry when the payload structure changes incompatibly).
@@ -91,6 +101,7 @@ class ResultCache:
             self.backend = open_backend(store)
         else:
             self.backend = store
+        self._scheme = self.backend.describe().partition(":")[0]
 
     @property
     def root(self) -> Path | str:
@@ -115,6 +126,14 @@ class ResultCache:
 
     def get(self, key: str) -> dict | None:
         """The cached payload for ``key``, or None on any kind of miss."""
+        payload = self._get(key)
+        _PROBES.inc(
+            backend=self._scheme,
+            result="hit" if payload is not None else "miss",
+        )
+        return payload
+
+    def _get(self, key: str) -> dict | None:
         entry = self.backend.get(key)
         if entry is None:
             return None

@@ -41,9 +41,20 @@ import threading
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import asdict, dataclass, field
+from contextlib import nullcontext
+from dataclasses import asdict, dataclass, field, replace
 
 from repro.errors import JobTimeoutError, ReproError
+from repro.obs.trace import (
+    SpanSink,
+    current_carrier,
+    current_trace,
+    emit_obs,
+    new_span_id,
+    new_trace_id,
+    span,
+    trace_scope,
+)
 from repro.runner.cache import ResultCache, job_key, netlist_digest
 from repro.runner.spec import CampaignSpec, Job, resolve_circuit
 
@@ -97,6 +108,18 @@ class JobOutcome:
     #: Wall time of the shared stacked solve for the whole batch (every
     #: member outcome reports the same figure; 0.0 outside a batch).
     batched_seconds: float = 0.0
+    #: Monotonic execution duration in seconds (``perf_counter``-based,
+    #: immune to wall-clock steps — never negative).  Defaults to
+    #: ``wall_seconds``, which is already monotonic; surfaces that
+    #: measure a longer lifecycle (the service job stores) override it.
+    duration_s: float | None = None
+    #: Trace id of the execution that produced this outcome (None when
+    #: tracing is off); volatile telemetry, never part of the payload.
+    trace_id: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.duration_s is None:
+            object.__setattr__(self, "duration_s", self.wall_seconds)
 
     @property
     def completed(self) -> bool:
@@ -164,7 +187,9 @@ def _execute_sizing(job: Job) -> tuple[str, dict]:
         "min_area": dag.area(x_min),
     }
     with stats_scope() as flow_stats:
-        seed = tilos_size(dag, target, timer=timer)
+        with span("tilos.seed", circuit=job.circuit) as seed_span:
+            seed = tilos_size(dag, target, timer=timer)
+            seed_span.set(iterations=seed.iterations, feasible=seed.feasible)
         payload["seed"] = {
             "feasible": seed.feasible,
             "area": seed.area,
@@ -176,9 +201,11 @@ def _execute_sizing(job: Job) -> tuple[str, dict]:
         if not seed.feasible:
             payload["result"] = None
         else:
-            result = minflotransit(
-                dag, target, options=job.minflo_options(), x0=seed.x
-            )
+            with span("minflo", circuit=job.circuit) as minflo_span:
+                result = minflotransit(
+                    dag, target, options=job.minflo_options(), x0=seed.x
+                )
+                minflo_span.set(iterations=len(result.iterations))
             payload["result"] = result_to_dict(result)
     payload["flow_stats"] = {
         name: asdict(stats) for name, stats in sorted(flow_stats.items())
@@ -307,9 +334,12 @@ def _execute_wphase(job: Job) -> tuple[str, dict]:
     """Solve one W-phase SMP instance (the batchable kernel workload)."""
     from repro.sizing import w_phase
 
-    circuit, dag, load_delay = _wphase_context(job)
+    with span("wphase.context", circuit=job.circuit):
+        circuit, dag, load_delay = _wphase_context(job)
     budgets = _wphase_budgets(dag, load_delay, job.delay_spec)
-    result = w_phase(dag, budgets)
+    with span("wphase.smp", circuit=job.circuit) as smp_span:
+        result = w_phase(dag, budgets)
+        smp_span.set(sweeps=int(result.sweeps), engine=result.engine)
     return _wphase_payload(job, circuit, dag, budgets, result)
 
 
@@ -348,24 +378,53 @@ def _with_timeout(fn, timeout: float | None):
 
 
 def pool_entry(
-    job: Job, timeout: float | None
-) -> tuple[str, dict | None, str | None, float]:
+    job: Job, timeout: float | None, trace: dict | None = None
+) -> tuple[str, dict | None, str | None, float, dict | None]:
     """Worker-side wrapper: isolate failures, enforce the timeout.
 
-    Returns ``(status, payload, error, wall_seconds)`` — a plain tuple
-    of primitives so it pickles cleanly back across the process pool.
-    The campaign pool and the sizing service both submit this exact
-    callable, which is what keeps their results identical.
+    Returns ``(status, payload, error, wall_seconds, obs)`` — a plain
+    tuple of primitives so it pickles cleanly back across the process
+    pool.  The campaign pool and the sizing service both submit this
+    exact callable, which is what keeps their results identical.
+
+    ``trace`` is an optional :func:`~repro.obs.trace.current_carrier`
+    dict; when given, the job executes inside the propagated trace
+    context, its spans (``job.execute`` plus every solver-phase span
+    underneath) buffer in-process, and ``obs`` carries them back as
+    ``{"spans": [...]}`` for the parent to merge — how span parentage
+    survives the forkserver boundary.  With ``trace=None`` no context
+    is created and ``obs`` is None: tracing costs nothing when off.
     """
     start = time.perf_counter()
+    sink = SpanSink() if trace is not None else None
+    scope = (
+        trace_scope(
+            sink=sink,
+            trace_id=trace.get("trace_id"),
+            parent_id=trace.get("parent_id"),
+        )
+        if sink is not None
+        else nullcontext()
+    )
+    status: str
+    payload: dict | None = None
+    error: str | None = None
     try:
-        status, payload = _with_timeout(lambda: execute_job(job), timeout)
-        return status, payload, None, time.perf_counter() - start
+        with scope:
+            with span(
+                "job.execute",
+                kind=job.kind,
+                circuit=job.circuit,
+                delay_spec=job.delay_spec,
+            ):
+                status, payload = _with_timeout(lambda: execute_job(job), timeout)
     except JobTimeoutError as exc:
-        return "timeout", None, str(exc), time.perf_counter() - start
+        status, error = "timeout", str(exc)
     except Exception as exc:  # noqa: BLE001 — isolation is the point
-        detail = f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
-        return "failed", None, detail, time.perf_counter() - start
+        status = "failed"
+        error = f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+    obs = {"spans": sink.drain()} if sink is not None else None
+    return status, payload, error, time.perf_counter() - start, obs
 
 
 # -- batched execution (stacked kernel call, runs in the worker) ------
@@ -396,15 +455,21 @@ def batch_groups(
 
 
 def batch_entry(
-    jobs: list[Job], timeout: float | None
-) -> list[tuple[str, dict | None, str | None, float, float]]:
+    jobs: list[Job], timeout: float | None, traces: list[dict | None] | None = None
+) -> list[tuple[str, dict | None, str | None, float, float, dict | None]]:
     """Run a compatible job group through one stacked kernel call.
 
     The batched twin of :func:`pool_entry`: returns one
-    ``(status, payload, error, wall_seconds, batched_seconds)`` tuple
-    of primitives per job, in job order, so it pickles cleanly across
-    a process pool.  ``batched_seconds`` is the shared stacked-solve
-    wall time (0.0 when that job was served by the per-job fallback).
+    ``(status, payload, error, wall_seconds, batched_seconds, obs)``
+    tuple of primitives per job, in job order, so it pickles cleanly
+    across a process pool.  ``batched_seconds`` is the shared
+    stacked-solve wall time (0.0 when that job was served by the
+    per-job fallback).  ``traces`` optionally carries one
+    :func:`~repro.obs.trace.current_carrier` dict per job; each traced
+    job's ``obs`` blob ships its spans back (``batch.setup`` under its
+    own budget, plus a ``batch.solve_share`` span whose duration is
+    the job's *amortized share* of the stacked solve, so a parent
+    span's children never sum past the parent).
 
     Failure isolation works in three layers:
 
@@ -428,6 +493,25 @@ def batch_entry(
     setup_seconds = [0.0] * n
     contexts: dict[tuple[str, str], tuple] = {}
     prepared: dict[int, tuple] = {}
+    traces = list(traces) if traces else [None] * n
+    sinks: list[SpanSink | None] = [
+        SpanSink() if carrier else None for carrier in traces
+    ]
+
+    def job_scope(pos: int):
+        carrier = traces[pos]
+        if carrier is None:
+            return nullcontext()
+        return trace_scope(
+            sink=sinks[pos],
+            trace_id=carrier.get("trace_id"),
+            parent_id=carrier.get("parent_id"),
+        )
+
+    def job_obs(pos: int) -> dict | None:
+        sink = sinks[pos]
+        return {"spans": sink.drain()} if sink is not None else None
+
     for pos, job in enumerate(jobs):
         start = time.perf_counter()
 
@@ -444,22 +528,26 @@ def batch_entry(
             return circuit, dag, budgets, get_smp_plan(dag)
 
         try:
-            prepared[pos] = _with_timeout(setup, timeout)
+            with job_scope(pos):
+                with span("batch.setup", circuit=job.circuit):
+                    prepared[pos] = _with_timeout(setup, timeout)
             setup_seconds[pos] = time.perf_counter() - start
         except JobTimeoutError as exc:
             raws[pos] = (
                 "timeout", None, str(exc),
-                time.perf_counter() - start, 0.0,
+                time.perf_counter() - start, 0.0, job_obs(pos),
             )
         except Exception as exc:  # noqa: BLE001 — isolation is the point
             detail = f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
             raws[pos] = (
-                "failed", None, detail, time.perf_counter() - start, 0.0,
+                "failed", None, detail,
+                time.perf_counter() - start, 0.0, job_obs(pos),
             )
 
     live = sorted(prepared)
     solved = None
     batched_seconds = 0.0
+    solve_wall = time.time()
     if live:
         solve_start = time.perf_counter()
 
@@ -496,8 +584,31 @@ def batch_entry(
             # Stacked solve unavailable (failed, timed out) or this
             # instance did not converge: the isolated per-job path is
             # the authority, including its error text.
-            raws[pos] = pool_entry(job, timeout) + (0.0,)
+            status, payload, error, wall, fallback_obs = pool_entry(
+                job, timeout, traces[pos]
+            )
+            if fallback_obs and sinks[pos] is not None:
+                sinks[pos].emit_many(fallback_obs.get("spans") or ())
+            raws[pos] = (status, payload, error, wall, 0.0, job_obs(pos))
             continue
+        carrier = traces[pos]
+        if carrier is not None:
+            # The stacked solve served every live job at once; each
+            # traced job records its amortized share so per-parent
+            # child durations stay <= the parent's.
+            sinks[pos].emit({
+                "type": "span",
+                "trace": carrier.get("trace_id"),
+                "id": new_span_id(),
+                "parent": carrier.get("parent_id"),
+                "name": "batch.solve_share",
+                "ts": solve_wall,
+                "duration_s": batched_seconds / len(live),
+                "attrs": {
+                    "batch_size": len(live),
+                    "batched_seconds": batched_seconds,
+                },
+            })
         start = time.perf_counter()
         try:
             circuit, dag, budgets, _plan = prepared[pos]
@@ -507,13 +618,15 @@ def batch_entry(
                 + batched_seconds / len(live)
                 + (time.perf_counter() - start)
             )
-            raws[pos] = (status, payload, None, wall, batched_seconds)
+            raws[pos] = (
+                status, payload, None, wall, batched_seconds, job_obs(pos),
+            )
         except Exception as exc:  # noqa: BLE001 — isolation is the point
             detail = f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
             raws[pos] = (
                 "failed", None, detail,
                 setup_seconds[pos] + (time.perf_counter() - start),
-                batched_seconds,
+                batched_seconds, job_obs(pos),
             )
     return raws
 
@@ -601,10 +714,16 @@ def run_one(
     """
     if key is _UNRESOLVED:
         key = campaign_keys([job], cache)[0]
+    ctx = current_trace()
     hit = probe_cache(job, key, cache, index=index)
     if hit is not None:
+        if ctx is not None:
+            hit = replace(hit, trace_id=ctx.trace_id)
         return hit
-    status, payload, error, wall = pool_entry(job, timeout)
+    status, payload, error, wall, obs = pool_entry(
+        job, timeout, current_carrier()
+    )
+    emit_obs(obs)
     outcome = JobOutcome(
         index=index,
         job=job,
@@ -614,6 +733,7 @@ def run_one(
         wall_seconds=wall,
         payload=payload,
         error=error,
+        trace_id=ctx.trace_id if ctx is not None else None,
     )
     store_outcome(outcome, cache)
     return outcome
@@ -655,6 +775,7 @@ def run_campaign(
     on_outcome=None,
     keys: list[str | None] | None = None,
     batch: bool = False,
+    trace_sink: SpanSink | None = None,
 ) -> CampaignResult:
     """Run a campaign; returns outcomes in job-expansion order.
 
@@ -674,6 +795,13 @@ def run_campaign(
     leftovers take the ordinary per-job paths below.  Per-job results
     are bit-identical either way; only the :class:`JobOutcome` batch
     telemetry differs.
+
+    ``trace_sink`` enables tracing: every job gets its own trace id
+    and a root ``job`` span; worker-side spans ship back through the
+    result tuples and land in the sink (the run directory's
+    ``trace.jsonl``) as children of that root.  Payloads, cache
+    entries and the run digest are byte-identical with tracing on or
+    off.
     """
     if isinstance(spec, CampaignSpec):
         name = spec.name
@@ -687,7 +815,40 @@ def run_campaign(
     result = CampaignResult(name=name)
     slots: list[JobOutcome | None] = [None] * len(job_list)
 
-    def finish(outcome: JobOutcome) -> None:
+    tracing = trace_sink is not None
+    trace_ids: dict[int, tuple[str, str]] = (
+        {i: (new_trace_id(), new_span_id()) for i in range(len(job_list))}
+        if tracing
+        else {}
+    )
+
+    def carrier_for(index: int) -> dict | None:
+        if not tracing:
+            return None
+        trace_id, root_id = trace_ids[index]
+        return {"trace_id": trace_id, "parent_id": root_id}
+
+    def finish(outcome: JobOutcome, obs: dict | None = None) -> None:
+        if tracing:
+            trace_id, root_id = trace_ids[outcome.index]
+            outcome = replace(outcome, trace_id=trace_id)
+            records = list((obs or {}).get("spans") or ())
+            records.append({
+                "type": "span",
+                "trace": trace_id,
+                "id": root_id,
+                "parent": None,
+                "name": "job",
+                "ts": time.time() - outcome.wall_seconds,
+                "duration_s": outcome.wall_seconds,
+                "attrs": {
+                    "index": outcome.index,
+                    "label": outcome.job.label(),
+                    "status": outcome.status,
+                    "cached": outcome.cached,
+                },
+            })
+            trace_sink.emit_many(records)
         slots[outcome.index] = outcome
         store_outcome(outcome, cache)
         if on_outcome is not None:
@@ -705,9 +866,13 @@ def run_campaign(
     if batch and pending:
         groups, pending = batch_groups(pending)
         for group in groups:
-            raws = batch_entry([job for _, job, _ in group], timeout)
+            raws = batch_entry(
+                [job for _, job, _ in group],
+                timeout,
+                traces=[carrier_for(index) for index, _, _ in group],
+            )
             for (index, job, key), raw in zip(group, raws):
-                status, payload, error, wall, batched_seconds = raw
+                status, payload, error, wall, batched_seconds, obs = raw
                 finish(JobOutcome(
                     index=index,
                     job=job,
@@ -721,11 +886,13 @@ def run_campaign(
                     # that outcome was not produced by the stacked call.
                     batch_size=len(group) if batched_seconds > 0.0 else 0,
                     batched_seconds=batched_seconds,
-                ))
+                ), obs)
 
     if pending and jobs <= 1:
         for index, job, key in pending:
-            status, payload, error, wall = pool_entry(job, timeout)
+            status, payload, error, wall, obs = pool_entry(
+                job, timeout, carrier_for(index)
+            )
             finish(JobOutcome(
                 index=index,
                 job=job,
@@ -735,11 +902,12 @@ def run_campaign(
                 wall_seconds=wall,
                 payload=payload,
                 error=error,
-            ))
+            ), obs)
     elif pending:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = {
-                pool.submit(pool_entry, job, timeout): (index, job, key)
+                pool.submit(pool_entry, job, timeout, carrier_for(index)):
+                    (index, job, key)
                 for index, job, key in pending
             }
             remaining = set(futures)
@@ -747,8 +915,9 @@ def run_campaign(
                 done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                 for future in done:
                     index, job, key = futures[future]
+                    obs = None
                     try:
-                        status, payload, error, wall = future.result()
+                        status, payload, error, wall, obs = future.result()
                     except Exception as exc:  # pool broke under this job
                         status, payload, wall = "failed", None, 0.0
                         error = f"{type(exc).__name__}: {exc}"
@@ -761,7 +930,7 @@ def run_campaign(
                         wall_seconds=wall,
                         payload=payload,
                         error=error,
-                    ))
+                    ), obs)
 
     result.outcomes = [slot for slot in slots if slot is not None]
     return result

@@ -120,9 +120,12 @@ class RunLog:
             "status": outcome.status,
             "cached": outcome.cached,
             "wall_seconds": outcome.wall_seconds,
+            "duration_s": outcome.duration_s,
             "summary": job_summary(outcome),
             "error": outcome.error,
         }
+        if outcome.trace_id is not None:
+            record["trace_id"] = outcome.trace_id
         if outcome.batch_size:
             record["batch_size"] = outcome.batch_size
             record["batched_seconds"] = outcome.batched_seconds

@@ -86,6 +86,7 @@ class AdmissionController:
         max_queue_depth: int | None = None,
         quota_rate: float | None = None,
         quota_burst: float | None = None,
+        metrics=None,
     ):
         if max_queue_depth is not None and max_queue_depth < 1:
             raise ServiceError(
@@ -99,8 +100,18 @@ class AdmissionController:
         )
         self._buckets: dict[str, TokenBucket] = {}
         self._lock = threading.Lock()
-        self._rejected_depth = 0
-        self._rejected_quota = 0
+        # Rejection tallies live in a metrics registry when one is
+        # given (``repro_admission_rejections_total{reason}``) so
+        # /v1/stats and /v1/metrics read the same locked counters.
+        if metrics is None:
+            from repro.obs.metrics import MetricsRegistry
+
+            metrics = MetricsRegistry()
+        self._m_rejected = metrics.counter(
+            "repro_admission_rejections_total",
+            "Submissions refused by admission control, by reason.",
+            ("reason",),
+        )
         #: Exponential moving average of seconds per drained job, the
         #: Retry-After estimate for depth rejections.
         self._drain_ema: float | None = None
@@ -118,15 +129,15 @@ class AdmissionController:
                 self._drain_ema = 0.8 * self._drain_ema + 0.2 * wall_seconds
 
     def counters(self) -> dict:
-        """Rejection counters for ``/v1/stats``."""
-        with self._lock:
-            return {
-                "rejected_depth": self._rejected_depth,
-                "rejected_quota": self._rejected_quota,
-                "max_queue_depth": self.max_queue_depth,
-                "quota_rate": self.quota_rate,
-                "quota_burst": self.quota_burst,
-            }
+        """Rejection counters for ``/v1/stats`` (a view over the
+        metrics registry)."""
+        return {
+            "rejected_depth": int(self._m_rejected.value(reason="depth")),
+            "rejected_quota": int(self._m_rejected.value(reason="quota")),
+            "max_queue_depth": self.max_queue_depth,
+            "quota_rate": self.quota_rate,
+            "quota_burst": self.quota_burst,
+        }
 
     # -- the gate ------------------------------------------------------
 
@@ -140,8 +151,8 @@ class AdmissionController:
         if self.max_queue_depth is not None and (
             depth >= self.max_queue_depth
         ):
+            self._m_rejected.inc(reason="depth")
             with self._lock:
-                self._rejected_depth += 1
                 ema = self._drain_ema
             retry_after = max(1.0, (ema or 1.0))
             raise ServiceError(
@@ -155,8 +166,7 @@ class AdmissionController:
             bucket = self._bucket(client or "(anonymous)")
             wait = bucket.consume()
             if wait > 0.0:
-                with self._lock:
-                    self._rejected_quota += 1
+                self._m_rejected.inc(reason="quota")
                 raise ServiceError(
                     f"client quota exhausted "
                     f"({self.quota_rate:g} requests/s, burst "

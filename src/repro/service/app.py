@@ -35,6 +35,17 @@ Admission control (:class:`~repro.service.admission.AdmissionController`)
 bounds the shared backlog and rate-limits individual clients in both
 modes; cache hits bypass admission, because replaying a stored result
 consumes no worker.
+
+Observability (:mod:`repro.obs`): every service counter lives in a
+locked :class:`~repro.obs.metrics.MetricsRegistry` — ``/v1/stats`` and
+the Prometheus exposition at ``/v1/metrics`` are two views over the
+same registry, so they can never disagree.  With tracing enabled
+(default), each request runs in a trace context: submission spans
+(``service.admit``, ``cache.probe``) land in the run directory's
+``trace.jsonl``, worker-side solver spans ship back through the result
+tuples, and in queue mode the row carries ``trace_id-root_span_id``
+so whichever replica drains the job parents its ``queue.wait`` and
+execution spans under the submitter's root — one trace id end to end.
 """
 
 from __future__ import annotations
@@ -48,12 +59,24 @@ import tempfile
 import threading
 import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import nullcontext
+from dataclasses import replace
 from pathlib import Path
 from typing import Iterator
 
 from repro.circuit.bench_io import loads_bench
 from repro.errors import ReproError, ServiceError
 from repro.flow.registry import get_backend
+from repro.obs.metrics import MetricsRegistry, get_registry, observe_spans
+from repro.obs.trace import (
+    SpanSink,
+    current_carrier,
+    current_trace,
+    format_trace_header,
+    new_span_id,
+    span,
+    trace_scope,
+)
 from repro.runner import DEFAULT_CACHE_DIR
 from repro.runner.cache import ResultCache, job_key, netlist_digest
 from repro.runner.executor import (
@@ -216,6 +239,10 @@ class SizingService:
     (kind ``wphase``) into one stacked kernel call
     (:func:`~repro.runner.executor.batch_entry`); per-job results are
     bit-identical to the single-lease loop.
+
+    ``trace=False`` disables span collection entirely (``--no-trace``;
+    metrics stay on — they are nearly free).  With tracing on and a
+    ``run_dir``, spans append to ``run_dir/trace.jsonl``.
     """
 
     def __init__(
@@ -231,6 +258,7 @@ class SizingService:
         visibility_timeout: float = 600.0,
         sync_wait: float = 300.0,
         batch_drain: int | None = None,
+        trace: bool = True,
     ):
         if jobs < 1:
             raise ServiceError(f"jobs must be >= 1, got {jobs}", status=500)
@@ -246,10 +274,60 @@ class SizingService:
         self.timeout = timeout
         self.sync_wait = sync_wait
         self.run_dir = Path(run_dir) if run_dir is not None else None
+        self.trace = bool(trace)
+        self.trace_sink = (
+            SpanSink(self.run_dir / "trace.jsonl")
+            if (self.trace and self.run_dir is not None)
+            else None
+        )
+        self.metrics = MetricsRegistry()
+        self._m_cache_hits = self.metrics.counter(
+            "repro_cache_hits_total",
+            "Requests served by replaying a stored result (no worker used).",
+        )
+        self._m_executed = self.metrics.counter(
+            "repro_jobs_executed_total",
+            "Jobs executed to completion by this replica (cache misses).",
+        )
+        self._m_finished = self.metrics.counter(
+            "repro_jobs_finished_total",
+            "Executed jobs by terminal status.",
+            ("status",),
+        )
+        self._m_batched = self.metrics.counter(
+            "repro_batched_jobs_total",
+            "Executed jobs served by a stacked batch solve.",
+        )
+        self._m_batch_size = self.metrics.histogram(
+            "repro_batch_size",
+            "Jobs fused per stacked batch solve.",
+            buckets=(1, 2, 4, 8, 16, 32, 64),
+        )
+        self._m_job_seconds = self.metrics.histogram(
+            "repro_job_seconds",
+            "Monotonic execution seconds per job.",
+            ("kind",),
+        )
+        self._m_flow = self.metrics.gauge(
+            "repro_flow_stat",
+            "Accumulated per-backend flow-solver statistics.",
+            ("backend", "field"),
+        )
+        self._m_queue_depth = self.metrics.gauge(
+            "repro_queue_depth",
+            "Admitted-but-unfinished jobs (sampled at scrape time).",
+        )
+        self._m_http = self.metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by method, route and status code.",
+            ("method", "route", "code"),
+        )
         self.queue_path = Path(queue) if queue is not None else None
         if self.queue_path is not None:
             self.store: JobStore | WorkQueue = WorkQueue(
-                self.queue_path, visibility_timeout=visibility_timeout
+                self.queue_path,
+                visibility_timeout=visibility_timeout,
+                metrics=self.metrics,
             )
         else:
             self.store = JobStore(self.run_dir)
@@ -257,6 +335,7 @@ class SizingService:
             max_queue_depth=max_queue_depth,
             quota_rate=quota_rate,
             quota_burst=quota_burst,
+            metrics=self.metrics,
         )
         if self.run_dir is not None:
             self._netlist_dir = self.run_dir / "netlists"
@@ -266,11 +345,7 @@ class SizingService:
             )
         self._pool = self._make_pool(jobs, timeout)
         self._lock = threading.Lock()
-        self._flow_totals: dict[str, dict] = {}
         self._digests: dict[str, str] = {}
-        self._cache_hits = 0
-        self._executed = 0
-        self._batched_jobs = 0
         self._started_at = time.time()
         self._stop = threading.Event()
         self._drainers: list[threading.Thread] = []
@@ -306,6 +381,18 @@ class SizingService:
 
     # -- request handling ---------------------------------------------
 
+    def _request_scope(self):
+        """A trace context for one request.
+
+        The HTTP layer normally establishes the scope (resuming the
+        client's ``X-Repro-Trace``); this makes direct
+        :meth:`size_sync`/:meth:`size_async` callers traced too, and
+        is a no-op when a scope is already active or tracing is off.
+        """
+        if not self.trace or current_trace() is not None:
+            return nullcontext()
+        return trace_scope(sink=self.trace_sink)
+
     def _admit(
         self, body: dict, client: str | None = None,
     ) -> tuple[JobRecord, JobOutcome | None]:
@@ -318,16 +405,34 @@ class SizingService:
         result consumes no worker, so warm traffic is never bounced by
         a full queue or an exhausted quota.
         """
-        job = build_job(body, self._netlist_dir)
-        sha = self._netlist_sha(job.circuit)
-        key = None if self.cache is None else job_key(job, netlist_sha=sha)
-        hit = probe_cache(job, key, self.cache)
-        if hit is None:
-            self.admission.admit(client, self.store.depth())
-        record = self.store.create(job, key, client)
+        with span("service.admit"):
+            job = build_job(body, self._netlist_dir)
+            sha = self._netlist_sha(job.circuit)
+            key = (
+                None if self.cache is None else job_key(job, netlist_sha=sha)
+            )
+            with span("cache.probe") as probe_span:
+                hit = probe_cache(job, key, self.cache)
+                probe_span.set(hit=hit is not None)
+            if hit is None:
+                self.admission.admit(client, self.store.depth())
+        trace_ref = None
+        ctx = current_trace()
+        if ctx is not None:
+            if self.queue_path is not None and hit is None:
+                # Allocate the job's lifecycle root span *here*, in the
+                # submitting replica; the row carries trace_id-root_id
+                # so whichever replica drains it parents queue-wait and
+                # execution spans under this root — one trace end to
+                # end across the fleet.
+                trace_ref = format_trace_header(ctx.trace_id, new_span_id())
+            else:
+                trace_ref = ctx.trace_id
+        record = self.store.create(job, key, client, trace=trace_ref)
         if hit is not None:
-            with self._lock:
-                self._cache_hits += 1
+            self._m_cache_hits.inc()
+            if ctx is not None:
+                hit = replace(hit, trace_id=ctx.trace_id)
             self.store.finish(record.id, hit)
         return record, hit
 
@@ -362,36 +467,67 @@ class SizingService:
                 self._digests[token] = sha
         return sha
 
-    def _finish(self, record: JobRecord, outcome: JobOutcome) -> JobRecord:
-        """Store + account one freshly executed outcome."""
+    def _finish(
+        self,
+        record: JobRecord,
+        outcome: JobOutcome,
+        obs: dict | None = None,
+    ) -> JobRecord:
+        """Store + account one freshly executed outcome.
+
+        All counters go through the metrics registry — ``/v1/stats``
+        and ``/v1/metrics`` read the identical cells.  ``obs`` is the
+        worker-side span bundle shipped back in the result tuple; its
+        spans are folded into the phase-seconds metrics and appended to
+        this replica's ``trace.jsonl``.
+        """
         store_outcome(outcome, self.cache)
         self.admission.observe_drain(outcome.wall_seconds)
-        with self._lock:
-            self._executed += 1
-            if outcome.batch_size:
-                self._batched_jobs += 1
-            for name, stats in (
-                (outcome.payload or {}).get("flow_stats") or {}
-            ).items():
-                total = self._flow_totals.setdefault(name, {})
-                for field_name, value in stats.items():
-                    if isinstance(value, (int, float)):
-                        total[field_name] = total.get(field_name, 0) + value
+        self._m_executed.inc()
+        self._m_finished.inc(status=outcome.status)
+        self._m_job_seconds.observe(
+            outcome.duration_s
+            if outcome.duration_s is not None
+            else outcome.wall_seconds,
+            kind=outcome.job.kind,
+        )
+        if outcome.batch_size:
+            self._m_batched.inc()
+            self._m_batch_size.observe(outcome.batch_size)
+        for name, stats in (
+            (outcome.payload or {}).get("flow_stats") or {}
+        ).items():
+            for field_name, value in stats.items():
+                if isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                ):
+                    self._m_flow.add(value, backend=name, field=field_name)
+        spans = (obs or {}).get("spans") or ()
+        if spans:
+            observe_spans(self.metrics, spans)
+            if self.trace_sink is not None:
+                self.trace_sink.emit_many(spans)
         return self.store.finish(record.id, outcome)
 
     def _outcome_from(
         self, record: JobRecord, raw: tuple, batch: int = 0
-    ) -> JobOutcome:
-        """Build a :class:`JobOutcome` from a worker's raw tuple.
+    ) -> tuple[JobOutcome, dict | None]:
+        """Build ``(JobOutcome, obs)`` from a worker's raw tuple.
 
-        Accepts both the 4-tuple of :func:`pool_entry` and the 5-tuple
-        of :func:`batch_entry` (whose extra element is the shared
-        stacked-solve time; 0.0 there marks a per-job fallback, which
-        is reported as unbatched).
+        Accepts the 5-tuple of :func:`pool_entry` ``(status, payload,
+        error, wall, obs)`` and the 6-tuple of :func:`batch_entry`
+        (whose fifth element is the shared stacked-solve time; 0.0
+        there marks a per-job fallback, reported as unbatched).  Legacy
+        4-tuples — locally built error raws — still parse.
         """
         status, payload, error, wall = raw[:4]
-        batched_seconds = raw[4] if len(raw) > 4 else 0.0
-        return JobOutcome(
+        if len(raw) >= 6:
+            batched_seconds, obs = raw[4], raw[5]
+        elif len(raw) == 5:
+            batched_seconds, obs = 0.0, raw[4]
+        else:
+            batched_seconds, obs = 0.0, None
+        outcome = JobOutcome(
             index=0,
             job=record.job,
             key=record.key,
@@ -402,7 +538,9 @@ class SizingService:
             error=error,
             batch_size=batch if batched_seconds > 0.0 else 0,
             batched_seconds=batched_seconds,
+            trace_id=record.trace_id,
         )
+        return outcome, obs
 
     def size_sync(self, body: dict, client: str | None = None) -> JobRecord:
         """Handle a synchronous ``/v1/size``: block until the job is done.
@@ -415,14 +553,18 @@ class SizingService:
         — after which the still-unfinished record is returned and the
         HTTP layer degrades the reply to an async 202 ticket.
         """
-        record, hit = self._admit(body, client)
-        if hit is not None:
-            return self.store.get(record.id)
-        if self.queue_path is not None:
-            return self._await_queued(record)
-        self.store.mark_running(record.id)
-        future = self._pool.submit(pool_entry, record.job, self.timeout)
-        return self._finish(record, self._outcome_from(record, future.result()))
+        with self._request_scope():
+            record, hit = self._admit(body, client)
+            if hit is not None:
+                return self.store.get(record.id)
+            if self.queue_path is not None:
+                return self._await_queued(record)
+            self.store.mark_running(record.id)
+            future = self._pool.submit(
+                pool_entry, record.job, self.timeout, self._carrier()
+            )
+            outcome, obs = self._outcome_from(record, future.result())
+            return self._finish(record, outcome, obs)
 
     def _await_queued(self, record: JobRecord) -> JobRecord:
         """Wait (bounded) for the shared queue to finish a job."""
@@ -436,14 +578,18 @@ class SizingService:
 
     def size_async(self, body: dict, client: str | None = None) -> JobRecord:
         """Handle ``/v1/size`` with ``async=true``: queue and return."""
-        record, hit = self._admit(body, client)
-        if hit is not None:
-            return self.store.get(record.id)
-        if self.queue_path is not None:
-            # Queue mode: the row is already in the shared stream; a
-            # drain worker (here or in another replica) will claim it.
-            return self.store.get(record.id)
-        future = self._pool.submit(pool_entry, record.job, self.timeout)
+        with self._request_scope():
+            record, hit = self._admit(body, client)
+            if hit is not None:
+                return self.store.get(record.id)
+            if self.queue_path is not None:
+                # Queue mode: the row is already in the shared stream; a
+                # drain worker (here or in another replica) will claim
+                # it.
+                return self.store.get(record.id)
+            future = self._pool.submit(
+                pool_entry, record.job, self.timeout, self._carrier()
+            )
         self.store.mark_running(record.id)
 
         def _done(done_future: Future) -> None:
@@ -451,7 +597,8 @@ class SizingService:
                 raw = done_future.result()
             except Exception as exc:  # pool broke under this job
                 raw = ("failed", None, f"{type(exc).__name__}: {exc}", 0.0)
-            self._finish(record, self._outcome_from(record, raw))
+            outcome, obs = self._outcome_from(record, raw)
+            self._finish(record, outcome, obs)
 
         future.add_done_callback(_done)
         # Re-read through the store: a consistent snapshot, whether the
@@ -459,6 +606,105 @@ class SizingService:
         return self.store.get(record.id)
 
     # -- queue drain (fleet mode) --------------------------------------
+
+    def _carrier(self) -> dict | None:
+        """The current trace carrier to ship across the pool boundary."""
+        return current_carrier() if self.trace else None
+
+    def _resume_trace(
+        self, record: JobRecord
+    ) -> tuple[str | None, str | None]:
+        """Resume a leased job's trace: parse its ref, emit queue-wait.
+
+        The row's ``trace_id-root_span_id`` ref was allocated by the
+        *submitting* replica; this (draining) replica parents all its
+        spans under that root.  The queue-wait span spans enqueue to
+        lease on the wall clock (clamped at zero — the two ends may be
+        observed by different hosts).
+        """
+        ref = record.trace if self.trace else None
+        tid, _, root = (ref or "").partition("-")
+        if not tid or not root:
+            return None, None
+        wait = {
+            "type": "span",
+            "trace": tid,
+            "id": new_span_id(),
+            "parent": root,
+            "name": "queue.wait",
+            "ts": record.created_at,
+            "duration_s": max(0.0, time.time() - record.created_at),
+            "attrs": {"job": record.id, "worker": self.worker_id},
+        }
+        observe_spans(self.metrics, [wait])
+        if self.trace_sink is not None:
+            self.trace_sink.emit(wait)
+        return tid, root
+
+    def _drain_scope(self, tid: str | None, root: str | None):
+        """A trace scope for one drained job (no-op without a trace)."""
+        if tid is None:
+            return nullcontext()
+        return trace_scope(
+            sink=self.trace_sink, trace_id=tid, parent_id=root
+        )
+
+    def _emit_root(
+        self,
+        record: JobRecord,
+        finished: JobRecord,
+        tid: str | None,
+        root: str | None,
+    ) -> None:
+        """Emit a queue-mode job's lifecycle root span, post-finish.
+
+        The root covers enqueue → finish on the wall clock, so the
+        queue-wait and execution children always sum to at most its
+        duration (both are clamped the same way).
+        """
+        if tid is None or root is None or self.trace_sink is None:
+            return
+        finished_at = finished.finished_at or time.time()
+        self.trace_sink.emit({
+            "type": "span",
+            "trace": tid,
+            "id": root,
+            "parent": None,
+            "name": "job",
+            "ts": record.created_at,
+            "duration_s": max(0.0, finished_at - record.created_at),
+            "attrs": {
+                "job": record.id,
+                "label": record.job.label(),
+                "status": finished.status,
+                "cached": finished.cached,
+                "worker": self.worker_id,
+            },
+        })
+
+    def _drain_one(self, record: JobRecord) -> None:
+        """Probe, execute and publish one leased record (trace-aware)."""
+        tid, root = self._resume_trace(record)
+        with self._drain_scope(tid, root):
+            with span("cache.probe") as probe_span:
+                hit = probe_cache(record.job, record.key, self.cache)
+                probe_span.set(hit=hit is not None)
+            if hit is not None:
+                self._m_cache_hits.inc()
+                if tid is not None:
+                    hit = replace(hit, trace_id=tid)
+                finished = self.store.finish(record.id, hit)
+                self._emit_root(record, finished, tid, root)
+                return
+            try:
+                raw = self._pool.submit(
+                    pool_entry, record.job, self.timeout, self._carrier()
+                ).result()
+            except Exception as exc:  # pool broke under this job
+                raw = ("failed", None, f"{type(exc).__name__}: {exc}", 0.0)
+            outcome, obs = self._outcome_from(record, raw)
+            finished = self._finish(record, outcome, obs)
+        self._emit_root(record, finished, tid, root)
 
     def _drain_loop(self) -> None:
         """One drain worker: lease → probe → execute → publish, forever.
@@ -480,19 +726,7 @@ class SizingService:
             if record is None:
                 self._stop.wait(0.05)
                 continue
-            hit = probe_cache(record.job, record.key, self.cache)
-            if hit is not None:
-                with self._lock:
-                    self._cache_hits += 1
-                self.store.finish(record.id, hit)
-                continue
-            try:
-                raw = self._pool.submit(
-                    pool_entry, record.job, self.timeout
-                ).result()
-            except Exception as exc:  # pool broke under this job
-                raw = ("failed", None, f"{type(exc).__name__}: {exc}", 0.0)
-            self._finish(record, self._outcome_from(record, raw))
+            self._drain_one(record)
 
     def _drain_batched(self) -> bool:
         """One batched drain round; True when any work was claimed.
@@ -517,42 +751,75 @@ class SizingService:
         if not records:
             return False
         live: list[JobRecord] = []
+        carriers: list[dict | None] = []
         for record in records:
-            hit = probe_cache(record.job, record.key, self.cache)
+            tid, root = self._resume_trace(record)
+            with self._drain_scope(tid, root):
+                with span("cache.probe") as probe_span:
+                    hit = probe_cache(record.job, record.key, self.cache)
+                    probe_span.set(hit=hit is not None)
             if hit is not None:
-                with self._lock:
-                    self._cache_hits += 1
-                self.store.finish(record.id, hit)
+                self._m_cache_hits.inc()
+                if tid is not None:
+                    hit = replace(hit, trace_id=tid)
+                finished = self.store.finish(record.id, hit)
+                self._emit_root(record, finished, tid, root)
             else:
                 live.append(record)
+                carriers.append(
+                    {"trace_id": tid, "parent_id": root}
+                    if tid is not None
+                    else None
+                )
         items = [
             (pos, record.job, record.key) for pos, record in enumerate(live)
         ]
         groups, rest = batch_groups(items)
         for group in groups:
             members = [live[pos] for pos, _job, _key in group]
+            traces = [carriers[pos] for pos, _job, _key in group]
             try:
                 raws = self._pool.submit(
-                    batch_entry, [r.job for r in members], self.timeout
+                    batch_entry,
+                    [r.job for r in members],
+                    self.timeout,
+                    traces,
                 ).result()
             except Exception as exc:  # pool broke under this batch
                 raws = [
-                    ("failed", None, f"{type(exc).__name__}: {exc}", 0.0, 0.0)
+                    (
+                        "failed", None, f"{type(exc).__name__}: {exc}",
+                        0.0, 0.0, None,
+                    )
                 ] * len(members)
-            for record, raw in zip(members, raws):
-                self._finish(
+            for record, carrier, raw in zip(members, traces, raws):
+                outcome, obs = self._outcome_from(
+                    record, raw, batch=len(members)
+                )
+                finished = self._finish(record, outcome, obs)
+                self._emit_root(
                     record,
-                    self._outcome_from(record, raw, batch=len(members)),
+                    finished,
+                    carrier["trace_id"] if carrier else None,
+                    carrier["parent_id"] if carrier else None,
                 )
         for pos, _job, _key in rest:
             record = live[pos]
+            carrier = carriers[pos]
             try:
                 raw = self._pool.submit(
-                    pool_entry, record.job, self.timeout
+                    pool_entry, record.job, self.timeout, carrier
                 ).result()
             except Exception as exc:  # pool broke under this job
                 raw = ("failed", None, f"{type(exc).__name__}: {exc}", 0.0)
-            self._finish(record, self._outcome_from(record, raw))
+            outcome, obs = self._outcome_from(record, raw)
+            finished = self._finish(record, outcome, obs)
+            self._emit_root(
+                record,
+                finished,
+                carrier["trace_id"] if carrier else None,
+                carrier["parent_id"] if carrier else None,
+            )
         return True
 
     def get_job(self, job_id: str) -> tuple[JobRecord, dict | None]:
@@ -627,19 +894,29 @@ class SizingService:
     # -- discovery + introspection ------------------------------------
 
     def stats(self) -> dict:
-        """Service counters for ``/v1/stats``.
+        """Service counters for ``/v1/stats`` — a view over the registry.
 
-        ``flow`` sums the per-job :class:`~repro.flow.registry.SolveStats`
-        that each sizing collects under its own
+        Every number here reads the same locked
+        :class:`~repro.obs.metrics.MetricsRegistry` cells that
+        ``/v1/metrics`` exposes, so the two endpoints can never
+        disagree.  ``flow`` sums the per-job
+        :class:`~repro.flow.registry.SolveStats` that each sizing
+        collects under its own
         :func:`~repro.flow.registry.stats_scope` — per-request scoping
         first, aggregation second, so concurrent jobs never interleave
         counters.
         """
-        with self._lock:
-            flow = {name: dict(t) for name, t in self._flow_totals.items()}
-            cache_hits = self._cache_hits
-            executed = self._executed
-            batched_jobs = self._batched_jobs
+        flow: dict[str, dict] = {}
+        for labels, value in self._m_flow.items():
+            cell = flow.setdefault(labels["backend"], {})
+            # SolveStats fields are ints (counts) or floats (supply);
+            # restore int-ness lost to the float-valued gauge.
+            cell[labels["field"]] = (
+                int(value) if float(value).is_integer() else value
+            )
+        cache_hits = int(self._m_cache_hits.total())
+        executed = int(self._m_executed.total())
+        batched_jobs = int(self._m_batched.total())
         return {
             "uptime_seconds": time.time() - self._started_at,
             "jobs": self.store.counts(),
@@ -672,12 +949,26 @@ class SizingService:
             "flow": flow,
         }
 
+    def metrics_text(self) -> str:
+        """Prometheus text exposition for ``GET /v1/metrics``.
+
+        Concatenates this service's registry with the process-global
+        one (cache-backend probe counters register there, because the
+        cache layer predates and outlives any one service instance);
+        the family names are disjoint by construction.  Sampled gauges
+        (queue depth) are refreshed at scrape time.
+        """
+        self._m_queue_depth.set(float(self.store.depth()))
+        return self.metrics.expose() + get_registry().expose()
+
     def close(self) -> None:
         """Stop drain workers, then the pool (in-flight jobs finish first)."""
         self._stop.set()
         for thread in self._drainers:
             thread.join(timeout=5.0)
         self._pool.shutdown(wait=True)
+        if self.trace_sink is not None:
+            self.trace_sink.close()
         if self.run_dir is None:
             # The spool directory was a mkdtemp this instance owns;
             # with a run_dir it belongs to the operator and persists.

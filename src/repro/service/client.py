@@ -37,6 +37,7 @@ import urllib.parse
 from typing import Iterator
 
 from repro.errors import ServiceError
+from repro.obs.trace import TRACE_HEADER
 
 __all__ = ["ServiceClient"]
 
@@ -51,6 +52,9 @@ class ServiceClient:
     identity the server's per-client quota buckets key on; ``retries``
     bounds automatic 429 retries (each sleeping the server's
     ``Retry-After``, capped at ``retry_wait_cap`` seconds).
+    ``trace_id`` is sent as ``X-Repro-Trace`` so every request this
+    session makes joins the caller's trace (the server allocates a
+    fresh trace per request otherwise).
     """
 
     def __init__(
@@ -60,6 +64,7 @@ class ServiceClient:
         client_id: str | None = None,
         retries: int = 2,
         retry_wait_cap: float = 30.0,
+        trace_id: str | None = None,
     ):
         self.base_url = base_url.rstrip("/")
         parts = urllib.parse.urlsplit(self.base_url)
@@ -74,6 +79,7 @@ class ServiceClient:
         self.client_id = client_id
         self.retries = retries
         self.retry_wait_cap = retry_wait_cap
+        self.trace_id = trace_id
         self._local = threading.local()
         self._pool_lock = threading.Lock()
         self._all_conns: list[http.client.HTTPConnection] = []
@@ -160,6 +166,8 @@ class ServiceClient:
             headers["Content-Type"] = "application/json"
         if self.client_id is not None:
             headers["X-Repro-Client"] = self.client_id
+        if self.trace_id is not None:
+            headers[TRACE_HEADER] = self.trace_id
         attempt = 0
         while True:
             try:
@@ -202,6 +210,26 @@ class ServiceClient:
         """Service counters (``GET /v1/stats``)."""
         return self._request("GET", "/v1/stats")[0]
 
+    def metrics(self) -> str:
+        """Raw Prometheus text exposition (``GET /v1/metrics``)."""
+        headers = {"Accept": "text/plain"}
+        if self.client_id is not None:
+            headers["X-Repro-Client"] = self.client_id
+        if self.trace_id is not None:
+            headers[TRACE_HEADER] = self.trace_id
+        try:
+            status, resp_headers, raw = self._roundtrip(
+                "GET", "/v1/metrics", None, headers
+            )
+        except (http.client.HTTPException, OSError) as exc:
+            raise ServiceError(
+                f"cannot reach sizing service at {self.base_url}: {exc}",
+                status=503,
+            ) from exc
+        if status >= 400:
+            raise _error_from(status, resp_headers, raw, self.base_url)
+        return raw.decode()
+
     # -- jobs ----------------------------------------------------------
 
     def job(self, job_id: str) -> dict:
@@ -243,6 +271,8 @@ class ServiceClient:
         headers = {"Accept": "text/event-stream"}
         if self.client_id is not None:
             headers["X-Repro-Client"] = self.client_id
+        if self.trace_id is not None:
+            headers[TRACE_HEADER] = self.trace_id
         try:
             conn.request(
                 "GET", f"/v1/jobs/{job_id}/events?timeout={timeout:g}",

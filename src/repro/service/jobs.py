@@ -56,14 +56,34 @@ class JobRecord:
     summary: dict | None = None
     error: str | None = None
     finished_at: float | None = None
+    #: Admit-to-finish latency measured on the *monotonic* clock by the
+    #: process that observed both ends (falls back to the outcome's
+    #: ``duration_s`` when finish happened in another process, e.g. a
+    #: queue-sharing replica).  Unlike ``finished_at - created_at`` it
+    #: can never go negative under a wall-clock step.
+    duration_s: float | None = None
+    #: Trace reference (``trace_id`` or ``trace_id-root_span_id``) tying
+    #: this job to its span tree in ``trace.jsonl``; None with tracing
+    #: off.
+    trace: str | None = None
     #: Full result payload, held in memory for the current process
     #: only; after a restart it is re-read from the result cache.
     payload: dict | None = field(default=None, repr=False)
+    #: Monotonic clock at admission, used to derive ``duration_s``;
+    #: meaningless outside the admitting process, never persisted.
+    created_mono: float | None = field(default=None, repr=False, compare=False)
 
     @property
     def done(self) -> bool:
         """True once the job reached a terminal status."""
         return self.status not in ("queued", "running")
+
+    @property
+    def trace_id(self) -> str | None:
+        """The trace id part of :attr:`trace` (root span id stripped)."""
+        if self.trace is None:
+            return None
+        return self.trace.partition("-")[0] or None
 
     def to_wire(self) -> dict:
         """JSON-ready public view of this record (payload excluded)."""
@@ -75,10 +95,12 @@ class JobRecord:
             "key": self.key,
             "cached": self.cached,
             "wall_seconds": self.wall_seconds,
+            "duration_s": self.duration_s,
             "summary": self.summary,
             "error": self.error,
             "created_at": self.created_at,
             "finished_at": self.finished_at,
+            "trace_id": self.trace_id,
         }
 
 
@@ -137,6 +159,7 @@ class JobStore:
                     key=entry.get("key"),
                     created_at=float(entry.get("created_at") or 0.0),
                     status="lost",
+                    trace=entry.get("trace"),
                 )
                 self._records[record.id] = record
             elif entry.get("event") == "finished":
@@ -146,9 +169,11 @@ class JobStore:
                 record.status = str(entry.get("status"))
                 record.cached = bool(entry.get("cached"))
                 record.wall_seconds = entry.get("wall_seconds")
+                record.duration_s = entry.get("duration_s")
                 record.summary = entry.get("summary")
                 record.error = entry.get("error")
                 record.finished_at = entry.get("finished_at")
+                record.trace = entry.get("trace") or record.trace
         for record in self._records.values():
             number = _id_number(record.id)
             if number is not None:
@@ -157,13 +182,18 @@ class JobStore:
     # -- the live API --------------------------------------------------
 
     def create(
-        self, job: Job, key: str | None, client: str | None = None,
+        self,
+        job: Job,
+        key: str | None,
+        client: str | None = None,
+        trace: str | None = None,
     ) -> JobRecord:
         """Admit a job: allocate an id, register it, log the submission.
 
         ``client`` (the quota identity) is accepted for interface
         parity with :class:`~repro.service.queue.WorkQueue`; the
-        in-memory store does not persist it.
+        in-memory store does not persist it.  ``trace`` is the job's
+        trace reference (see :attr:`JobRecord.trace`).
         """
         with self._lock:
             self._counter += 1
@@ -172,6 +202,8 @@ class JobStore:
                 job=job,
                 key=key,
                 created_at=time.time(),
+                trace=trace,
+                created_mono=time.monotonic(),
             )
             self._records[record.id] = record
         self._append({
@@ -182,6 +214,7 @@ class JobStore:
             "label": job.label(),
             "key": key,
             "created_at": record.created_at,
+            "trace": trace,
         })
         return record
 
@@ -200,6 +233,14 @@ class JobStore:
             record.status = outcome.status
             record.cached = outcome.cached
             record.wall_seconds = outcome.wall_seconds
+            # Monotonic admit-to-finish latency when both ends were
+            # observed by this process; the outcome's own monotonic
+            # duration otherwise.  Never derived from wall clocks.
+            record.duration_s = (
+                time.monotonic() - record.created_mono
+                if record.created_mono is not None
+                else outcome.duration_s
+            )
             record.summary = job_summary(outcome)
             record.error = outcome.error
             record.payload = outcome.payload
@@ -213,9 +254,11 @@ class JobStore:
             "status": record.status,
             "cached": record.cached,
             "wall_seconds": record.wall_seconds,
+            "duration_s": record.duration_s,
             "summary": record.summary,
             "error": record.error,
             "finished_at": record.finished_at,
+            "trace": record.trace,
         })
         return record
 

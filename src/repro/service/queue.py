@@ -57,12 +57,21 @@ _SCHEMA = """
         attempts INTEGER NOT NULL DEFAULT 0,
         cached INTEGER NOT NULL DEFAULT 0,
         wall_seconds REAL,
+        duration_s REAL,
         summary TEXT,
         error TEXT,
         payload TEXT,
-        finished_at REAL
+        finished_at REAL,
+        trace TEXT
     )
 """
+
+#: Columns added after the first shipped schema; existing databases
+#: are migrated in place with guarded ``ALTER TABLE`` on open.
+_MIGRATIONS = (
+    ("duration_s", "REAL"),
+    ("trace", "TEXT"),
+)
 
 
 class WorkQueue:
@@ -76,7 +85,10 @@ class WorkQueue:
     """
 
     def __init__(
-        self, path: str | Path, visibility_timeout: float = 600.0,
+        self,
+        path: str | Path,
+        visibility_timeout: float = 600.0,
+        metrics=None,
     ):
         if visibility_timeout <= 0:
             raise ServiceError(
@@ -86,12 +98,31 @@ class WorkQueue:
         self.path = Path(path)
         self.visibility_timeout = visibility_timeout
         self._local = threading.local()
+        # Monotonic admit anchors for duration_s (this process only).
+        self._anchor_lock = threading.Lock()
+        self._created_mono: dict[str, float] = {}
+        self._m_reclaims = self._m_poison = None
+        if metrics is not None:
+            self._m_reclaims = metrics.counter(
+                "repro_queue_lease_reclaims_total",
+                "Expired leases re-claimed from presumed-dead workers.",
+            )
+            self._m_poison = metrics.counter(
+                "repro_queue_poison_jobs_total",
+                "Jobs failed permanently after exhausting lease attempts.",
+            )
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self._txn() as conn:
             conn.execute(_SCHEMA)
             conn.execute(
                 "CREATE INDEX IF NOT EXISTS jobs_status ON jobs (status)"
             )
+        conn = self._connect()
+        for column, decl in _MIGRATIONS:
+            try:
+                conn.execute(f"ALTER TABLE jobs ADD COLUMN {column} {decl}")
+            except sqlite3.OperationalError:
+                pass  # column already present (post-migration schema)
 
     # -- connection plumbing ------------------------------------------
 
@@ -138,26 +169,38 @@ class WorkQueue:
             status=row["status"],
             cached=bool(row["cached"]),
             wall_seconds=row["wall_seconds"],
+            duration_s=row["duration_s"],
             summary=json.loads(row["summary"]) if row["summary"] else None,
             error=row["error"],
             finished_at=row["finished_at"],
+            trace=row["trace"],
             payload=json.loads(row["payload"]) if row["payload"] else None,
         )
 
     # -- the JobStore-compatible surface ------------------------------
 
     def create(
-        self, job: Job, key: str | None, client: str | None = None,
+        self,
+        job: Job,
+        key: str | None,
+        client: str | None = None,
+        trace: str | None = None,
     ) -> JobRecord:
-        """Enqueue a job: insert a ``queued`` row, allocate its id."""
+        """Enqueue a job: insert a ``queued`` row, allocate its id.
+
+        ``trace`` rides in the row, which is how a trace id crosses
+        from the submitting replica to whichever replica drains the
+        job.
+        """
         created_at = time.time()
+        created_mono = time.monotonic()
         with self._txn() as conn:
             cursor = conn.execute(
                 "INSERT INTO jobs (id, job, label, key, client, status, "
-                "created_at) VALUES ('', ?, ?, ?, ?, 'queued', ?)",
+                "created_at, trace) VALUES ('', ?, ?, ?, ?, 'queued', ?, ?)",
                 (
                     json.dumps(job.to_dict()), job.label(), key, client,
-                    created_at,
+                    created_at, trace,
                 ),
             )
             seq = cursor.lastrowid
@@ -165,8 +208,11 @@ class WorkQueue:
             conn.execute(
                 "UPDATE jobs SET id = ? WHERE seq = ?", (job_id, seq)
             )
+        with self._anchor_lock:
+            self._created_mono[job_id] = created_mono
         return JobRecord(
-            id=job_id, job=job, key=key, created_at=created_at,
+            id=job_id, job=job, key=key, created_at=created_at, trace=trace,
+            created_mono=created_mono,
         )
 
     def get(self, job_id: str) -> JobRecord:
@@ -190,15 +236,27 @@ class WorkQueue:
     def finish(self, job_id: str, outcome: JobOutcome) -> JobRecord:
         """Record a job's outcome; returns the stored snapshot."""
         summary = job_summary(outcome)
+        with self._anchor_lock:
+            anchor = self._created_mono.pop(job_id, None)
+        # Monotonic admit-to-finish latency when this process saw both
+        # ends; a queue-sharing replica that only executed falls back
+        # to the outcome's own monotonic duration.
+        duration_s = (
+            time.monotonic() - anchor
+            if anchor is not None
+            else outcome.duration_s
+        )
         with self._txn() as conn:
             conn.execute(
                 "UPDATE jobs SET status = ?, cached = ?, wall_seconds = ?, "
-                "summary = ?, error = ?, payload = ?, finished_at = ?, "
-                "lease_owner = NULL, lease_expires = NULL WHERE id = ?",
+                "duration_s = ?, summary = ?, error = ?, payload = ?, "
+                "finished_at = ?, lease_owner = NULL, lease_expires = NULL "
+                "WHERE id = ?",
                 (
                     outcome.status,
                     int(outcome.cached),
                     outcome.wall_seconds,
+                    duration_s,
                     json.dumps(summary) if summary is not None else None,
                     outcome.error,
                     (
@@ -319,7 +377,11 @@ class WorkQueue:
                             row["seq"],
                         ),
                     )
+                    if self._m_poison is not None:
+                        self._m_poison.inc()
                     continue  # look for the next candidate
+                if row["status"] == "running" and self._m_reclaims is not None:
+                    self._m_reclaims.inc()
                 conn.execute(
                     "UPDATE jobs SET status = 'running', lease_owner = ?, "
                     "lease_expires = ?, attempts = attempts + 1 "

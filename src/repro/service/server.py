@@ -42,6 +42,12 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from repro.errors import ReproError, ServiceError
 from repro.flow.registry import registered_backends
 from repro.generators.iscas import SUITE
+from repro.obs.trace import (
+    TRACE_HEADER,
+    parse_trace_header,
+    span,
+    trace_scope,
+)
 from repro.service.app import SizingService
 from repro.sizing.serialize import canonical_json
 
@@ -176,7 +182,44 @@ class _Handler(BaseHTTPRequestHandler):
             self.headers.get("X-Repro-Client") or self.client_address[0]
         )
 
+    def send_response(self, code: int, message: str | None = None) -> None:
+        """Stdlib hook, extended to record the status for the request
+        counter and echo the request's trace id back to the client."""
+        self._last_status = code
+        BaseHTTPRequestHandler.send_response(self, code, message)
+        if getattr(self, "_trace_id", None):
+            self.send_header(TRACE_HEADER, self._trace_id)
+
     def _dispatch(self, method: str) -> None:
+        """Trace + count one request, then route it.
+
+        With tracing on, the request runs inside a trace context —
+        resumed from the client's ``X-Repro-Trace`` header when one is
+        sent, fresh otherwise — under an ``http.request`` span, and the
+        response carries the trace id back.  The request counter uses a
+        *normalized* route label (``/v1/jobs/<id>``), never the raw
+        path: a label per job id would grow the registry without bound.
+        """
+        service = self.server.service
+        route = _route_label(self.path)
+        self._last_status = 0
+        self._trace_id = None
+        if service.trace:
+            tid, parent = parse_trace_header(self.headers.get(TRACE_HEADER))
+            with trace_scope(
+                sink=service.trace_sink, trace_id=tid, parent_id=parent,
+            ) as ctx:
+                self._trace_id = ctx.trace_id
+                with span("http.request", method=method, route=route) as sp:
+                    self._route(method)
+                    sp.set(code=self._last_status)
+        else:
+            self._route(method)
+        service._m_http.inc(
+            method=method, route=route, code=str(self._last_status),
+        )
+
+    def _route(self, method: str) -> None:
         service = self.server.service
         self._body_consumed = False
         path, _, query = self.path.partition("?")
@@ -213,6 +256,8 @@ class _Handler(BaseHTTPRequestHandler):
                 })
             elif method == "GET" and path == "/v1/stats":
                 self._send_data(200, service.stats())
+            elif method == "GET" and path == "/v1/metrics":
+                self._send_metrics(service)
             elif path in _ROUTES and method != _ROUTES[path]:
                 raise ServiceError(
                     f"{method} not allowed on {path} "
@@ -240,6 +285,20 @@ class _Handler(BaseHTTPRequestHandler):
         payload = record.payload if record.done else None
         self._send_data(200 if record.done else 202,
                         _job_body(record, payload))
+
+    def _send_metrics(self, service: SizingService) -> None:
+        """Serve ``GET /v1/metrics`` as raw Prometheus text exposition
+        (the one endpoint outside the JSON envelope — scrapers speak
+        the text format, not our wire schema)."""
+        self._drain_body()
+        data = service.metrics_text().encode()
+        self.send_response(200)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
 
     def _get_jobs(self, service: SizingService, params: dict) -> None:
         status = _one(params, "status")
@@ -344,7 +403,23 @@ _ROUTES = {
     "/v1/backends": "GET",
     "/v1/healthz": "GET",
     "/v1/stats": "GET",
+    "/v1/metrics": "GET",
 }
+
+
+def _route_label(path: str) -> str:
+    """Collapse a request path to a bounded-cardinality route label."""
+    path = path.partition("?")[0].rstrip("/")
+    parts = path.split("/")
+    if path.startswith("/v1/jobs/") and len(parts) == 5 and (
+        parts[4] == "events"
+    ):
+        return "/v1/jobs/<id>/events"
+    if path.startswith("/v1/jobs/") and len(parts) == 4:
+        return "/v1/jobs/<id>"
+    if path in _ROUTES:
+        return path
+    return "(other)"
 
 
 def _circuits_body() -> dict:
@@ -422,6 +497,7 @@ def serve(
     quota_rate: float | None = None,
     quota_burst: float | None = None,
     batch_drain: int | None = None,
+    trace: bool = True,
 ) -> int:
     """Run the sizing service until interrupted (the CLI entry point).
 
@@ -432,7 +508,8 @@ def serve(
     process into one replica of a fleet; ``max_queue_depth`` and
     ``quota_rate``/``quota_burst`` configure admission control;
     ``batch_drain`` (queue mode) fuses leased batchable jobs into
-    stacked kernel calls.  Returns the process exit code.
+    stacked kernel calls; ``trace=False`` (``--no-trace``) disables
+    span collection.  Returns the process exit code.
     """
     from repro.runner import DEFAULT_CACHE_DIR
 
@@ -443,7 +520,7 @@ def serve(
         jobs=jobs, cache=cache_arg, run_dir=run_dir, timeout=timeout,
         queue=queue, max_queue_depth=max_queue_depth,
         quota_rate=quota_rate, quota_burst=quota_burst,
-        batch_drain=batch_drain,
+        batch_drain=batch_drain, trace=trace,
     )
     server = make_server(service, host=host, port=port)
     host_shown, port_shown = server.server_address[:2]

@@ -33,7 +33,10 @@ kernel by default (``MinfloOptions.kernel``; see
 Per-iteration telemetry (cone size, warm-start reuse, augmentations,
 SMP sweep counts) lands in each
 :class:`~repro.sizing.result.IterationRecord`; cumulative per-phase
-wall times land in :attr:`~repro.sizing.result.SizingResult.phase_seconds`.
+wall times land in :attr:`~repro.sizing.result.SizingResult.phase_seconds`,
+measured by the :func:`repro.obs.trace.span` context managers around
+each phase — when the caller runs inside a trace scope, the same
+measurements double as ``minflo.*`` spans in ``trace.jsonl``.
 """
 
 from __future__ import annotations
@@ -46,6 +49,7 @@ import numpy as np
 from repro.balancing.fsdu import balance
 from repro.dag.circuit_dag import SizingDag
 from repro.errors import InfeasibleTimingError, SizingError
+from repro.obs.trace import span
 from repro.sizing.dphase import d_phase
 from repro.sizing.kernels import SMP_ENGINES
 from repro.sizing.result import IterationRecord, SizingResult
@@ -171,49 +175,54 @@ def minflotransit(
     }
 
     for iteration in range(1, options.max_iterations + 1):
-        tick = time.perf_counter()
-        delays = dag.model.delays(x)
-        base_work = inc.total_repropagated
-        timing_updates = _sync(inc, delays)
-        report = inc.report(horizon=target)
-        phase_seconds["timing"] += time.perf_counter() - tick
+        # Each phase runs inside an obs span; ``phase_seconds`` is a
+        # view over those span durations, so the run report and a
+        # ``trace.jsonl`` waterfall can never disagree.
+        with span("minflo.timing", iteration=iteration) as timing_span:
+            delays = dag.model.delays(x)
+            base_work = inc.total_repropagated
+            timing_updates = _sync(inc, delays)
+            report = inc.report(horizon=target)
+        phase_seconds["timing"] += timing_span.duration_s
 
-        tick = time.perf_counter()
-        config = balance(
-            dag,
-            delays,
-            horizon=target,
-            method=options.balancing,
-            timer=timer,
-            report=report,
-        )
-        phase_seconds["balance"] += time.perf_counter() - tick
+        with span("minflo.balance", iteration=iteration) as balance_span:
+            config = balance(
+                dag,
+                delays,
+                horizon=target,
+                method=options.balancing,
+                timer=timer,
+                report=report,
+            )
+        phase_seconds["balance"] += balance_span.duration_s
         load_delay = delays - dag.model.intrinsic
         max_dd = alpha * load_delay
         min_dd = -alpha * load_delay
 
-        tick = time.perf_counter()
-        dres = d_phase(
-            dag,
-            x,
-            config,
-            min_dd,
-            max_dd,
-            backend=options.flow_backend,
-            warm_start=warm if options.warm_start else None,
-        )
-        phase_seconds["d_phase"] += time.perf_counter() - tick
+        with span("minflo.d_phase", iteration=iteration) as d_span:
+            dres = d_phase(
+                dag,
+                x,
+                config,
+                min_dd,
+                max_dd,
+                backend=options.flow_backend,
+                warm_start=warm if options.warm_start else None,
+            )
+            d_span.set(backend=dres.backend)
+        phase_seconds["d_phase"] += d_span.duration_s
         warm = dres.warm_basis
         budgets = delays + dres.delta_d
 
-        tick = time.perf_counter()
-        wres = w_phase(dag, budgets, engine=options.kernel)
-        phase_seconds["w_phase"] += time.perf_counter() - tick
+        with span("minflo.w_phase", iteration=iteration) as w_span:
+            wres = w_phase(dag, budgets, engine=options.kernel)
+            w_span.set(sweeps=int(wres.sweeps), engine=wres.engine)
+        phase_seconds["w_phase"] += w_span.duration_s
 
-        tick = time.perf_counter()
-        timing_updates += _sync(inc, dag.model.delays(wres.x))
-        report = inc.report(horizon=target)
-        phase_seconds["timing"] += time.perf_counter() - tick
+        with span("minflo.timing", iteration=iteration) as resync_span:
+            timing_updates += _sync(inc, dag.model.delays(wres.x))
+            report = inc.report(horizon=target)
+        phase_seconds["timing"] += resync_span.duration_s
         repropagated = inc.total_repropagated - base_work
 
         area = dag.area(wres.x)

@@ -73,6 +73,13 @@ VOLATILE_PAYLOAD_KEYS = frozenset({
     "refresh_seconds",
     "build_seconds",
     "batched_seconds",
+    # Observability fields (repro.obs): trace/span identity and
+    # monotonic durations are per-execution telemetry, never content.
+    "trace_id",
+    "span_id",
+    "parent_id",
+    "spans",
+    "duration_s",
 })
 
 

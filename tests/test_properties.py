@@ -403,3 +403,9 @@ class TestSerializeProperties:
         # The batched-execution telemetry keys are volatile by
         # definition: a stacked solve legitimately times differently.
         assert {"batched_seconds", "build_seconds"} <= VOLATILE_PAYLOAD_KEYS
+        # Observability fields are per-execution telemetry: two runs of
+        # the same job carry different trace/span identities and
+        # monotonic durations, yet must stay byte-comparable.
+        assert {
+            "trace_id", "span_id", "parent_id", "spans", "duration_s",
+        } <= VOLATILE_PAYLOAD_KEYS

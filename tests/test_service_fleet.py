@@ -452,3 +452,234 @@ class TestMultiProcessServe:
                 outcomes["rejected"] += 1
         assert outcomes["rejected"] >= 1
         assert outcomes["admitted"] + outcomes["rejected"] == 8
+
+
+def _fleet_spans(tmp_path, trace_id=None, expect=frozenset(), timeout=5.0):
+    """Every span record from both replicas' trace.jsonl files.
+
+    The server writes its ``http.request`` span *after* the response
+    bytes reach the client, so when ``expect`` names are given, poll
+    briefly until they all appear under ``trace_id``.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        spans = []
+        for name in ("a", "b"):
+            path = tmp_path / f"run-{name}" / "trace.jsonl"
+            if path.is_file():
+                spans.extend(
+                    json.loads(line)
+                    for line in path.read_text().splitlines() if line
+                )
+        if trace_id is not None:
+            spans = [s for s in spans if s["trace"] == trace_id]
+        if expect <= {s["name"] for s in spans}:
+            return spans
+        if time.monotonic() > deadline:
+            return spans
+        time.sleep(0.05)
+
+
+_EXPOSITION_LINE = (
+    r"[a-zA-Z_:][a-zA-Z0-9_:]*"          # metric name
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"'  # first label
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})?'
+    r" [0-9+.eE-]+(Inf)?$"                # value
+)
+
+
+def _parse_exposition(text):
+    """Validate Prometheus text exposition; return ``{series: value}``."""
+    import re
+
+    series = {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("#"):
+            assert line.startswith(("# HELP ", "# TYPE ")), line
+            continue
+        assert re.fullmatch(_EXPOSITION_LINE, line), line
+        name, _, value = line.rpartition(" ")
+        series[name] = float(value)
+    return series
+
+
+class TestFleetObservability:
+    """The tentpole acceptance path: one trace id across two replicas,
+    and /v1/metrics as an exact view over the run."""
+
+    @pytest.fixture()
+    def fleet(self, tmp_path):
+        boxes = []
+        for name in ("a", "b"):
+            service = SizingService(
+                jobs=1,
+                cache=f"sqlite:{tmp_path / 'cache.db'}",
+                run_dir=tmp_path / f"run-{name}",
+                queue=tmp_path / "q.db",
+            )
+            server = make_server(service, quiet=True)
+            host, port = server.server_address[:2]
+            threading.Thread(
+                target=server.serve_forever, daemon=True
+            ).start()
+            boxes.append(
+                (service, server, ServiceClient(f"http://{host}:{port}"))
+            )
+        yield boxes
+        for service, server, _ in boxes:
+            server.shutdown()
+            server.server_close()
+            service.close()
+
+    def test_one_trace_id_covers_the_whole_queue_lifecycle(
+        self, fleet, tmp_path,
+    ):
+        (_, _, client_a), _ = fleet
+        tid = "feedc0de00000001"
+        client_a.trace_id = tid
+        reply = client_a.size(circuit="c17", delay_spec=0.6)
+        assert reply["status"] == "ok"
+        assert reply["trace_id"] == tid
+
+        # HTTP handling, admission, queue wait, cache probe, execution
+        # and every solver phase — one trace id end to end.
+        expected = {
+            "http.request", "service.admit", "queue.wait", "cache.probe",
+            "job", "job.execute", "minflo.d_phase", "minflo.w_phase",
+        }
+        spans = _fleet_spans(tmp_path, trace_id=tid, expect=expected)
+        names = {s["name"] for s in spans}
+        assert expected <= names, names
+
+        by_id = {s["id"]: s for s in spans}
+        roots = [s for s in spans if s["name"] == "job"]
+        assert len(roots) == 1
+        root = roots[0]
+        assert root["parent"] is None
+        children = [s for s in spans if s["parent"] == root["id"]]
+        child_names = {s["name"] for s in children}
+        assert {"queue.wait", "job.execute"} <= child_names
+        # Children never account for more time than their parent span
+        # (small epsilon: the root mixes wall-clock ends observed on
+        # one host with monotonic child durations).
+        assert sum(s["duration_s"] for s in children) <= (
+            root["duration_s"] + 0.05
+        )
+        # Solver-phase spans re-parent correctly through the pool
+        # boundary: every span's parent exists in the same trace (or is
+        # the root itself).
+        for s in spans:
+            if s["parent"] is not None and s["name"] != "http.request":
+                assert s["parent"] in by_id, s
+
+    def test_trace_cli_renders_the_fleet_trace(self, fleet, tmp_path):
+        (_, _, client_a), _ = fleet
+        tid = "feedc0de00000002"
+        client_a.trace_id = tid
+        assert client_a.size(circuit="c17", delay_spec=0.62)["status"] == "ok"
+        files = [
+            str(tmp_path / f"run-{n}" / "trace.jsonl") for n in ("a", "b")
+            if (tmp_path / f"run-{n}" / "trace.jsonl").is_file()
+        ]
+        env = dict(
+            os.environ,
+            PYTHONPATH=str(Path(__file__).resolve().parent.parent / "src"),
+        )
+        out = subprocess.run(
+            [sys.executable, "-m", "repro", "trace", tid]
+            + [arg for f in files for arg in ("--file", f)],
+            env=env, capture_output=True, text=True,
+        )
+        assert out.returncode == 0, out.stderr
+        assert tid in out.stdout
+        assert "job.execute" in out.stdout
+        assert "critical path:" in out.stdout
+
+    def test_metrics_exposition_matches_the_run_exactly(self, fleet):
+        (service_a, _, client_a), (service_b, _, client_b) = fleet
+        first = client_a.size(circuit="c17", delay_spec=0.64)
+        assert first["status"] == "ok" and not first["cached"]
+        second = client_b.size(circuit="c17", delay_spec=0.64)
+        assert second["cached"]
+
+        # Scrape both replicas; counters are per-replica, the run's
+        # totals are their sum.
+        text_a, text_b = client_a.metrics(), client_b.metrics()
+        series_a = _parse_exposition(text_a)
+        series_b = _parse_exposition(text_b)
+        stats_a, stats_b = client_a.stats(), client_b.stats()
+
+        for series, stats in (
+            (series_a, stats_a), (series_b, stats_b),
+        ):
+            assert series.get("repro_cache_hits_total", 0.0) == (
+                stats["cache_hits"]
+            )
+            assert series.get("repro_jobs_executed_total", 0.0) == (
+                stats["executed"]
+            )
+            assert series["repro_queue_depth"] == stats["queue"]["depth"]
+        # Exactly one execution and one replayed hit across the fleet.
+        executed = sum(
+            s.get("repro_jobs_executed_total", 0.0)
+            for s in (series_a, series_b)
+        )
+        hits = sum(
+            s.get("repro_cache_hits_total", 0.0)
+            for s in (series_a, series_b)
+        )
+        assert executed == 1.0
+        assert hits == 1.0
+        # The drain-side phase counters account the worker's time.
+        executor = service_a if series_a.get(
+            "repro_jobs_executed_total", 0.0
+        ) else service_b
+        exec_text = executor.metrics_text()
+        assert 'repro_phase_seconds_total{phase="minflo.d_phase"}' in (
+            exec_text
+        )
+        # Cache-backend probes land in the process-global registry and
+        # ride along in the same exposition.
+        assert "repro_cache_probe_total" in exec_text
+
+    def test_stats_stays_consistent_under_concurrent_drains(self, fleet):
+        """Hammer /v1/stats and /v1/metrics while both replicas drain:
+        no torn counters, and the final totals add up exactly."""
+        (service_a, _, client_a), (service_b, _, client_b) = fleet
+        stop = threading.Event()
+        failures = []
+
+        def hammer():
+            while not stop.is_set():
+                try:
+                    for service in (service_a, service_b):
+                        stats = service.stats()
+                        assert stats["executed"] >= 0
+                        _parse_exposition(service.metrics_text())
+                except Exception as exc:  # noqa: BLE001
+                    failures.append(exc)
+                    return
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        tickets = [
+            client_a.submit(circuit="rca:4", delay_spec=1.2 + i / 50)
+            for i in range(4)
+        ]
+        for ticket in tickets:
+            client_b.wait(ticket["id"], timeout=120.0)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert not failures, failures[0]
+        executed = (
+            service_a.stats()["executed"] + service_b.stats()["executed"]
+        )
+        hits = (
+            service_a.stats()["cache_hits"]
+            + service_b.stats()["cache_hits"]
+        )
+        assert executed + hits == len(tickets)
