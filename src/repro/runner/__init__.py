@@ -105,6 +105,7 @@ def run(
     append_log: bool = False,
     batch: bool = False,
     trace: bool = True,
+    warm_corpus: str | None = None,
 ) -> CampaignResult:
     """Run a campaign end to end: cache probe, pool, JSONL streaming.
 
@@ -114,7 +115,11 @@ def run(
     (with ``trace=True``) a ``trace.jsonl`` of per-job span trees
     readable by ``python -m repro trace``; ``batch`` fuses compatible
     batchable jobs into stacked kernel calls (bit-identical per-job
-    results, see :func:`repro.runner.executor.run_campaign`).
+    results, see :func:`repro.runner.executor.run_campaign`);
+    ``warm_corpus`` (a cache backend spec string) turns on corpus
+    warm starts — cache misses probe prior solutions for a seed, with
+    a divergence monitor guaranteeing results bitwise identical to a
+    cold run (see :mod:`repro.runner.corpus`).
     """
     if cache is not None and not isinstance(cache, ResultCache):
         cache = ResultCache(cache)
@@ -139,6 +144,7 @@ def run(
             keys=keys,
             batch=batch,
             trace_sink=trace_sink,
+            warm_corpus=warm_corpus,
         )
     finally:
         if trace_sink is not None:
@@ -151,6 +157,7 @@ def resume(
     cache: ResultCache | str | Path | None = DEFAULT_CACHE_DIR,
     timeout: float | None = None,
     batch: bool = False,
+    warm_corpus: str | None = None,
 ) -> CampaignResult:
     """Resume an interrupted campaign from its run directory.
 
@@ -175,4 +182,5 @@ def resume(
         timeout=timeout,
         append_log=True,
         batch=batch,
+        warm_corpus=warm_corpus,
     )

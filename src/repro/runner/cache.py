@@ -150,9 +150,44 @@ class ResultCache:
             return None
         return payload
 
-    def put(self, key: str, payload: dict) -> None:
-        """Atomically store ``payload`` under ``key``."""
-        entry = {"cache_layout": CACHE_LAYOUT_VERSION, "payload": payload}
+    def put(self, key: str, payload: dict, warm: dict | None = None) -> None:
+        """Atomically store ``payload`` under ``key``.
+
+        ``warm`` optionally attaches a warm-start record (see
+        :mod:`repro.runner.corpus`) *inside* the entry envelope, next
+        to — never inside — the payload: the payload bytes are part of
+        the service's byte-identity contract, while the warm record is
+        retrieval metadata that older readers simply ignore.
+        """
+        entry: dict = {"cache_layout": CACHE_LAYOUT_VERSION, "payload": payload}
+        if warm is not None:
+            entry["warm"] = warm
+        self.backend.put(key, entry)
+
+    def get_warm(self, key: str) -> dict | None:
+        """The warm-start record stored with ``key``, or None.
+
+        Unlike :meth:`get` this never counts as a cache probe — corpus
+        index scans would otherwise swamp the hit/miss telemetry.
+        """
+        entry = self.backend.get(key)
+        if entry is None or entry.get("cache_layout") != CACHE_LAYOUT_VERSION:
+            return None
+        warm = entry.get("warm")
+        return warm if isinstance(warm, dict) else None
+
+    def strip_warm(self, key: str) -> None:
+        """Quarantine a corrupt warm record by rewriting the entry
+        without it (the payload — still valid — survives).
+
+        The warm-record analogue of the disk backend's ``*.bad`` rename
+        and the SQLite backend's torn-row delete: a record that fails
+        validation is removed so it cannot poison later probes.
+        """
+        entry = self.backend.get(key)
+        if entry is None or "warm" not in entry:
+            return
+        entry.pop("warm", None)
         self.backend.put(key, entry)
 
     def scan(self) -> "list[str]":

@@ -56,6 +56,7 @@ from repro.obs.trace import (
     trace_scope,
 )
 from repro.runner.cache import ResultCache, job_key, netlist_digest
+from repro.runner.corpus import WarmSession, record_warm_outcome
 from repro.runner.spec import CampaignSpec, Job, resolve_circuit
 
 __all__ = [
@@ -116,6 +117,15 @@ class JobOutcome:
     #: Trace id of the execution that produced this outcome (None when
     #: tracing is off); volatile telemetry, never part of the payload.
     trace_id: str | None = None
+    #: Warm-start telemetry (all False when the corpus was off or the
+    #: job replayed from cache): a corpus probe found a donor record
+    #: (``warm_hit``), the donor actually seeded the solve
+    #: (``warm_seeded``), or it was rejected / diverged and the job ran
+    #: cold (``warm_fallback``).  Never part of the payload — seeded
+    #: and cold runs cache identical entries.
+    warm_hit: bool = False
+    warm_seeded: bool = False
+    warm_fallback: bool = False
 
     def __post_init__(self) -> None:
         if self.duration_s is None:
@@ -125,6 +135,16 @@ class JobOutcome:
     def completed(self) -> bool:
         """True when the job finished computing (even if infeasible)."""
         return self.status in COMPLETED_STATUSES
+
+    def warm_summary(self) -> dict | None:
+        """Compact warm-start flags for job records (None on cold runs)."""
+        if not (self.warm_hit or self.warm_seeded or self.warm_fallback):
+            return None
+        return {
+            "hit": self.warm_hit,
+            "seeded": self.warm_seeded,
+            "fallback": self.warm_fallback,
+        }
 
 
 @dataclass
@@ -155,13 +175,23 @@ class CampaignResult:
 # -- job execution (runs in the worker process) -----------------------
 
 
-def _execute_sizing(job: Job) -> tuple[str, dict]:
-    """Full TILOS + MINFLOTRANSIT pipeline for one job."""
+def _execute_sizing(
+    job: Job, warm: WarmSession | None = None
+) -> tuple[str, dict]:
+    """Full TILOS + MINFLOTRANSIT pipeline for one job.
+
+    ``warm`` is this job's warm-start session (None when the corpus is
+    off): the nearest prior trajectory seeds the TILOS solve — which
+    owns the divergence-safe replay, so the payload is bitwise what a
+    cold run produces — and the freshly computed trajectory is staged
+    as this job's own corpus record.
+    """
     from repro.circuit.mapping import is_primitive_circuit, map_to_primitives
     from repro.dag import build_sizing_dag
     from repro.flow.registry import stats_scope
     from repro.sizing import minflotransit, tilos_size
     from repro.sizing.serialize import result_to_dict
+    from repro.sizing.tilos import TilosOptions
     from repro.tech import default_technology
     from repro.timing import GraphTimer
 
@@ -186,9 +216,35 @@ def _execute_sizing(job: Job) -> tuple[str, dict]:
         "target": target,
         "min_area": dag.area(x_min),
     }
+    topts = TilosOptions()
+    donor = None
+    if warm is not None:
+        with span("warmstart.probe", circuit=job.circuit) as probe_span:
+            donor = warm.probe_sizing(
+                dag=dag,
+                tech=tech,
+                mode=job.mode,
+                options=topts,
+                delay_spec=job.delay_spec,
+                target=target,
+            )
+            probe_span.set(hit=donor is not None)
     with stats_scope() as flow_stats:
         with span("tilos.seed", circuit=job.circuit) as seed_span:
-            seed = tilos_size(dag, target, timer=timer)
+            if warm is not None:
+                with span("warmstart.seed", circuit=job.circuit) as ws:
+                    seed = tilos_size(
+                        dag, target, topts, timer=timer,
+                        keep_trace=True, warm=donor,
+                    )
+                    ws.set(
+                        result=(seed.warm or {}).get("result") or "cold",
+                        replayed=(seed.warm or {}).get("replayed", 0),
+                    )
+                warm.note_seed((seed.warm or {}).get("result"))
+                warm.stage_sizing(seed, d_min)
+            else:
+                seed = tilos_size(dag, target, timer=timer)
             seed_span.set(iterations=seed.iterations, feasible=seed.feasible)
         payload["seed"] = {
             "feasible": seed.feasible,
@@ -330,16 +386,47 @@ def _wphase_payload(job: Job, circuit, dag, budgets, smp) -> tuple[str, dict]:
     return ("ok" if feasible else "infeasible"), payload
 
 
-def _execute_wphase(job: Job) -> tuple[str, dict]:
-    """Solve one W-phase SMP instance (the batchable kernel workload)."""
+def _execute_wphase(
+    job: Job, warm: WarmSession | None = None
+) -> tuple[str, dict]:
+    """Solve one W-phase SMP instance (the batchable kernel workload).
+
+    ``warm`` is this job's warm-start session (None when the corpus is
+    off): the nearest dominated-budget solution seeds the relaxation —
+    :func:`~repro.sizing.wphase.w_phase` owns the exactness monitor, so
+    the final sizes are bitwise what a cold solve produces (only the
+    sweep count may shrink) — and the fresh solution is staged as this
+    job's own corpus record.
+    """
     from repro.sizing import w_phase
+    from repro.tech import default_technology
 
     with span("wphase.context", circuit=job.circuit):
         circuit, dag, load_delay = _wphase_context(job)
     budgets = _wphase_budgets(dag, load_delay, job.delay_spec)
+    seed = None
+    if warm is not None:
+        with span("warmstart.probe", circuit=job.circuit) as probe_span:
+            seed = warm.probe_wphase(
+                dag=dag,
+                tech=default_technology(),
+                mode=job.mode,
+                engine="vectorized",
+                delay_spec=job.delay_spec,
+                budgets=budgets,
+            )
+            probe_span.set(hit=seed is not None)
     with span("wphase.smp", circuit=job.circuit) as smp_span:
-        result = w_phase(dag, budgets)
+        if seed is not None:
+            with span("warmstart.seed", circuit=job.circuit) as ws:
+                result = w_phase(dag, budgets, warm=seed)
+                ws.set(result=result.warm or "cold")
+        else:
+            result = w_phase(dag, budgets)
         smp_span.set(sweeps=int(result.sweeps), engine=result.engine)
+    if warm is not None:
+        warm.note_seed(result.warm)
+        warm.stage_wphase(result, budgets)
     return _wphase_payload(job, circuit, dag, budgets, result)
 
 
@@ -350,8 +437,15 @@ _EXECUTORS = {
 }
 
 
-def execute_job(job: Job) -> tuple[str, dict]:
-    """Run one job to completion in this process; returns (status, payload)."""
+def execute_job(job: Job, warm: WarmSession | None = None) -> tuple[str, dict]:
+    """Run one job to completion in this process; returns (status, payload).
+
+    ``warm`` (a :class:`~repro.runner.corpus.WarmSession`) reaches the
+    cacheable executors only — phase-timing jobs are wall-clock
+    measurements with nothing to seed.
+    """
+    if warm is not None and job.kind in CACHEABLE_KINDS:
+        return _EXECUTORS[job.kind](job, warm=warm)
     return _EXECUTORS[job.kind](job)
 
 
@@ -378,7 +472,10 @@ def _with_timeout(fn, timeout: float | None):
 
 
 def pool_entry(
-    job: Job, timeout: float | None, trace: dict | None = None
+    job: Job,
+    timeout: float | None,
+    trace: dict | None = None,
+    warm: str | None = None,
 ) -> tuple[str, dict | None, str | None, float, dict | None]:
     """Worker-side wrapper: isolate failures, enforce the timeout.
 
@@ -393,7 +490,15 @@ def pool_entry(
     underneath) buffer in-process, and ``obs`` carries them back as
     ``{"spans": [...]}`` for the parent to merge — how span parentage
     survives the forkserver boundary.  With ``trace=None`` no context
-    is created and ``obs`` is None: tracing costs nothing when off.
+    is created and no span cost is paid: tracing costs nothing when off.
+
+    ``warm`` is an optional warm-corpus backend *spec string* (the
+    corpus holds live connections, so workers resolve it locally and
+    cache the index per process).  The session's telemetry — and the
+    job's own staged corpus record — come back under ``obs["warm"]``;
+    the parent folds the telemetry into metrics and stores the record
+    with the cache entry.  ``obs`` is None only when both tracing and
+    the corpus are off.
     """
     start = time.perf_counter()
     sink = SpanSink() if trace is not None else None
@@ -406,6 +511,7 @@ def pool_entry(
         if sink is not None
         else nullcontext()
     )
+    session = WarmSession.open(warm)
     status: str
     payload: dict | None = None
     error: str | None = None
@@ -417,13 +523,21 @@ def pool_entry(
                 circuit=job.circuit,
                 delay_spec=job.delay_spec,
             ):
-                status, payload = _with_timeout(lambda: execute_job(job), timeout)
+                status, payload = _with_timeout(
+                    lambda: execute_job(job, warm=session), timeout
+                )
     except JobTimeoutError as exc:
         status, error = "timeout", str(exc)
     except Exception as exc:  # noqa: BLE001 — isolation is the point
         status = "failed"
         error = f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
-    obs = {"spans": sink.drain()} if sink is not None else None
+    obs: dict | None = None
+    if sink is not None or session is not None:
+        obs = {}
+        if sink is not None:
+            obs["spans"] = sink.drain()
+        if session is not None:
+            obs["warm"] = session.as_obs()
     return status, payload, error, time.perf_counter() - start, obs
 
 
@@ -667,7 +781,11 @@ def probe_cache(
     )
 
 
-def store_outcome(outcome: JobOutcome, cache: ResultCache | None) -> None:
+def store_outcome(
+    outcome: JobOutcome,
+    cache: ResultCache | None,
+    warm: dict | None = None,
+) -> None:
     """Store a freshly computed, cacheable outcome in the result cache.
 
     No-op for cache misses that failed or timed out, for replayed
@@ -675,6 +793,10 @@ def store_outcome(outcome: JobOutcome, cache: ResultCache | None) -> None:
     Batch telemetry lives on the :class:`JobOutcome` and the JSONL
     record, never in the stored payload — a batched and a per-job
     execution of the same fingerprint must cache identical entries.
+
+    ``warm`` optionally attaches the job's own corpus record to the
+    entry (see :meth:`~repro.runner.cache.ResultCache.put`); it rides
+    next to the payload, never inside it.
     """
     if (
         outcome.completed
@@ -685,7 +807,32 @@ def store_outcome(outcome: JobOutcome, cache: ResultCache | None) -> None:
         # content-addressable, so never cached.
         and outcome.job.kind in CACHEABLE_KINDS
     ):
-        cache.put(outcome.key, outcome.payload)
+        cache.put(outcome.key, outcome.payload, warm=warm)
+
+
+def apply_warm(
+    outcome: JobOutcome, obs: dict | None
+) -> tuple[JobOutcome, dict | None]:
+    """Fold a worker's warm telemetry into its outcome (parent side).
+
+    Returns the (possibly updated) outcome plus the staged corpus
+    record to store with the cache entry.  This is also the single
+    place ``repro_warmstart_total`` moves: worker-side increments would
+    be lost across a process pool and double-counted in-thread, so the
+    counter follows the obs dict home instead.
+    """
+    warm_obs = (obs or {}).get("warm")
+    if not warm_obs:
+        return outcome, None
+    blob = warm_obs.pop("blob", None)
+    record_warm_outcome(warm_obs)
+    outcome = replace(
+        outcome,
+        warm_hit=bool(warm_obs.get("hit")),
+        warm_seeded=bool(warm_obs.get("seeded")),
+        warm_fallback=bool(warm_obs.get("fallback")),
+    )
+    return outcome, blob
 
 
 _UNRESOLVED = object()  # sentinel: run_one must compute the key itself
@@ -697,6 +844,7 @@ def run_one(
     timeout: float | None = None,
     index: int = 0,
     key: str | None | object = _UNRESOLVED,
+    warm: str | None = None,
 ) -> JobOutcome:
     """Run a single job in this process: probe, execute, store.
 
@@ -711,6 +859,9 @@ def run_one(
     service does, to log it); by default it is derived here, and a job
     whose circuit token cannot resolve simply executes uncached and
     fails in isolation, exactly like a campaign job would.
+
+    ``warm`` is an optional warm-corpus backend spec string (see
+    :func:`pool_entry`); cache hits never probe the corpus.
     """
     if key is _UNRESOLVED:
         key = campaign_keys([job], cache)[0]
@@ -721,7 +872,7 @@ def run_one(
             hit = replace(hit, trace_id=ctx.trace_id)
         return hit
     status, payload, error, wall, obs = pool_entry(
-        job, timeout, current_carrier()
+        job, timeout, current_carrier(), warm
     )
     emit_obs(obs)
     outcome = JobOutcome(
@@ -735,7 +886,8 @@ def run_one(
         error=error,
         trace_id=ctx.trace_id if ctx is not None else None,
     )
-    store_outcome(outcome, cache)
+    outcome, warm_blob = apply_warm(outcome, obs)
+    store_outcome(outcome, cache, warm=warm_blob)
     return outcome
 
 
@@ -776,6 +928,7 @@ def run_campaign(
     keys: list[str | None] | None = None,
     batch: bool = False,
     trace_sink: SpanSink | None = None,
+    warm_corpus: str | None = None,
 ) -> CampaignResult:
     """Run a campaign; returns outcomes in job-expansion order.
 
@@ -802,6 +955,14 @@ def run_campaign(
     ``trace.jsonl``) as children of that root.  Payloads, cache
     entries and the run digest are byte-identical with tracing on or
     off.
+
+    ``warm_corpus`` is an optional corpus backend spec string: each
+    cache-missed job probes it for the nearest prior solution and
+    seeds its solver (payloads stay bitwise-identical to cold runs —
+    the solver hooks own the fallback), and every completed job's own
+    trajectory is stored with its cache entry for future probes, so a
+    drifting sweep warms itself up as it goes.  Batched groups run
+    cold: the stacked kernel has no per-job seeding story.
     """
     if isinstance(spec, CampaignSpec):
         name = spec.name
@@ -829,6 +990,7 @@ def run_campaign(
         return {"trace_id": trace_id, "parent_id": root_id}
 
     def finish(outcome: JobOutcome, obs: dict | None = None) -> None:
+        outcome, warm_blob = apply_warm(outcome, obs)
         if tracing:
             trace_id, root_id = trace_ids[outcome.index]
             outcome = replace(outcome, trace_id=trace_id)
@@ -850,7 +1012,7 @@ def run_campaign(
             })
             trace_sink.emit_many(records)
         slots[outcome.index] = outcome
-        store_outcome(outcome, cache)
+        store_outcome(outcome, cache, warm=warm_blob)
         if on_outcome is not None:
             on_outcome(outcome)
 
@@ -891,7 +1053,7 @@ def run_campaign(
     if pending and jobs <= 1:
         for index, job, key in pending:
             status, payload, error, wall, obs = pool_entry(
-                job, timeout, carrier_for(index)
+                job, timeout, carrier_for(index), warm_corpus
             )
             finish(JobOutcome(
                 index=index,
@@ -906,8 +1068,9 @@ def run_campaign(
     elif pending:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = {
-                pool.submit(pool_entry, job, timeout, carrier_for(index)):
-                    (index, job, key)
+                pool.submit(
+                    pool_entry, job, timeout, carrier_for(index), warm_corpus
+                ): (index, job, key)
                 for index, job, key in pending
             }
             remaining = set(futures)

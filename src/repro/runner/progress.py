@@ -126,6 +126,9 @@ class RunLog:
         }
         if outcome.trace_id is not None:
             record["trace_id"] = outcome.trace_id
+        warm = outcome.warm_summary()
+        if warm is not None:
+            record["warm"] = warm
         if outcome.batch_size:
             record["batch_size"] = outcome.batch_size
             record["batched_seconds"] = outcome.batched_seconds

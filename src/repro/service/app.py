@@ -79,8 +79,10 @@ from repro.obs.trace import (
 )
 from repro.runner import DEFAULT_CACHE_DIR
 from repro.runner.cache import ResultCache, job_key, netlist_digest
+from repro.runner.corpus import warmstart_counts
 from repro.runner.executor import (
     JobOutcome,
+    apply_warm,
     batch_entry,
     batch_groups,
     pool_entry,
@@ -243,6 +245,12 @@ class SizingService:
     ``trace=False`` disables span collection entirely (``--no-trace``;
     metrics stay on — they are nearly free).  With tracing on and a
     ``run_dir``, spans append to ``run_dir/trace.jsonl``.
+
+    ``warm_corpus`` (a cache backend spec string) turns on corpus warm
+    starts: cache misses probe prior solutions for a seed, with a
+    divergence monitor guaranteeing results bitwise identical to a
+    cold run (see :mod:`repro.runner.corpus`).  Batched drains run
+    cold — stacked solves have no per-job seeding point.
     """
 
     def __init__(
@@ -259,6 +267,7 @@ class SizingService:
         sync_wait: float = 300.0,
         batch_drain: int | None = None,
         trace: bool = True,
+        warm_corpus: str | None = None,
     ):
         if jobs < 1:
             raise ServiceError(f"jobs must be >= 1, got {jobs}", status=500)
@@ -267,6 +276,7 @@ class SizingService:
                 f"batch_drain must be >= 1, got {batch_drain}", status=500
             )
         self.batch_drain = batch_drain
+        self.warm_corpus = warm_corpus
         if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
         self.cache = cache
@@ -479,9 +489,14 @@ class SizingService:
         and ``/v1/metrics`` read the identical cells.  ``obs`` is the
         worker-side span bundle shipped back in the result tuple; its
         spans are folded into the phase-seconds metrics and appended to
-        this replica's ``trace.jsonl``.
+        this replica's ``trace.jsonl``.  Warm-corpus telemetry rides
+        the same bundle: :func:`~repro.runner.executor.apply_warm`
+        moves the ``repro_warmstart_total`` counter (parent-side, like
+        the campaign driver) and hands back the job's staged corpus
+        record, stored alongside the cache entry.
         """
-        store_outcome(outcome, self.cache)
+        outcome, warm_blob = apply_warm(outcome, obs)
+        store_outcome(outcome, self.cache, warm=warm_blob)
         self.admission.observe_drain(outcome.wall_seconds)
         self._m_executed.inc()
         self._m_finished.inc(status=outcome.status)
@@ -561,7 +576,8 @@ class SizingService:
                 return self._await_queued(record)
             self.store.mark_running(record.id)
             future = self._pool.submit(
-                pool_entry, record.job, self.timeout, self._carrier()
+                pool_entry, record.job, self.timeout, self._carrier(),
+                self.warm_corpus,
             )
             outcome, obs = self._outcome_from(record, future.result())
             return self._finish(record, outcome, obs)
@@ -588,7 +604,8 @@ class SizingService:
                 # it.
                 return self.store.get(record.id)
             future = self._pool.submit(
-                pool_entry, record.job, self.timeout, self._carrier()
+                pool_entry, record.job, self.timeout, self._carrier(),
+                self.warm_corpus,
             )
         self.store.mark_running(record.id)
 
@@ -698,7 +715,8 @@ class SizingService:
                 return
             try:
                 raw = self._pool.submit(
-                    pool_entry, record.job, self.timeout, self._carrier()
+                    pool_entry, record.job, self.timeout, self._carrier(),
+                    self.warm_corpus,
                 ).result()
             except Exception as exc:  # pool broke under this job
                 raw = ("failed", None, f"{type(exc).__name__}: {exc}", 0.0)
@@ -808,7 +826,8 @@ class SizingService:
             carrier = carriers[pos]
             try:
                 raw = self._pool.submit(
-                    pool_entry, record.job, self.timeout, carrier
+                    pool_entry, record.job, self.timeout, carrier,
+                    self.warm_corpus,
                 ).result()
             except Exception as exc:  # pool broke under this job
                 raw = ("failed", None, f"{type(exc).__name__}: {exc}", 0.0)
@@ -928,6 +947,7 @@ class SizingService:
                 "kind": "thread" if self.jobs == 1 else "process",
                 "timeout": self.timeout,
                 "batch_drain": self.batch_drain,
+                "warm_corpus": self.warm_corpus,
             },
             "cache_dir": (
                 str(self.cache.root) if self.cache is not None else None
@@ -946,6 +966,7 @@ class SizingService:
                 else {"mode": "local", "depth": self.store.depth()}
             ),
             "admission": self.admission.counters(),
+            "warmstart": warmstart_counts(),
             "flow": flow,
         }
 

@@ -66,6 +66,9 @@ class JobRecord:
     #: this job to its span tree in ``trace.jsonl``; None with tracing
     #: off.
     trace: str | None = None
+    #: Warm-start flags (``{"hit", "seeded", "fallback"}``) when the
+    #: corpus touched this job; None for cold runs and cache replays.
+    warm: dict | None = None
     #: Full result payload, held in memory for the current process
     #: only; after a restart it is re-read from the result cache.
     payload: dict | None = field(default=None, repr=False)
@@ -101,6 +104,7 @@ class JobRecord:
             "created_at": self.created_at,
             "finished_at": self.finished_at,
             "trace_id": self.trace_id,
+            "warm": self.warm,
         }
 
 
@@ -174,6 +178,7 @@ class JobStore:
                 record.error = entry.get("error")
                 record.finished_at = entry.get("finished_at")
                 record.trace = entry.get("trace") or record.trace
+                record.warm = entry.get("warm")
         for record in self._records.values():
             number = _id_number(record.id)
             if number is not None:
@@ -245,6 +250,7 @@ class JobStore:
             record.error = outcome.error
             record.payload = outcome.payload
             record.finished_at = time.time()
+            record.warm = outcome.warm_summary()
             self._changed.notify_all()
             record = replace(record)
         self._append({
@@ -259,6 +265,7 @@ class JobStore:
             "error": record.error,
             "finished_at": record.finished_at,
             "trace": record.trace,
+            "warm": record.warm,
         })
         return record
 

@@ -62,7 +62,8 @@ _SCHEMA = """
         error TEXT,
         payload TEXT,
         finished_at REAL,
-        trace TEXT
+        trace TEXT,
+        warm TEXT
     )
 """
 
@@ -71,6 +72,7 @@ _SCHEMA = """
 _MIGRATIONS = (
     ("duration_s", "REAL"),
     ("trace", "TEXT"),
+    ("warm", "TEXT"),
 )
 
 
@@ -174,6 +176,7 @@ class WorkQueue:
             error=row["error"],
             finished_at=row["finished_at"],
             trace=row["trace"],
+            warm=json.loads(row["warm"]) if row["warm"] else None,
             payload=json.loads(row["payload"]) if row["payload"] else None,
         )
 
@@ -246,12 +249,13 @@ class WorkQueue:
             if anchor is not None
             else outcome.duration_s
         )
+        warm = outcome.warm_summary()
         with self._txn() as conn:
             conn.execute(
                 "UPDATE jobs SET status = ?, cached = ?, wall_seconds = ?, "
                 "duration_s = ?, summary = ?, error = ?, payload = ?, "
-                "finished_at = ?, lease_owner = NULL, lease_expires = NULL "
-                "WHERE id = ?",
+                "finished_at = ?, warm = ?, lease_owner = NULL, "
+                "lease_expires = NULL WHERE id = ?",
                 (
                     outcome.status,
                     int(outcome.cached),
@@ -264,6 +268,7 @@ class WorkQueue:
                         if outcome.payload is not None else None
                     ),
                     time.time(),
+                    json.dumps(warm) if warm is not None else None,
                     job_id,
                 ),
             )

@@ -498,6 +498,7 @@ def serve(
     quota_burst: float | None = None,
     batch_drain: int | None = None,
     trace: bool = True,
+    warm_corpus: str | None = None,
 ) -> int:
     """Run the sizing service until interrupted (the CLI entry point).
 
@@ -509,7 +510,9 @@ def serve(
     ``quota_rate``/``quota_burst`` configure admission control;
     ``batch_drain`` (queue mode) fuses leased batchable jobs into
     stacked kernel calls; ``trace=False`` (``--no-trace``) disables
-    span collection.  Returns the process exit code.
+    span collection; ``warm_corpus`` (a backend spec) turns on corpus
+    warm starts for cache misses (results stay bitwise identical to
+    cold runs).  Returns the process exit code.
     """
     from repro.runner import DEFAULT_CACHE_DIR
 
@@ -520,7 +523,7 @@ def serve(
         jobs=jobs, cache=cache_arg, run_dir=run_dir, timeout=timeout,
         queue=queue, max_queue_depth=max_queue_depth,
         quota_rate=quota_rate, quota_burst=quota_burst,
-        batch_drain=batch_drain, trace=trace,
+        batch_drain=batch_drain, trace=trace, warm_corpus=warm_corpus,
     )
     server = make_server(service, host=host, port=port)
     host_shown, port_shown = server.server_address[:2]

@@ -215,6 +215,7 @@ def solve_smp_blocked(
     plan: SmpPlan,
     max_sweeps: int = 200,
     tol: float = 1e-10,
+    x0: np.ndarray | None = None,
 ) -> SmpResult:
     """Level-blocked relaxation: the vectorized twin of ``solve_smp``.
 
@@ -224,6 +225,11 @@ def solve_smp_blocked(
     iterates as the scalar sweep (see the module docstring for the
     read-order argument), so results agree to float reassociation
     noise and the sweep count is identical.
+
+    ``x0`` optionally replaces ``lower`` as the starting point; the
+    relaxation only moves sizes up, so the least fixed point is reached
+    unchanged exactly when ``lower <= x0 <= lfp`` — the caller owns
+    that certificate (see :func:`repro.sizing.wphase.w_phase`).
     """
     start = time.perf_counter()
     budgets = np.asarray(budgets, dtype=float)
@@ -231,7 +237,7 @@ def solve_smp_blocked(
     law = model.law
     b = model.b
 
-    x = lower.astype(float).copy()
+    x = lower.astype(float).copy() if x0 is None else np.array(x0, dtype=float)
     scale = float(np.max(np.abs(upper))) or 1.0
     threshold = tol * scale
     for sweep in range(1, max_sweeps + 1):

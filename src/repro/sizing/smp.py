@@ -90,6 +90,7 @@ def solve_smp(
     max_sweeps: int = 200,
     tol: float = 1e-10,
     engine: str = "scalar",
+    x0: np.ndarray | None = None,
 ) -> SmpResult:
     """Compute minimal sizes meeting per-vertex delay budgets.
 
@@ -105,6 +106,12 @@ def solve_smp(
     a :class:`~repro.dag.circuit_dag.SizingDag` should prefer
     :func:`repro.sizing.wphase.w_phase`, which reuses a cached level
     plan instead of rebuilding it per call.
+
+    ``x0`` optionally replaces ``lower`` as the starting point.  The
+    relaxation only ever moves sizes up, so the least fixed point is
+    reached unchanged exactly when ``lower <= x0 <= lfp`` elementwise —
+    callers own that certificate (see
+    :func:`repro.sizing.wphase.w_phase`'s dominated-budget gate).
     """
     if engine == "vectorized":
         from repro.sizing.kernels import build_smp_plan, solve_smp_blocked
@@ -112,7 +119,7 @@ def solve_smp(
         plan = build_smp_plan(model, sweep_order)
         return solve_smp_blocked(
             model, budgets, lower, upper, plan,
-            max_sweeps=max_sweeps, tol=tol,
+            max_sweeps=max_sweeps, tol=tol, x0=x0,
         )
     if engine != "scalar":
         raise SizingError(
@@ -128,7 +135,7 @@ def solve_smp(
     b = model.b
     law = model.law
 
-    x = lower.astype(float).copy()
+    x = lower.astype(float).copy() if x0 is None else np.array(x0, dtype=float)
     scale = float(np.max(np.abs(upper))) or 1.0
     for sweep in range(1, max_sweeps + 1):
         largest_move = 0.0

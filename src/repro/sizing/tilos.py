@@ -33,12 +33,13 @@ time.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
 from repro.dag.circuit_dag import SizingDag
 from repro.errors import InfeasibleTimingError, SizingError
+from repro.sizing.fingerprint import dag_digest
 from repro.sizing.kernels import get_tilos_plan
 from repro.timing.incremental import IncrementalTimer
 from repro.timing.sta import GraphTimer
@@ -101,6 +102,14 @@ class TilosResult:
     #: time split (``scan_seconds`` for candidate scoring,
     #: ``refresh_seconds`` for post-bump delay updates).
     timing_stats: dict = field(default_factory=dict)
+    #: Vertices bumped at each iteration, recorded alongside ``trace``
+    #: when ``keep_trace`` is on — the trajectory the warm-start corpus
+    #: stores and :func:`tilos_size` can replay.
+    bumps: list[list[int]] | None = None
+    #: Warm-start telemetry, set only when a donor record was offered:
+    #: ``result`` ("seeded" or "fallback"), ``replayed`` (bumps
+    #: fast-forwarded) and, on fallback, the ``reason``.
+    warm: dict | None = None
 
 
 class _TimingFacade:
@@ -173,12 +182,26 @@ def tilos_size(
     x0: np.ndarray | None = None,
     timer: GraphTimer | None = None,
     keep_trace: bool = False,
+    warm: dict | None = None,
 ) -> TilosResult:
     """Size ``dag`` to meet ``target`` with the TILOS greedy heuristic.
 
     Returns an infeasible result (``feasible=False``) when the target
     cannot be reached — callers that require success should check or
     use :func:`require_feasible`.
+
+    ``warm`` optionally carries a corpus record (see
+    :mod:`repro.runner.corpus`) with a previously recorded trajectory
+    for the *same* instance at a possibly different target.  The greedy
+    bump choice depends only on the current state — the target merely
+    decides where the loop stops — so a donor trajectory can be
+    fast-forwarded exactly: replay the recorded bumps up to the first
+    point whose recorded delay meets the new target, using the
+    identical arithmetic as the cold loop, then resume the loop from
+    there.  A structural digest gate, exact option match and a bitwise
+    check of the replayed critical-path delay guard the shortcut; any
+    mismatch restarts cold, so the returned sizes are bitwise-identical
+    to a cold run either way.
     """
     options = options or TilosOptions()
     model = dag.model
@@ -221,23 +244,96 @@ def tilos_size(
 
     start = time.perf_counter()
     delays = model.delays(x)
-    facade = _TimingFacade(dag, delays, options.engine, timer)
-    clock = _KernelClock(options.kernel)
     trace: list[float] = []
+    bumps: list[list[int]] = []
     iterations = 0
+    warm_info: dict | None = None
+    if warm is not None:
+        warm_info = {"result": "fallback", "replayed": 0}
+        reason = _warm_gate(warm, dag, options, x0)
+        warm_bumps: list = []
+        warm_trace: list = []
+        j = 0
+        attempted = False
+        if reason is None:
+            attempted = True
+            warm_bumps = warm["data"]["bumps"]
+            warm_trace = warm["data"]["trace"]
+            # First recorded point that already meets the new target —
+            # replay exactly that many bumps (the donor's own stopping
+            # point when no recorded delay is small enough), bounded by
+            # the iteration cap the cold loop would hit first.
+            j = len(warm_bumps)
+            for i, cp_i in enumerate(warm_trace):
+                if cp_i <= target:
+                    j = i
+                    break
+            j = min(j, options.max_iterations)
+            try:
+                for step in warm_bumps[:j]:
+                    # Identical arithmetic to the cold loop's bump +
+                    # refresh below — bitwise equality by construction.
+                    if vectorized:
+                        chosen = np.asarray(step, dtype=np.int64)
+                        x[chosen] = np.minimum(
+                            x[chosen] * options.bump, upper[chosen]
+                        )
+                        changed = np.unique(np.concatenate(
+                            [chosen]
+                            + [plan.dependents(int(v)) for v in chosen]
+                        ))
+                        plan.refresh_delays(model, changed, x, delays)
+                    else:
+                        touched: set[int] = set()
+                        for v in step:
+                            x[v] = min(x[v] * options.bump, upper[v])
+                            touched.add(v)
+                            touched.update(plan.dependents(v).tolist())
+                        for u in sorted(touched):
+                            delays[u] = vertex_delay(u)
+            except Exception:  # noqa: BLE001 — any replay error → cold
+                reason = "replay failed"
+        if reason is None:
+            facade = _TimingFacade(dag, delays, options.engine, timer)
+            if facade.critical_path_delay == warm_trace[j]:
+                iterations = j
+                if keep_trace:
+                    trace = [float(cp_i) for cp_i in warm_trace[:j]]
+                    bumps = [
+                        [int(v) for v in step] for step in warm_bumps[:j]
+                    ]
+                warm_info["result"] = "seeded"
+                warm_info["replayed"] = j
+            else:
+                reason = "replayed delay trace diverged"
+        if reason is not None:
+            warm_info["reason"] = reason
+            if attempted:
+                # Cold restart: rebuild every piece of replay-touched
+                # state (the gate admits only x0=None runs, so minimum
+                # sizes are the cold starting point by definition).
+                x = dag.min_sizes()
+                delays = model.delays(x)
+                trace = []
+                bumps = []
+                iterations = 0
+            facade = _TimingFacade(dag, delays, options.engine, timer)
+    else:
+        facade = _TimingFacade(dag, delays, options.engine, timer)
+    clock = _KernelClock(options.kernel)
     while True:
         cp = facade.critical_path_delay
         if keep_trace:
             trace.append(cp)
         if cp <= target:
             return _result(
-                dag, x, cp, target, iterations, True, start, trace, facade,
-                clock,
+                dag, x, cp, target, iterations, True, start, trace,
+                bumps if keep_trace else None, facade, clock, warm_info,
             )
         if iterations >= options.max_iterations:
             return _result(
-                dag, x, cp, target, iterations, False, start, trace, facade,
-                clock,
+                dag, x, cp, target, iterations, False, start, trace,
+                bumps if keep_trace else None, facade, clock, warm_info,
             )
 
         path = facade.critical_path()
@@ -258,8 +354,8 @@ def tilos_size(
         if no_candidates or best_sensitivity <= 0:
             # No critical-path resize helps: greedy is stuck.
             return _result(
-                dag, x, cp, target, iterations, False, start, trace, facade,
-                clock,
+                dag, x, cp, target, iterations, False, start, trace,
+                bumps if keep_trace else None, facade, clock, warm_info,
             )
 
         tick = time.perf_counter()
@@ -270,8 +366,10 @@ def tilos_size(
                 [chosen] + [plan.dependents(int(v)) for v in chosen]
             ))
             plan.refresh_delays(model, changed, x, delays)
+            if keep_trace:
+                bumps.append([int(v) for v in chosen])
         else:
-            touched: set[int] = set()
+            touched = set()
             for _sens, v in candidates[: options.batch]:
                 x[v] = min(x[v] * options.bump, upper[v])
                 touched.add(v)
@@ -279,6 +377,9 @@ def tilos_size(
             changed = sorted(touched)
             for u in changed:
                 delays[u] = vertex_delay(u)
+            if keep_trace:
+                bumps.append([int(v) for _sens, v in
+                              candidates[: options.batch]])
         clock.refresh_seconds += time.perf_counter() - tick
         facade.update(changed, delays)
         iterations += 1
@@ -295,6 +396,50 @@ def require_feasible(result: TilosResult) -> TilosResult:
     return result
 
 
+def _warm_gate(
+    warm: object,
+    dag: SizingDag,
+    options: TilosOptions,
+    x0: np.ndarray | None,
+) -> str | None:
+    """Why a warm record may NOT be replayed (None when it may).
+
+    Replay is bitwise-equal to a cold run only when the instance
+    (structural digest) and the full option vector match exactly and
+    the run starts from minimum sizes — anything else falls back.
+    """
+    if x0 is not None:
+        return "explicit x0 seed"
+    if not isinstance(warm, dict):
+        return "not a record"
+    if warm.get("kind") != "sizing":
+        return "wrong record kind"
+    if warm.get("options") != asdict(options):
+        return "option vector mismatch"
+    data = warm.get("data")
+    if not isinstance(data, dict):
+        return "missing data"
+    bumps, trace = data.get("bumps"), data.get("trace")
+    if not isinstance(bumps, list) or not isinstance(trace, list):
+        return "missing trajectory"
+    if len(trace) != len(bumps) + 1:
+        return "trace/bump length mismatch"
+    n = dag.n
+    for step in bumps:
+        if not isinstance(step, list) or not step:
+            return "malformed bump step"
+        for v in step:
+            if (not isinstance(v, int) or isinstance(v, bool)
+                    or not 0 <= v < n):
+                return "bump vertex out of range"
+    for cp in trace:
+        if not isinstance(cp, (int, float)) or isinstance(cp, bool):
+            return "malformed delay trace"
+    if warm.get("dag_sha") != dag_digest(dag):
+        return "instance mismatch"
+    return None
+
+
 def _result(
     dag: SizingDag,
     x: np.ndarray,
@@ -304,8 +449,10 @@ def _result(
     feasible: bool,
     start: float,
     trace: list[float],
+    bumps: list[list[int]] | None,
     facade: _TimingFacade,
     clock: _KernelClock,
+    warm_info: dict | None,
 ) -> TilosResult:
     stats = facade.timing_stats()
     stats["kernel"] = clock.kernel
@@ -321,4 +468,6 @@ def _result(
         runtime_seconds=time.perf_counter() - start,
         trace=trace,
         timing_stats=stats,
+        bumps=bumps,
+        warm=warm_info,
     )

@@ -17,6 +17,10 @@ import pytest
 
 ROOT = Path(__file__).resolve().parent.parent
 
+#: Real subprocess runs of full example campaigns — the classic slow
+#: smoke (see ``tests/conftest.py`` for the marker contract).
+pytestmark = pytest.mark.slow
+
 #: script -> marker that its last verification step prints.
 EXAMPLES = {
     "examples/size_one.py": "read back intact",

@@ -309,3 +309,75 @@ class TestWaterfall:
         path.write_text(json.dumps(_spans(("r", None, "job"))[0]) + "\n")
         with pytest.raises(ReproError):
             trace_report("unknown-trace-id", files=(path,))
+
+
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"')
+
+
+def _exposed_series(text: str, family: str) -> dict[tuple, float]:
+    """Parse one metric family's series out of a Prometheus exposition:
+    ``{sorted (label, value) pairs: sample value}``."""
+    out: dict[tuple, float] = {}
+    for line in text.splitlines():
+        if not line.startswith(family + "{"):
+            continue
+        labels_part, value = line.rsplit(" ", 1)
+        labels = tuple(sorted(_LABEL.findall(labels_part)))
+        out[labels] = float(value)
+    return out
+
+
+class TestStatsMetricsConsistency:
+    """``/v1/stats`` is a *view* over the same registry cells the
+    ``/v1/metrics`` exposition serializes — the two endpoints can never
+    disagree.  Pinned here for the per-backend flow stats (including
+    the ``warm_solves`` / ``warm_flow_reused`` SolveStats counters) and
+    the warm-start corpus totals this PR adds."""
+
+    def test_flow_and_warmstart_views_match_exposition(self, tmp_path):
+        from repro.runner.corpus import warmstart_counts
+        from repro.service import SizingService
+
+        before = warmstart_counts()
+        service = SizingService(
+            jobs=1,
+            cache=tmp_path / "cache",
+            run_dir=None,
+            warm_corpus=f"disk:{tmp_path / 'cache'}",
+        )
+        try:
+            # Two drifting targets: the first is a corpus miss, the
+            # second probes the first's record.
+            service.size_sync({"circuit": "rca:6", "delay_spec": 0.9})
+            service.size_sync({"circuit": "rca:6", "delay_spec": 0.85})
+            stats = service.stats()
+            text = service.metrics_text()
+        finally:
+            service.close()
+
+        flow = stats["flow"]
+        assert flow, "sizing jobs recorded no flow stats"
+        for fields in flow.values():
+            # Every SolveStats field is surfaced, warm counters included.
+            assert "warm_solves" in fields
+            assert "warm_flow_reused" in fields
+        exposed_flow = _exposed_series(text, "repro_flow_stat")
+        stats_flow = {
+            (("backend", backend), ("field", field_name)): float(value)
+            for backend, fields in flow.items()
+            for field_name, value in fields.items()
+        }
+        assert stats_flow == exposed_flow
+
+        warm = stats["warmstart"]
+        delta = {
+            key: warm.get(key, 0) - before.get(key, 0) for key in warm
+        }
+        assert delta.get("miss", 0) >= 1  # first job probed an empty corpus
+        assert delta.get("seeded", 0) + delta.get("fallback", 0) >= 1
+        exposed_warm = _exposed_series(text, "repro_warmstart_total")
+        stats_warm = {
+            (("result", result),): float(count)
+            for result, count in warm.items()
+        }
+        assert stats_warm == exposed_warm

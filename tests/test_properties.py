@@ -9,7 +9,9 @@ Random circuits and sizings exercise:
 * scale invariance of sizing decisions,
 * batched-kernel fixed points independent of batch grouping and order,
 * cache-key invariance under job reordering,
-* serialize round-trip identity on schema-v2 payloads.
+* serialize round-trip identity on schema-v2 payloads,
+* warm-start fingerprints invariant under relabeling, and retrieval
+  distance symmetric and zero exactly on identical (circuit, options).
 """
 
 import json
@@ -20,6 +22,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.balancing import balance, verify_configuration
+from repro.circuit import Circuit
 from repro.dag import build_sizing_dag
 from repro.flow import (
     DifferenceConstraintLP,
@@ -28,9 +31,15 @@ from repro.flow import (
 )
 from repro.generators import random_logic
 from repro.runner.cache import job_key
+from repro.runner.corpus import WarmSession
 from repro.runner.executor import campaign_keys
 from repro.runner.spec import Job
 from repro.sizing import w_phase
+from repro.sizing.fingerprint import (
+    dag_digest,
+    dag_features,
+    fingerprint_distance,
+)
 from repro.sizing.batch import build_batched_smp_plan, solve_smp_batched
 from repro.sizing.kernels import get_smp_plan, solve_smp_blocked
 from repro.sizing.result import IterationRecord, SizingResult
@@ -289,6 +298,115 @@ class TestCacheKeyProperties:
             assert shuffled[position] == forward[i]
         for job, key in zip(jobs, forward):
             assert key == job_key(job)
+
+
+@st.composite
+def small_circuits(draw):
+    """Random netlists (not yet DAGs) so tests can relabel them."""
+    n_gates = draw(st.integers(min_value=4, max_value=30))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    locality = draw(st.sampled_from([4, 12, 48]))
+    return random_logic(
+        n_gates, n_inputs=4, n_outputs=3, seed=seed, locality=locality
+    )
+
+
+def _relabeled(circuit: Circuit, seed: int) -> Circuit:
+    """Isomorphic copy: fresh net/gate names, permuted insertion order."""
+    rng = np.random.default_rng(seed)
+    nets = list(circuit.inputs) + [g.output for g in circuit.gates]
+    net_map = {
+        net: f"net{int(k)}" for net, k in zip(nets, rng.permutation(len(nets)))
+    }
+    gates = list(circuit.gates)
+    clone = Circuit(circuit.name + "-relabeled", library=circuit.library)
+    for net in circuit.inputs:
+        clone.add_input(net_map[net])
+    for i in rng.permutation(len(gates)):
+        gate = gates[int(i)]
+        clone.add_gate(
+            f"inst{int(i)}",
+            gate.cell,
+            [net_map[n] for n in gate.inputs],
+            net_map[gate.output],
+        )
+    for net in circuit.outputs:
+        clone.mark_output(net_map[net])
+    return clone.freeze()
+
+
+@st.composite
+def corpus_queries(draw):
+    """Corpus query records over random circuits, the exact dict shape
+    the warm-start retrieval ranks (``WarmSession._build_query``)."""
+    dag = build_sizing_dag(draw(small_circuits()), _TECH, mode="gate")
+    options = {
+        "bump": draw(st.sampled_from([1.05, 1.1, 1.2])),
+        "engine": draw(st.sampled_from(["incremental", "scalar"])),
+    }
+    delay_spec = draw(st.sampled_from([0.6, 0.8, 0.9, None]))
+    target = draw(st.sampled_from([1.0, 2.5, None]))
+    return WarmSession(None)._build_query(
+        "sizing", dag=dag, tech=_TECH, mode="gate", options=options,
+        delay_spec=delay_spec, target=target,
+    )
+
+
+class TestFingerprintProperties:
+    """The warm-start corpus contracts from ISSUE: features invariant
+    under node relabeling and insertion order; retrieval distance
+    symmetric and zero exactly on identical (circuit, options) pairs."""
+
+    @given(small_circuits(), st.integers(min_value=0, max_value=9999))
+    @settings(**_SETTINGS)
+    def test_features_invariant_under_relabeling(self, circuit, seed):
+        dag = build_sizing_dag(circuit, _TECH, mode="gate")
+        relabeled = build_sizing_dag(
+            _relabeled(circuit, seed), _TECH, mode="gate"
+        )
+        assert dag_features(relabeled) == dag_features(dag)
+
+    @given(small_circuits())
+    @settings(**_SETTINGS)
+    def test_digest_and_features_deterministic(self, circuit):
+        """Rebuilding the DAG from the same netlist reproduces both
+        identity levels exactly (what makes cache rows comparable
+        across processes)."""
+        dag1 = build_sizing_dag(circuit, _TECH, mode="gate")
+        dag2 = build_sizing_dag(circuit, _TECH, mode="gate")
+        assert dag_digest(dag1) == dag_digest(dag2)
+        assert dag_features(dag1) == dag_features(dag2)
+
+    @given(corpus_queries(), corpus_queries())
+    @settings(**_SETTINGS)
+    def test_distance_symmetric(self, a, b):
+        d = fingerprint_distance(a, b)
+        assert d >= 0.0
+        assert fingerprint_distance(b, a) == d
+
+    @given(corpus_queries(), st.integers(min_value=0, max_value=9999))
+    @settings(**_SETTINGS)
+    def test_distance_zero_iff_identical_pair(self, query, seed):
+        clone = json.loads(json.dumps(query))
+        assert fingerprint_distance(query, clone) == 0.0
+        # Any perturbation of the (circuit, options) identity moves the
+        # distance strictly off zero...
+        other_options = dict(query["options"], bump=9.9)
+        assert fingerprint_distance(
+            query, dict(clone, options=other_options)
+        ) > 0.0
+        assert fingerprint_distance(query, dict(clone, kind="wphase")) > 0.0
+        assert fingerprint_distance(query, dict(clone, tech="other")) > 0.0
+        spec = query["delay_spec"]
+        bumped_spec = 0.7 if spec is None else spec + 0.05
+        assert fingerprint_distance(
+            query, dict(clone, delay_spec=bumped_spec)
+        ) > 0.0
+        # ...and a different circuit identity costs >= 1, so an exact
+        # repeat always outranks cross-circuit transfer.
+        assert fingerprint_distance(
+            query, dict(clone, dag_sha="0" * 64)
+        ) >= 1.0
 
 
 _FINITE = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)

@@ -151,6 +151,7 @@ class TestTransport:
         assert not spool.exists()
 
 
+@pytest.mark.slow
 class TestConcurrency:
     @pytest.fixture()
     def pooled(self, tmp_path):

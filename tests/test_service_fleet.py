@@ -505,6 +505,7 @@ def _parse_exposition(text):
     return series
 
 
+@pytest.mark.slow
 class TestFleetObservability:
     """The tentpole acceptance path: one trace id across two replicas,
     and /v1/metrics as an exact view over the run."""
