@@ -202,6 +202,13 @@ def compare_service(baseline: dict, current: dict, threshold: float) -> list[str
             f"{cur.get('trace_overhead_ratio', 0.0):.3f}x traced vs "
             f"untraced; gate is 1.05x with a 0.5ms absolute backstop)"
         )
+    if not cur.get("fault_overhead_ok", True):
+        failures.append(
+            f"fault-probe overhead on the warm path exceeds its "
+            f"ceiling (warm p50 ratio "
+            f"{cur.get('fault_overhead_ratio', 0.0):.3f}x armed vs "
+            f"off; gate is 1.05x with a 0.5ms absolute backstop)"
+        )
     base_speedup = base.get("speedup_warm_vs_cold")
     cur_speedup = cur.get("speedup_warm_vs_cold")
     if base_speedup and cur_speedup:

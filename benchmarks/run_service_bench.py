@@ -24,11 +24,17 @@ the machine-independent signals are:
   5% of the same workload with ``trace=False`` (absolute backstop
   0.5ms, since warm p50 is noisy on shared runners).
 
+* **fault_overhead_ok** — warm p50 with the fault-injection harness
+  armed (an injector installed, rules on an inert site, so every probe
+  pays its lookup but nothing fires) stays within 5% of the same
+  workload with faults off entirely (same 0.5ms backstop).
+
 Phases: **cold** (N unique jobs over C client threads), **warm** (the
 same jobs twice more, all hits), **fleet** (two in-process replicas on
 one shared sqlite queue + cache: jobs computed on replica A replay on
 replica B), **flood** (quota-bounded burst of async submissions),
-**trace_overhead** (warm p50 with spans on vs ``trace=False``).
+**trace_overhead** (warm p50 with spans on vs ``trace=False``),
+**fault_overhead** (warm p50 with an armed injector vs none).
 
 Usage::
 
@@ -51,6 +57,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.errors import ServiceError  # noqa: E402
+from repro.faults.injector import uninstall as uninstall_faults  # noqa: E402
 from repro.service import ServiceClient, SizingService, make_server  # noqa: E402
 from repro.sizing.serialize import canonical_json  # noqa: E402
 
@@ -60,6 +67,8 @@ FLOOD_REQUESTS = 16
 TARGET_WARM_SPEEDUP = 2.0
 TRACE_OVERHEAD_CEILING = 1.05
 TRACE_OVERHEAD_BACKSTOP_S = 0.0005
+FAULT_OVERHEAD_CEILING = 1.05
+FAULT_OVERHEAD_BACKSTOP_S = 0.0005
 
 
 def _percentile(samples: list[float], q: float) -> float:
@@ -234,6 +243,47 @@ def bench_trace_overhead(scratch: Path, clients: int, unique: int) -> dict:
     }
 
 
+def bench_fault_overhead(scratch: Path, clients: int, unique: int) -> dict:
+    """Warm-path p50 with the fault harness armed vs fully off.
+
+    The armed side installs a real injector whose only rule targets an
+    inert site, so every wired-in probe (``cache.get``, ``queue.*``,
+    ``http.response``, ...) pays the full lookup cost without ever
+    firing — the worst honest case for a production service running
+    with ``--faults`` unset or pointed elsewhere.  Same ratio + absolute
+    backstop shape as the trace gate, for the same noisy-runner reason.
+    """
+
+    def warm_p50(label: str, faults: str | None) -> float:
+        box = _Box(
+            jobs=1, cache=scratch / f"cache-{label}",
+            run_dir=scratch / f"run-{label}", faults=faults,
+        )
+        try:
+            client = ServiceClient(box.url, client_id=f"bench-{label}")
+            bodies = [
+                {"circuit": "c17", "delay_spec": 0.5 + i * (0.45 / unique)}
+                for i in range(unique)
+            ]
+            _run_phase(client, bodies, clients)  # cold: populate the cache
+            _, warm_lat, _ = _run_phase(client, bodies * 3, clients)
+            return _percentile(warm_lat, 0.50)
+        finally:
+            box.stop()
+            uninstall_faults()
+
+    bare = warm_p50("off", None)
+    armed = warm_p50("armed", "bench.inert:error@0.5")
+    ratio = armed / bare if bare > 0 else 1.0
+    return {
+        "warm_p50_armed_ms": round(armed * 1e3, 3),
+        "warm_p50_off_ms": round(bare * 1e3, 3),
+        "overhead_ratio": round(ratio, 3),
+        "overhead_ok": ratio <= FAULT_OVERHEAD_CEILING
+        or (armed - bare) <= FAULT_OVERHEAD_BACKSTOP_S,
+    }
+
+
 def bench_flood(scratch: Path) -> dict:
     """Flood one client past its admission burst; count the refusals."""
     box = _Box(
@@ -276,6 +326,7 @@ def run(clients: int, unique: int, scratch: Path) -> dict:
     fleet = bench_fleet(scratch / "fleet", unique)
     flood = bench_flood(scratch / "flood")
     trace_overhead = bench_trace_overhead(scratch / "trace", clients, unique)
+    fault_overhead = bench_fault_overhead(scratch / "faults", clients, unique)
     return {
         "schema": SCHEMA,
         "host": {
@@ -289,6 +340,7 @@ def run(clients: int, unique: int, scratch: Path) -> dict:
             "fleet": fleet,
             "flood": flood,
             "trace_overhead": trace_overhead,
+            "fault_overhead": fault_overhead,
         },
         "summary": {
             "parity_ok": cold_warm["parity_ok"] and fleet["parity_ok"],
@@ -298,6 +350,8 @@ def run(clients: int, unique: int, scratch: Path) -> dict:
             "admission_ok": flood["admission_ok"],
             "trace_overhead_ratio": trace_overhead["overhead_ratio"],
             "trace_overhead_ok": trace_overhead["overhead_ok"],
+            "fault_overhead_ratio": fault_overhead["overhead_ratio"],
+            "fault_overhead_ok": fault_overhead["overhead_ok"],
         },
     }
 
@@ -326,6 +380,13 @@ def check(report: dict) -> list[str]:
             f"{summary['trace_overhead_ratio']:.3f}x on warm p50 exceeds "
             f"{TRACE_OVERHEAD_CEILING:.2f}x (backstop "
             f"{TRACE_OVERHEAD_BACKSTOP_S * 1e3:.1f}ms)"
+        )
+    if not summary.get("fault_overhead_ok", True):
+        failures.append(
+            f"fault-probe overhead "
+            f"{summary['fault_overhead_ratio']:.3f}x on warm p50 exceeds "
+            f"{FAULT_OVERHEAD_CEILING:.2f}x (backstop "
+            f"{FAULT_OVERHEAD_BACKSTOP_S * 1e3:.1f}ms)"
         )
     if summary["speedup_warm_vs_cold"] < TARGET_WARM_SPEEDUP:
         failures.append(
@@ -369,6 +430,11 @@ def main(argv=None) -> int:
           f"{trace_phase['overhead_ratio']}x on warm p50 "
           f"({trace_phase['warm_p50_traced_ms']}ms traced vs "
           f"{trace_phase['warm_p50_untraced_ms']}ms bare)")
+    fault_phase = report["phases"]["fault_overhead"]
+    print(f"[service-bench] fault-probe overhead "
+          f"{fault_phase['overhead_ratio']}x on warm p50 "
+          f"({fault_phase['warm_p50_armed_ms']}ms armed vs "
+          f"{fault_phase['warm_p50_off_ms']}ms off)")
 
     if args.out:
         Path(args.out).write_text(json.dumps(report, indent=2) + "\n")

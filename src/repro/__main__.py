@@ -9,6 +9,7 @@ Commands
 ``campaign``  run/resume/inspect a parallel sizing campaign (run log +
               content-addressed result cache; see ``campaign --help``)
 ``serve``     run the JSON-over-HTTP sizing service (``repro.service``)
+``queue``     inspect/requeue a fleet queue's dead-letter jobs
 ``trace``     render a trace.jsonl span tree as a per-job waterfall
 ``table1``    regenerate the paper's Table 1 (alias of experiments.table1)
 ``figure7``   regenerate the paper's Figure 7 (alias of experiments.figure7)
@@ -25,6 +26,8 @@ Examples
     python -m repro campaign resume runs/demo --jobs 4
     python -m repro campaign status runs/demo
     python -m repro serve --port 8765 --jobs 4 --run-dir runs/service
+    python -m repro queue inspect fleet-q.db
+    python -m repro queue requeue fleet-q.db --all-failed
     python -m repro trace runs/service/trace.jsonl
 
 Exit codes: 0 success; 1 infeasible target or failed campaign jobs;
@@ -297,6 +300,25 @@ def _warm_corpus_spec(args: argparse.Namespace) -> str | None:
     return f"disk:{args.cache_dir or DEFAULT_CACHE_DIR}"
 
 
+def _install_cli_faults(args: argparse.Namespace, run_dir: Path | None) -> None:
+    """Install a ``--faults`` schedule before a command starts running.
+
+    The state directory (fleet-wide fault caps + per-process fault
+    logs) lands under the run directory when the command has one, so a
+    chaos run's artifacts sit next to its run log.
+    """
+    faults = getattr(args, "faults", None)
+    if not faults:
+        return
+    from repro.faults.injector import install
+
+    install(
+        faults,
+        seed=getattr(args, "fault_seed", 0),
+        state_dir=(run_dir / "faults") if run_dir is not None else None,
+    )
+
+
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
     from repro import runner
     from repro.runner import CampaignSpec, campaign_to_dict, format_campaign
@@ -322,6 +344,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         if args.kind != spec.kind:
             spec = dataclasses.replace(spec, kind=args.kind)
     run_dir = Path(args.run_dir or Path("runs") / spec.name)
+    _install_cli_faults(args, run_dir)
     result = runner.run(
         spec,
         jobs=args.jobs,
@@ -343,6 +366,7 @@ def _cmd_campaign_resume(args: argparse.Namespace) -> int:
     from repro import runner
     from repro.runner import campaign_to_dict, format_campaign
 
+    _install_cli_faults(args, Path(args.run_dir))
     result = runner.resume(
         args.run_dir,
         jobs=args.jobs,
@@ -372,6 +396,23 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import serve
 
+    if args.max_attempts is not None and args.max_attempts < 1:
+        print(f"error: --max-attempts must be >= 1, got {args.max_attempts}",
+              file=sys.stderr)
+        return 2
+    if args.visibility_timeout is not None and args.visibility_timeout <= 0:
+        print(f"error: --visibility-timeout must be positive, "
+              f"got {args.visibility_timeout:g}", file=sys.stderr)
+        return 2
+    # None means "the library default" — serve() owns the real values.
+    failure_knobs = {
+        key: value
+        for key, value in (
+            ("max_attempts", args.max_attempts),
+            ("visibility_timeout", args.visibility_timeout),
+        )
+        if value is not None
+    }
     cache = args.cache_backend or args.cache_dir
     return serve(
         host=args.host,
@@ -387,6 +428,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         batch_drain=args.batch_drain,
         trace=not args.no_trace,
         warm_corpus=_warm_corpus_spec(args),
+        faults=args.faults,
+        fault_seed=args.fault_seed,
+        **failure_knobs,
     )
 
 
@@ -485,7 +529,29 @@ def _add_serve_parser(sub) -> None:
                          help="disable span tracing (metrics stay on); "
                               "with tracing and a --run-dir, spans "
                               "append to RUN_DIR/trace.jsonl")
+    p_serve.add_argument("--visibility-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="queue mode: lease duration before a dead "
+                              "replica's in-flight jobs are re-claimed "
+                              "(default 600)")
+    p_serve.add_argument("--max-attempts", type=int, default=None,
+                         help="queue mode: lease attempts before a job "
+                              "is poison-parked in the dead-letter "
+                              "queue (default 3)")
+    _add_fault_flags(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
+
+
+def _add_fault_flags(p) -> None:
+    """``--faults`` / ``--fault-seed`` for commands that execute jobs."""
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help="deterministic fault injection: semicolon-"
+                        "separated SITE:KIND[=ARG]@RATE[*MAX] rules, "
+                        "e.g. 'cache.get:io_error@0.05;"
+                        "worker:kill@0.02*2' (see the user guide)")
+    p.add_argument("--fault-seed", type=int, default=0, metavar="N",
+                   help="seed for the fault schedule; same spec + seed "
+                        "replays the same faults (default 0)")
 
 
 def _add_campaign_parser(sub) -> None:
@@ -524,6 +590,7 @@ def _add_campaign_parser(sub) -> None:
                             "per-job results are bit-identical")
         p.add_argument("--json", action="store_true",
                        help="print a JSON digest instead of tables")
+        _add_fault_flags(p)
         if with_spec:
             p.add_argument("--circuits", default=None,
                            help="comma-separated circuit tokens (suite "
@@ -566,6 +633,108 @@ def _add_campaign_parser(sub) -> None:
     p_status.add_argument("run_dir", help="directory with campaign.jsonl")
     p_status.add_argument("--json", action="store_true")
     p_status.set_defaults(func=_cmd_campaign_status)
+
+
+def _cmd_queue_inspect(args: argparse.Namespace) -> int:
+    from repro.service.queue import WorkQueue
+
+    if not Path(args.db).exists():
+        print(f"error: no queue database at {args.db}", file=sys.stderr)
+        return 2
+    queue = WorkQueue(args.db)
+    failed = queue.failed_jobs(limit=args.limit)
+    if args.json:
+        print(json.dumps(
+            {"failed": failed, "poisoned": queue.poisoned_count()}, indent=2,
+        ))
+        return 0
+    if not failed:
+        print("dead-letter queue is empty")
+        return 0
+    rows = []
+    for job in failed:
+        history = job.get("history") or []
+        last = history[-1] if history else {}
+        rows.append([
+            job["id"],
+            (job.get("label") or "?"),
+            str(job.get("attempts")),
+            last.get("event") or "?",
+            (job.get("error") or "")[:60],
+        ])
+    print(format_table(
+        ["job", "label", "attempts", "last event", "error"],
+        rows,
+        title=f"dead-letter jobs in {args.db}",
+    ))
+    print(f"{queue.poisoned_count()} poison-parked "
+          f"(requeue with: python -m repro queue requeue {args.db} JOB_ID)")
+    return 0
+
+
+def _cmd_queue_requeue(args: argparse.Namespace) -> int:
+    from repro.errors import ServiceError
+    from repro.service.queue import WorkQueue
+
+    if not args.job_ids and not args.all_failed:
+        print("error: give JOB_ID(s) or --all-failed", file=sys.stderr)
+        return 2
+    if not Path(args.db).exists():
+        print(f"error: no queue database at {args.db}", file=sys.stderr)
+        return 2
+    queue = WorkQueue(args.db)
+    job_ids = list(args.job_ids)
+    if args.all_failed:
+        job_ids += [
+            job["id"] for job in queue.failed_jobs(limit=10_000)
+            if job["id"] not in job_ids
+        ]
+    skipped = 0
+    for job_id in job_ids:
+        try:
+            record = queue.requeue(job_id)
+        except ServiceError as exc:
+            # Per-job diagnosis, not a hard stop: one unreadable row
+            # must not block requeueing the rest of the batch.
+            print(f"skipped {job_id}: {exc}", file=sys.stderr)
+            skipped += 1
+            continue
+        print(f"requeued {record.id} ({record.job.label()})")
+    return 1 if skipped else 0
+
+
+def _add_queue_parser(sub) -> None:
+    p_queue = sub.add_parser(
+        "queue",
+        help="inspect/requeue a fleet queue's dead-letter jobs",
+        description="Operator tools for a fleet work-queue database: "
+                    "list permanently failed jobs with their attempt "
+                    "history, and send them back to the queue after "
+                    "fixing the cause.",
+    )
+    queue_sub = p_queue.add_subparsers(dest="queue_command", required=True)
+
+    p_inspect = queue_sub.add_parser(
+        "inspect", help="list dead-letter jobs with error history"
+    )
+    p_inspect.add_argument("db", help="work-queue database path")
+    p_inspect.add_argument("--limit", type=int, default=100,
+                           help="most dead-letter rows to show "
+                                "(default 100)")
+    p_inspect.add_argument("--json", action="store_true",
+                           help="machine-readable output, full history "
+                                "included")
+    p_inspect.set_defaults(func=_cmd_queue_inspect)
+
+    p_requeue = queue_sub.add_parser(
+        "requeue", help="send failed jobs back to the queue"
+    )
+    p_requeue.add_argument("db", help="work-queue database path")
+    p_requeue.add_argument("job_ids", nargs="*", metavar="JOB_ID",
+                           help="job id(s) to requeue")
+    p_requeue.add_argument("--all-failed", action="store_true",
+                           help="requeue every dead-letter job")
+    p_requeue.set_defaults(func=_cmd_queue_requeue)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -625,6 +794,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     _add_campaign_parser(sub)
     _add_serve_parser(sub)
+    _add_queue_parser(sub)
     _add_trace_parser(sub)
 
     p_t1 = sub.add_parser("table1", help="regenerate Table 1")

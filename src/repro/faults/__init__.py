@@ -1,0 +1,53 @@
+"""Deterministic fault injection and the hardening it exercises.
+
+Three small pieces that together make failure a first-class, testable
+input to the system:
+
+* :mod:`repro.faults.spec` + :mod:`repro.faults.injector` — compile an
+  operator-facing spec string (``cache.get:io_error@0.05;worker:kill@
+  0.02*2``) into seeded probes wired through the cache backends, work
+  queue, pool workers, solver phases, and HTTP server.  Same spec +
+  seed ⇒ same fault schedule, so every chaos run replays exactly.
+* :mod:`repro.faults.retry` — the shared exponential-backoff-with-
+  jitter policy used by the tiered cache, the work queue, and the
+  service client.
+* :mod:`repro.faults.breaker` — the circuit breaker that lets the
+  shared L2 cache tier fail without taking the service down (degrade
+  to L1-only, re-probe on a half-open timer).
+
+The recovery oracle is the paper's own determinism guarantee: a run
+under faults is correct only if its payloads are **byte-identical**
+(via :func:`repro.sizing.serialize.comparable_payload`) to the
+fault-free run — see ``tests/test_chaos.py``.
+"""
+
+from repro.faults.breaker import CircuitBreaker
+from repro.faults.injector import (
+    FaultInjector,
+    active,
+    decide,
+    install,
+    install_from_args,
+    observe_faults,
+    probe,
+    uninstall,
+)
+from repro.faults.retry import RetryPolicy, call_with_retry
+from repro.faults.spec import FaultRule, format_spec, parse_spec
+
+__all__ = [
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultRule",
+    "RetryPolicy",
+    "active",
+    "call_with_retry",
+    "decide",
+    "format_spec",
+    "install",
+    "install_from_args",
+    "observe_faults",
+    "parse_spec",
+    "probe",
+    "uninstall",
+]

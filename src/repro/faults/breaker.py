@@ -1,0 +1,136 @@
+"""Circuit breaker: stop hammering a failing dependency, re-probe later.
+
+Classic three-state machine (Nygard, *Release It!*):
+
+::
+
+            failures >= threshold
+    CLOSED ──────────────────────▶ OPEN
+      ▲                             │ reset_timeout elapsed
+      │ probe succeeds              ▼
+      └──────────────────────── HALF_OPEN
+                 probe fails ──▶ back to OPEN (timer restarts)
+
+While OPEN, :meth:`CircuitBreaker.allow` answers False and the caller
+takes its degraded path immediately (the tiered cache serves L1-only)
+instead of eating a timeout per request.  After ``reset_timeout``
+seconds the breaker admits **one** trial call (HALF_OPEN); its outcome
+decides between closing (dependency recovered) and re-opening.
+
+State is exported as ``repro_breaker_state{name}`` (0 closed / 1 open
+/ 2 half-open) in the global metrics registry, and
+:meth:`CircuitBreaker.snapshot` feeds ``/v1/stats`` and the degraded
+``/v1/healthz`` computation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.obs.metrics import get_registry
+
+__all__ = ["CircuitBreaker"]
+
+_STATE_VALUES = {"closed": 0, "open": 1, "half-open": 2}
+
+
+class CircuitBreaker:
+    """Thread-safe breaker guarding one named dependency."""
+
+    def __init__(
+        self,
+        name: str,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        clock=time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout <= 0:
+            raise ValueError("reset_timeout must be > 0")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._failures = 0
+        self._opened_at = 0.0
+        self._trial_in_flight = False
+        self._opens = 0
+        self._gauge = get_registry().gauge(
+            "repro_breaker_state",
+            "Circuit breaker state (0 closed, 1 open, 2 half-open).",
+            ("name",),
+        )
+        self._gauge.set(0, name=name)
+
+    # -- state machine -------------------------------------------------
+
+    def _set_state(self, state: str) -> None:
+        self._state = state
+        self._gauge.set(_STATE_VALUES[state], name=self.name)
+
+    def allow(self) -> bool:
+        """May the caller attempt the dependency right now?
+
+        Flips OPEN → HALF_OPEN once the reset timer elapses, and while
+        HALF_OPEN admits only the single in-flight trial call.
+        """
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                if self._clock() - self._opened_at < self.reset_timeout:
+                    return False
+                self._set_state("half-open")
+                self._trial_in_flight = True
+                return True
+            # half-open: one trial at a time
+            if self._trial_in_flight:
+                return False
+            self._trial_in_flight = True
+            return True
+
+    def record_success(self) -> None:
+        """The attempt succeeded: close (from trial) / stay closed."""
+        with self._lock:
+            self._failures = 0
+            self._trial_in_flight = False
+            if self._state != "closed":
+                self._set_state("closed")
+
+    def record_failure(self) -> None:
+        """The attempt failed: strike, and open at the threshold (a
+        failed HALF_OPEN trial re-opens immediately)."""
+        with self._lock:
+            self._failures += 1
+            trial_failed = self._state == "half-open"
+            self._trial_in_flight = False
+            if trial_failed or (
+                self._state == "closed"
+                and self._failures >= self.failure_threshold
+            ):
+                self._set_state("open")
+                self._opened_at = self._clock()
+                self._opens += 1
+                self._failures = 0
+
+    # -- observation ---------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """``"closed"`` / ``"open"`` / ``"half-open"``."""
+        with self._lock:
+            return self._state
+
+    def snapshot(self) -> dict:
+        """Stats view: state, consecutive failures, lifetime opens."""
+        with self._lock:
+            return {
+                "name": self.name,
+                "state": self._state,
+                "failures": self._failures,
+                "opens": self._opens,
+            }

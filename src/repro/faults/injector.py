@@ -1,0 +1,348 @@
+"""Deterministic, seeded fault injection behind named probe points.
+
+The library is sprinkled with cheap probes — ``probe("cache.get")``,
+``probe("worker")``, ``decide("http.response")`` — that do nothing
+until a :class:`FaultInjector` is installed.  An injector compiles a
+spec string (see :mod:`repro.faults.spec`) and, per probe invocation,
+draws from a **per-rule seeded RNG** (``random.Random(f"{seed}:{site}:
+{kind}")``): the same spec + seed produces the same fault schedule on
+every run, which is what makes chaos tests replayable.
+
+Faults *act* where they fire: error kinds raise (``io_error`` →
+:class:`OSError`, ``busy`` → ``sqlite3.OperationalError``), ``delay``/
+``hang`` sleep, ``kill`` calls ``os._exit(137)`` to simulate a
+SIGKILLed worker.  ``truncate`` is a *decision* kind — the probe
+answers true/false and the caller (the HTTP server) mutilates its own
+output.
+
+Worker processes: fault config travels to pool workers explicitly (the
+executor passes ``(spec, seed, state_dir)`` into ``pool_entry``) and
+implicitly via ``REPRO_FAULTS``/``REPRO_FAULT_SEED``/
+``REPRO_FAULT_STATE`` environment variables, so freshly spawned
+processes re-install the schedule before running anything.  Because
+each new worker process restarts its RNG streams, lethal rules should
+carry a ``*MAX`` cap plus a shared ``state_dir``: fire slots are then
+claimed fleet-wide via ``O_EXCL`` marker files, so "at most 2 kills"
+holds across every process and every restart — guaranteeing a chaos
+run eventually completes.
+
+Every fire is counted in ``repro_faults_injected_total{site,kind}``
+(global registry) and appended to ``<state_dir>/faults-<pid>.jsonl``
+when a state directory is configured (the CI artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import sqlite3
+import threading
+import time
+from pathlib import Path
+
+from repro.faults.spec import FaultRule, format_spec, parse_spec
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+__all__ = [
+    "ENV_SEED",
+    "ENV_SPEC",
+    "ENV_STATE",
+    "FaultInjector",
+    "active",
+    "decide",
+    "install",
+    "install_from_args",
+    "observe_faults",
+    "probe",
+    "uninstall",
+]
+
+ENV_SPEC = "REPRO_FAULTS"
+ENV_SEED = "REPRO_FAULT_SEED"
+ENV_STATE = "REPRO_FAULT_STATE"
+
+#: Kinds that raise when they fire, and the exception they raise with.
+_RAISERS = {
+    "io_error": lambda site: OSError(f"injected io_error at {site}"),
+    "busy": lambda site: sqlite3.OperationalError(
+        f"database is locked (injected at {site})"
+    ),
+    "error": lambda site: RuntimeError(f"injected error at {site}"),
+}
+
+#: Kinds :meth:`FaultInjector.fire` acts on; ``truncate`` is answered
+#: by :meth:`FaultInjector.decide` instead.
+_ACTION_KINDS = frozenset(("io_error", "busy", "error", "kill", "hang", "delay"))
+
+
+class FaultInjector:
+    """A compiled fault schedule: seeded draws, caps, and actions."""
+
+    def __init__(
+        self,
+        rules: tuple[FaultRule, ...],
+        seed: int = 0,
+        state_dir: str | Path | None = None,
+    ) -> None:
+        self.rules = tuple(rules)
+        self.seed = int(seed)
+        self.state_dir = Path(state_dir) if state_dir is not None else None
+        if self.state_dir is not None:
+            self.state_dir.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._rngs = {
+            id(rule): random.Random(f"{self.seed}:{rule.site}:{rule.kind}")
+            for rule in self.rules
+        }
+        self._fired: dict[int, int] = {id(rule): 0 for rule in self.rules}
+        self._by_site: dict[str, list[FaultRule]] = {}
+        for rule in self.rules:
+            self._by_site.setdefault(rule.site, []).append(rule)
+        self._pending: list[dict] = []
+        self._log_path = (
+            self.state_dir / f"faults-{os.getpid()}.jsonl"
+            if self.state_dir is not None
+            else None
+        )
+
+    # -- bookkeeping ---------------------------------------------------
+
+    @property
+    def spec(self) -> str:
+        """The canonical spec string this injector was compiled from."""
+        return format_spec(self.rules)
+
+    def config_args(self) -> tuple[str, int, str | None]:
+        """``(spec, seed, state_dir)`` — picklable worker hand-off."""
+        return (
+            format_spec(self.rules),
+            self.seed,
+            str(self.state_dir) if self.state_dir is not None else None,
+        )
+
+    def _claim_shared_slot(self, rule: FaultRule) -> bool:
+        """Claim one fleet-wide fire slot via an O_EXCL marker file.
+
+        Returns False once all ``max_count`` slots are taken by any
+        process that shares the state directory — this is what bounds
+        lethal faults (kills) across worker restarts.
+        """
+        assert self.state_dir is not None and rule.max_count is not None
+        stem = f"cap-{rule.site}.{rule.kind}"
+        for n in range(rule.max_count):
+            path = self.state_dir / f"{stem}.{n}"
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            os.close(fd)
+            return True
+        return False
+
+    def _draw(self, rule: FaultRule) -> bool:
+        """One seeded draw for ``rule``; True when the fault fires."""
+        with self._lock:
+            if self._rngs[id(rule)].random() >= rule.rate:
+                return False
+            if rule.max_count is not None:
+                if self.state_dir is not None:
+                    if not self._claim_shared_slot(rule):
+                        return False
+                elif self._fired[id(rule)] >= rule.max_count:
+                    return False
+            self._fired[id(rule)] += 1
+        self._record(rule)
+        return True
+
+    def _record(self, rule: FaultRule) -> None:
+        event = {"site": rule.site, "kind": rule.kind, "ts": time.time(),
+                 "pid": os.getpid()}
+        get_registry().counter(
+            "repro_faults_injected_total",
+            "Faults fired by the injection harness, by probe site and kind.",
+            ("site", "kind"),
+        ).inc(site=rule.site, kind=rule.kind)
+        with self._lock:
+            self._pending.append(event)
+            if len(self._pending) > 1000:
+                del self._pending[:-1000]
+        if self._log_path is not None:
+            try:
+                with open(self._log_path, "a") as handle:
+                    handle.write(json.dumps(event) + "\n")
+                    handle.flush()
+            except OSError:
+                pass  # the fault log is best-effort telemetry
+
+    def drain_events(self) -> list[dict]:
+        """Return and clear fire events since the last drain.
+
+        Pool workers ship these back inside the job's observability
+        dict; the parent folds them into its own metrics registry via
+        :func:`observe_faults` (worker processes' registries are
+        invisible to the service).
+        """
+        with self._lock:
+            events, self._pending = self._pending, []
+        return events
+
+    def counts(self) -> dict[str, int]:
+        """``{"site:kind": fires}`` snapshot for stats surfaces."""
+        with self._lock:
+            return {
+                f"{rule.site}:{rule.kind}": self._fired[id(rule)]
+                for rule in self.rules
+            }
+
+    # -- the probes ----------------------------------------------------
+
+    def fire(self, site: str) -> None:
+        """Evaluate every action rule at ``site`` and act on fires.
+
+        Error kinds raise, ``delay``/``hang`` sleep, ``kill`` exits the
+        process with status 137 (after flushing the fault log) — the
+        caller never observes a ``kill`` fire.
+        """
+        for rule in self._by_site.get(site, ()):
+            if rule.kind not in _ACTION_KINDS or not self._draw(rule):
+                continue
+            if rule.kind == "kill":
+                os._exit(137)
+            if rule.kind in ("hang", "delay"):
+                time.sleep(rule.sleep_seconds)
+                continue
+            raise _RAISERS[rule.kind](site)
+
+    def decide(self, site: str, kind: str = "truncate") -> bool:
+        """Answer a decision probe: should the caller fault itself?"""
+        for rule in self._by_site.get(site, ()):
+            if rule.kind == kind and self._draw(rule):
+                return True
+        return False
+
+
+# -- process-wide installation ------------------------------------------
+
+_ACTIVE: FaultInjector | None = None
+_ENV_CHECKED = False
+_STATE_LOCK = threading.Lock()
+
+
+def install(
+    spec: str | tuple[FaultRule, ...],
+    seed: int = 0,
+    state_dir: str | Path | None = None,
+    propagate: bool = True,
+) -> FaultInjector:
+    """Compile ``spec`` and make it the process's active injector.
+
+    With ``propagate`` (the default) the config is exported through
+    ``REPRO_FAULTS``/``REPRO_FAULT_SEED``/``REPRO_FAULT_STATE`` so
+    freshly spawned worker processes inherit the schedule.
+    """
+    global _ACTIVE, _ENV_CHECKED
+    rules = parse_spec(spec) if isinstance(spec, str) else tuple(spec)
+    injector = FaultInjector(rules, seed=seed, state_dir=state_dir)
+    with _STATE_LOCK:
+        _ACTIVE = injector
+        _ENV_CHECKED = True
+    if propagate:
+        os.environ[ENV_SPEC] = format_spec(rules)
+        os.environ[ENV_SEED] = str(int(seed))
+        if state_dir is not None:
+            os.environ[ENV_STATE] = str(state_dir)
+        else:
+            os.environ.pop(ENV_STATE, None)
+    return injector
+
+
+def uninstall() -> None:
+    """Deactivate fault injection and clear the propagation env vars."""
+    global _ACTIVE
+    with _STATE_LOCK:
+        _ACTIVE = None
+    for var in (ENV_SPEC, ENV_SEED, ENV_STATE):
+        os.environ.pop(var, None)
+
+
+def active() -> FaultInjector | None:
+    """The process's active injector (lazily adopted from the
+    environment on first call, so spawned workers pick up the parent's
+    schedule without explicit plumbing)."""
+    global _ENV_CHECKED
+    injector = _ACTIVE
+    if injector is not None or _ENV_CHECKED:
+        return injector
+    with _STATE_LOCK:
+        if _ACTIVE is not None or _ENV_CHECKED:
+            return _ACTIVE
+        _ENV_CHECKED = True
+    spec = os.environ.get(ENV_SPEC)
+    if not spec:
+        return None
+    return install(
+        spec,
+        seed=int(os.environ.get(ENV_SEED) or 0),
+        state_dir=os.environ.get(ENV_STATE) or None,
+        propagate=False,
+    )
+
+
+def install_from_args(args: tuple[str, int, str | None] | None) -> FaultInjector | None:
+    """Worker-side install from :meth:`FaultInjector.config_args`.
+
+    Explicit hand-off for pool workers: environment inheritance fails
+    when the forkserver predates ``install`` (its env snapshot is
+    taken at forkserver start), so the executor passes the config as a
+    plain argument.  Re-installing an identical config is a no-op, so
+    a long-lived worker keeps one RNG stream across its jobs.
+    """
+    if args is None:
+        return active()
+    current = _ACTIVE
+    if current is not None and current.config_args() == tuple(args):
+        return current
+    spec, seed, state_dir = args
+    return install(spec, seed=seed, state_dir=state_dir, propagate=False)
+
+
+def probe(site: str) -> None:
+    """Fire the action probe at ``site`` (no-op without an injector)."""
+    injector = _ACTIVE
+    if injector is None:
+        if _ENV_CHECKED:
+            return
+        injector = active()
+        if injector is None:
+            return
+    injector.fire(site)
+
+
+def decide(site: str, kind: str = "truncate") -> bool:
+    """Answer a decision probe at ``site`` (False without an injector)."""
+    injector = _ACTIVE
+    if injector is None:
+        if _ENV_CHECKED:
+            return False
+        injector = active()
+        if injector is None:
+            return False
+    return injector.decide(site, kind)
+
+
+def observe_faults(registry: MetricsRegistry, events: list[dict] | None) -> None:
+    """Fold worker-shipped fire events into ``registry`` — the fault
+    analog of :func:`repro.obs.metrics.observe_spans`."""
+    if not events:
+        return
+    counter = registry.counter(
+        "repro_faults_injected_total",
+        "Faults fired by the injection harness, by probe site and kind.",
+        ("site", "kind"),
+    )
+    for event in events:
+        counter.inc(
+            site=str(event.get("site") or "?"),
+            kind=str(event.get("kind") or "?"),
+        )

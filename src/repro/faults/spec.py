@@ -1,0 +1,155 @@
+"""Fault-schedule grammar: compile ``--faults`` strings into rules.
+
+A *fault spec* names where faults fire, what kind they are, and how
+often, in a compact operator-facing string::
+
+    SITE:KIND[=ARG]@RATE[*MAX] [; SITE:KIND[=ARG]@RATE[*MAX] ...]
+
+    cache.get:io_error@0.05; worker:kill@0.02*2; queue.lease:busy@0.1
+
+* ``SITE`` — a probe name (see :data:`KNOWN_SITES` for the wired-in
+  points; unknown sites parse fine so tests can add private probes).
+* ``KIND`` — the failure mode (:data:`KNOWN_KINDS`); ``delay``/``hang``
+  accept ``=SECONDS`` (e.g. ``solver:delay=0.01@0.5``).
+* ``RATE`` — per-invocation fire probability in ``(0, 1]``, drawn from
+  a seeded per-rule RNG so the schedule replays exactly.
+* ``MAX`` — optional cap on total fires for the rule (``*2`` = at most
+  two fires); with a shared state directory the cap is fleet-wide.
+
+Parsing is strict: unknown kinds, rates outside ``(0, 1]``, or
+malformed clauses raise :class:`~repro.errors.ReproError` so a typo in
+``--faults`` fails fast instead of silently injecting nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+__all__ = ["FaultRule", "KNOWN_KINDS", "KNOWN_SITES", "format_spec", "parse_spec"]
+
+#: Failure modes the injector knows how to act out.
+KNOWN_KINDS = (
+    "io_error",   # raise OSError (cache backend I/O failure)
+    "busy",       # raise sqlite3.OperationalError("database is locked")
+    "error",      # raise RuntimeError (generic transient failure)
+    "kill",       # os._exit(137): simulate SIGKILL of the worker process
+    "hang",       # sleep ARG seconds (default 30) — exercises timeouts
+    "delay",      # sleep ARG seconds (default 0.01) — jitter, not death
+    "truncate",   # decision probe: caller cuts the payload short
+)
+
+#: Probe points wired into the library (documented, not enforced —
+#: private test probes may use any site name).
+KNOWN_SITES = (
+    "cache.get",      # backend read, fires before the store is touched
+    "cache.put",      # backend write
+    "queue.lease",    # work-queue lease transaction
+    "queue.publish",  # work-queue create/finish transactions
+    "worker",         # pool-worker entry, before the job runs
+    "solver",         # between solver phases inside a job
+    "http.response",  # server response write (``truncate``)
+)
+
+#: Default sleep (seconds) for ``hang`` / ``delay`` when no ``=ARG``.
+DEFAULT_SLEEPS = {"hang": 30.0, "delay": 0.01}
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One compiled clause of a fault spec."""
+
+    site: str
+    kind: str
+    rate: float
+    arg: float | None = None
+    max_count: int | None = None
+
+    @property
+    def sleep_seconds(self) -> float:
+        """Sleep duration for ``hang``/``delay`` rules."""
+        if self.arg is not None:
+            return self.arg
+        return DEFAULT_SLEEPS.get(self.kind, 0.0)
+
+    def to_clause(self) -> str:
+        """Render back to spec-string form (inverse of parsing)."""
+        clause = f"{self.site}:{self.kind}"
+        if self.arg is not None:
+            clause += f"={self.arg:g}"
+        clause += f"@{self.rate:g}"
+        if self.max_count is not None:
+            clause += f"*{self.max_count}"
+        return clause
+
+
+def _parse_clause(clause: str) -> FaultRule:
+    site, sep, rest = clause.partition(":")
+    site = site.strip()
+    if not sep or not site:
+        raise ReproError(
+            f"fault clause {clause!r}: expected SITE:KIND[=ARG]@RATE[*MAX]"
+        )
+    body, sep, rate_part = rest.partition("@")
+    if not sep:
+        raise ReproError(f"fault clause {clause!r}: missing @RATE")
+    kind, sep, arg_part = body.partition("=")
+    kind = kind.strip()
+    if kind not in KNOWN_KINDS:
+        raise ReproError(
+            f"fault clause {clause!r}: unknown kind {kind!r} "
+            f"(known: {', '.join(KNOWN_KINDS)})"
+        )
+    arg: float | None = None
+    if sep:
+        try:
+            arg = float(arg_part)
+        except ValueError:
+            raise ReproError(
+                f"fault clause {clause!r}: bad argument {arg_part!r}"
+            ) from None
+        if arg < 0:
+            raise ReproError(f"fault clause {clause!r}: argument must be >= 0")
+    rate_text, sep, max_part = rate_part.partition("*")
+    try:
+        rate = float(rate_text)
+    except ValueError:
+        raise ReproError(
+            f"fault clause {clause!r}: bad rate {rate_text!r}"
+        ) from None
+    if not 0.0 < rate <= 1.0:
+        raise ReproError(
+            f"fault clause {clause!r}: rate must be in (0, 1], got {rate}"
+        )
+    max_count: int | None = None
+    if sep:
+        try:
+            max_count = int(max_part)
+        except ValueError:
+            raise ReproError(
+                f"fault clause {clause!r}: bad max count {max_part!r}"
+            ) from None
+        if max_count < 1:
+            raise ReproError(f"fault clause {clause!r}: max count must be >= 1")
+    return FaultRule(site=site, kind=kind, rate=rate, arg=arg, max_count=max_count)
+
+
+def parse_spec(text: str) -> tuple[FaultRule, ...]:
+    """Compile a fault spec string into a tuple of :class:`FaultRule`.
+
+    Clauses are semicolon-separated; empty clauses are ignored, so
+    trailing semicolons are harmless.  An empty/whitespace spec yields
+    an empty tuple (no faults).
+    """
+    rules = []
+    for clause in text.split(";"):
+        clause = clause.strip()
+        if clause:
+            rules.append(_parse_clause(clause))
+    return tuple(rules)
+
+
+def format_spec(rules: tuple[FaultRule, ...]) -> str:
+    """Render rules back into a spec string (``parse_spec`` inverse)."""
+    return ";".join(rule.to_clause() for rule in rules)

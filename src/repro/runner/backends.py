@@ -43,6 +43,9 @@ from pathlib import Path
 from typing import Iterator, Protocol, runtime_checkable
 
 from repro.errors import RunnerError
+from repro.faults.breaker import CircuitBreaker
+from repro.faults.injector import probe
+from repro.faults.retry import RetryPolicy, call_with_retry
 from repro.obs.metrics import get_registry
 
 __all__ = [
@@ -114,7 +117,14 @@ class DiskBackend:
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> dict | None:
-        """Read one entry; corrupt/truncated files are quarantined misses."""
+        """Read one entry; corrupt/truncated files are quarantined misses.
+
+        The ``cache.get`` fault probe fires *before* the store is
+        touched, so an injected I/O error propagates to the caller
+        (exercising the tiered retry/breaker path) instead of being
+        absorbed by the corrupt-entry handling below.
+        """
+        probe("cache.get")
         path = self.path(key)
         try:
             with open(path) as handle:
@@ -139,6 +149,7 @@ class DiskBackend:
 
     def put(self, key: str, payload: dict) -> None:
         """Atomically write one entry (temp file + rename)."""
+        probe("cache.put")
         path = self.path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(
@@ -212,6 +223,7 @@ class SqliteBackend:
 
     def get(self, key: str) -> dict | None:
         """One entry's payload; an unparseable row is deleted (a miss)."""
+        probe("cache.get")
         conn = self._connect()
         row = conn.execute(
             "SELECT payload FROM entries WHERE key = ?", (key,)
@@ -228,6 +240,7 @@ class SqliteBackend:
 
     def put(self, key: str, payload: dict) -> None:
         """Upsert one entry inside a transaction."""
+        probe("cache.put")
         conn = self._connect()
         with conn:
             conn.execute(
@@ -260,6 +273,17 @@ class SqliteBackend:
         return conn.execute("SELECT COUNT(*) FROM entries").fetchone()[0]
 
 
+#: Errors the shared tier treats as transient storage failures: worth
+#: a backoff retry, and breaker strikes when retries are spent.
+_STORAGE_ERRORS = (OSError, sqlite3.Error)
+
+#: Default retry for shared-tier calls — short and bounded, because
+#: the degraded path (L1-only) is always available as a fallback.
+_SHARED_RETRY = RetryPolicy(
+    attempts=3, base_delay=0.02, max_delay=0.5, retryable=_STORAGE_ERRORS,
+)
+
+
 class TieredBackend:
     """Read-through tiering: local L1 in front of a shared L2.
 
@@ -268,35 +292,101 @@ class TieredBackend:
     which is what makes one replica's fresh result a fleet-wide hit.
     The shared L2 is authoritative: ``scan``/``len`` enumerate it, and
     an entry present only in L1 (e.g. L2 was wiped) still serves reads.
+
+    The shared tier is where failures actually happen in a fleet (a
+    network volume, a contended SQLite file), so its calls run under a
+    retry policy and a :class:`~repro.faults.breaker.CircuitBreaker`:
+    transient errors are retried with backoff; persistent ones open
+    the breaker and the cache *degrades to L1-only* — misses recompute
+    instead of erroring, writes land locally, and a half-open timer
+    re-probes the shared store until it recovers.  Correctness is
+    unaffected because the cache is content-addressed: a lost shared
+    write is just a future recompute, never a wrong answer.
     """
 
-    def __init__(self, local: CacheBackend, shared: CacheBackend):
+    def __init__(
+        self,
+        local: CacheBackend,
+        shared: CacheBackend,
+        breaker: CircuitBreaker | None = None,
+        retry: RetryPolicy = _SHARED_RETRY,
+    ):
         self.local = local
         self.shared = shared
+        self.retry = retry
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            "cache.shared", failure_threshold=3, reset_timeout=5.0,
+        )
+
+    def _strike(self, exc: BaseException, attempt: int) -> None:
+        self.breaker.record_failure()
+
+    def _shared_call(self, site: str, fn) -> tuple[bool, object]:
+        """Run one shared-tier op under breaker + retry.
+
+        Returns ``(ok, result)``; ``ok`` is False when the breaker is
+        open (degraded, the op never ran) or retries were exhausted.
+        """
+        if not self.breaker.allow():
+            _TIER_PROBES.inc(tier="shared", result="degraded")
+            return False, None
+        try:
+            result = call_with_retry(fn, self.retry, site, on_retry=self._strike)
+        except _STORAGE_ERRORS:
+            _TIER_PROBES.inc(tier="shared", result="error")
+            return False, None
+        self.breaker.record_success()
+        return True, result
+
+    def _local_get(self, key: str) -> dict | None:
+        try:
+            return self.local.get(key)
+        except _STORAGE_ERRORS:
+            return None  # L1 is best-effort; a broken read is a miss
+
+    def _local_put(self, key: str, payload: dict) -> None:
+        try:
+            self.local.put(key, payload)
+        except _STORAGE_ERRORS:
+            pass  # losing an L1 copy costs a future shared-tier read
 
     def get(self, key: str) -> dict | None:
         """L1 probe, then L2 with promotion into L1 on a hit."""
-        entry = self.local.get(key)
+        entry = self._local_get(key)
         if entry is not None:
             _TIER_PROBES.inc(tier="local", result="hit")
             return entry
         _TIER_PROBES.inc(tier="local", result="miss")
-        entry = self.shared.get(key)
+        ok, entry = self._shared_call("cache.get", lambda: self.shared.get(key))
+        if not ok:
+            return None
         if entry is not None:
             _TIER_PROBES.inc(tier="shared", result="hit")
-            self.local.put(key, entry)
+            self._local_put(key, entry)
         else:
             _TIER_PROBES.inc(tier="shared", result="miss")
         return entry
 
     def put(self, key: str, payload: dict) -> None:
-        """Write through: shared store first (authoritative), then L1."""
-        self.shared.put(key, payload)
-        self.local.put(key, payload)
+        """Write through: shared store first (authoritative), then L1.
+
+        With the breaker open the shared write is skipped (the local
+        copy still serves this replica; other replicas recompute).
+        """
+        self._shared_call("cache.put", lambda: self.shared.put(key, payload))
+        self._local_put(key, payload)
 
     def contains(self, key: str) -> bool:
         """True when either tier holds the entry."""
-        return self.local.contains(key) or self.shared.contains(key)
+        try:
+            if self.local.contains(key):
+                return True
+        except _STORAGE_ERRORS:
+            pass
+        ok, found = self._shared_call(
+            "cache.get", lambda: self.shared.contains(key)
+        )
+        return bool(ok and found)
 
     def scan(self) -> Iterator[str]:
         """Keys of the authoritative shared tier."""

@@ -27,6 +27,7 @@ files to ``*.bad`` so they cannot poison later probes.
 from __future__ import annotations
 
 import hashlib
+import sqlite3
 from dataclasses import asdict
 from pathlib import Path
 
@@ -125,8 +126,19 @@ class ResultCache:
         )
 
     def get(self, key: str) -> dict | None:
-        """The cached payload for ``key``, or None on any kind of miss."""
-        payload = self._get(key)
+        """The cached payload for ``key``, or None on any kind of miss.
+
+        Storage errors (a dying disk, a locked SQLite file, an injected
+        ``cache.get`` fault on a non-tiered backend) are *misses*, not
+        exceptions: the job recomputes, which the content-addressed
+        design makes correct by construction.  They are counted
+        separately (``result="error"``) so a sick store is visible.
+        """
+        try:
+            payload = self._get(key)
+        except (OSError, sqlite3.Error):
+            _PROBES.inc(backend=self._scheme, result="error")
+            return None
         _PROBES.inc(
             backend=self._scheme,
             result="hit" if payload is not None else "miss",
@@ -162,7 +174,12 @@ class ResultCache:
         entry: dict = {"cache_layout": CACHE_LAYOUT_VERSION, "payload": payload}
         if warm is not None:
             entry["warm"] = warm
-        self.backend.put(key, entry)
+        try:
+            self.backend.put(key, entry)
+        except (OSError, sqlite3.Error):
+            # A lost write is a future recompute, never a wrong answer;
+            # swallowing it keeps a sick store from failing good jobs.
+            _PROBES.inc(backend=self._scheme, result="error")
 
     def get_warm(self, key: str) -> dict | None:
         """The warm-start record stored with ``key``, or None.
@@ -170,7 +187,10 @@ class ResultCache:
         Unlike :meth:`get` this never counts as a cache probe — corpus
         index scans would otherwise swamp the hit/miss telemetry.
         """
-        entry = self.backend.get(key)
+        try:
+            entry = self.backend.get(key)
+        except (OSError, sqlite3.Error):
+            return None
         if entry is None or entry.get("cache_layout") != CACHE_LAYOUT_VERSION:
             return None
         warm = entry.get("warm")
@@ -184,11 +204,14 @@ class ResultCache:
         and the SQLite backend's torn-row delete: a record that fails
         validation is removed so it cannot poison later probes.
         """
-        entry = self.backend.get(key)
-        if entry is None or "warm" not in entry:
-            return
-        entry.pop("warm", None)
-        self.backend.put(key, entry)
+        try:
+            entry = self.backend.get(key)
+            if entry is None or "warm" not in entry:
+                return
+            entry.pop("warm", None)
+            self.backend.put(key, entry)
+        except (OSError, sqlite3.Error):
+            pass  # quarantine is best-effort under storage failure
 
     def scan(self) -> "list[str]":
         """Every stored key (for corpus mining and fleet accounting)."""

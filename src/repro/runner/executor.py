@@ -36,15 +36,24 @@ totals, which would interleave under any concurrent or repeated use.
 
 from __future__ import annotations
 
+import multiprocessing
 import signal
 import threading
 import time
 import traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from contextlib import nullcontext
 from dataclasses import asdict, dataclass, field, replace
 
 from repro.errors import JobTimeoutError, ReproError
+from repro.faults.injector import active as active_faults
+from repro.faults.injector import install_from_args, observe_faults, probe
+from repro.obs.metrics import get_registry
 from repro.obs.trace import (
     SpanSink,
     current_carrier,
@@ -89,6 +98,12 @@ CACHEABLE_KINDS = ("sizing", "wphase")
 #: relaxation has an exact batching story (see
 #: :mod:`repro.sizing.batch`).
 BATCHABLE_KINDS = ("wphase",)
+
+#: Fresh-pool attempts after worker deaths before the surviving jobs
+#: are failed outright — bounds a crash-looping workload (and, under
+#: fault injection, caps how long an uncapped ``worker:kill`` rule can
+#: stall a campaign).
+MAX_POOL_RESTARTS = 8
 
 
 @dataclass(frozen=True)
@@ -444,31 +459,73 @@ def execute_job(job: Job, warm: WarmSession | None = None) -> tuple[str, dict]:
     cacheable executors only — phase-timing jobs are wall-clock
     measurements with nothing to seed.
     """
+    probe("solver")  # injected solver-phase delays land here
     if warm is not None and job.kind in CACHEABLE_KINDS:
         return _EXECUTORS[job.kind](job, warm=warm)
     return _EXECUTORS[job.kind](job)
 
 
-def _with_timeout(fn, timeout: float | None):
-    """Run ``fn`` under a wall-time budget (SIGALRM; POSIX main thread).
+def _watchdog_timeout(fn, timeout: float):
+    """Portable wall-time budget: run ``fn`` in a daemon thread.
 
-    Off the main thread (or with no budget) the function simply runs —
-    pool workers always execute jobs on their main thread, so the
-    guard only disarms the inline path under unusual embeddings.
+    The fallback for platforms without ``SIGALRM`` and for calls off
+    the main thread (queue-mode drain threads, embeddings).  On expiry
+    the *caller* gets :class:`JobTimeoutError` immediately; the
+    abandoned thread cannot be killed (CPython has no thread cancel)
+    and is left to finish in the background — its result is discarded.
+    That leak is bounded in practice: workers are pool processes that
+    recycle, and a genuinely hung solve would otherwise wedge the slot
+    forever, which is strictly worse.
     """
-    if not timeout or threading.current_thread() is not threading.main_thread():
-        return fn()
+    outcome: list = []
 
-    def _alarm(signum, frame):
-        raise JobTimeoutError(f"job exceeded its {timeout:g}s budget")
+    def _target() -> None:
+        try:
+            outcome.append((True, fn()))
+        except BaseException as exc:  # noqa: BLE001 — re-raised below
+            outcome.append((False, exc))
 
-    previous = signal.signal(signal.SIGALRM, _alarm)
-    signal.setitimer(signal.ITIMER_REAL, timeout)
-    try:
+    worker = threading.Thread(
+        target=_target, name="repro-job-watchdog", daemon=True
+    )
+    worker.start()
+    worker.join(timeout)
+    if worker.is_alive():
+        raise JobTimeoutError(
+            f"job exceeded its {timeout:g}s budget (watchdog)"
+        )
+    ok, value = outcome[0]
+    if ok:
+        return value
+    raise value
+
+
+def _with_timeout(fn, timeout: float | None):
+    """Run ``fn`` under a wall-time budget.
+
+    On a POSIX main thread the budget is ``SIGALRM``/``setitimer`` —
+    it interrupts even a wedged C call.  Everywhere else (non-unix
+    platforms, queue-mode drain threads executing inline) the budget
+    is a watchdog thread (:func:`_watchdog_timeout`), so a timeout is
+    *always* enforced rather than silently skipped.
+    """
+    if not timeout:
         return fn()
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
+    if (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    ):
+        def _alarm(signum, frame):
+            raise JobTimeoutError(f"job exceeded its {timeout:g}s budget")
+
+        previous = signal.signal(signal.SIGALRM, _alarm)
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+        try:
+            return fn()
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+    return _watchdog_timeout(fn, timeout)
 
 
 def pool_entry(
@@ -476,6 +533,7 @@ def pool_entry(
     timeout: float | None,
     trace: dict | None = None,
     warm: str | None = None,
+    faults: tuple | None = None,
 ) -> tuple[str, dict | None, str | None, float, dict | None]:
     """Worker-side wrapper: isolate failures, enforce the timeout.
 
@@ -497,9 +555,20 @@ def pool_entry(
     cache the index per process).  The session's telemetry — and the
     job's own staged corpus record — come back under ``obs["warm"]``;
     the parent folds the telemetry into metrics and stores the record
-    with the cache entry.  ``obs`` is None only when both tracing and
-    the corpus are off.
+    with the cache entry.  ``obs`` is None only when tracing, the
+    corpus and fault injection are all off.
+
+    ``faults`` is an optional fault-injection config
+    (:meth:`~repro.faults.injector.FaultInjector.config_args`); the
+    worker (re-)installs it before the job runs — explicit hand-off,
+    because a forkserver started before ``install`` would never see
+    the parent's environment variables.  The ``worker`` probe fires
+    inside the job's wall-time budget (a ``kill`` exits the process, a
+    ``hang`` is bounded by the timeout), and fault events from worker
+    *processes* ship home under ``obs["faults"]`` for the parent's
+    metrics.
     """
+    injector = install_from_args(faults)
     start = time.perf_counter()
     sink = SpanSink() if trace is not None else None
     scope = (
@@ -523,21 +592,33 @@ def pool_entry(
                 circuit=job.circuit,
                 delay_spec=job.delay_spec,
             ):
-                status, payload = _with_timeout(
-                    lambda: execute_job(job, warm=session), timeout
-                )
+                def _run():
+                    probe("worker")  # kill/hang faults strike at entry
+                    return execute_job(job, warm=session)
+
+                status, payload = _with_timeout(_run, timeout)
     except JobTimeoutError as exc:
         status, error = "timeout", str(exc)
     except Exception as exc:  # noqa: BLE001 — isolation is the point
         status = "failed"
         error = f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
     obs: dict | None = None
-    if sink is not None or session is not None:
+    fault_events = (
+        injector.drain_events()
+        if injector is not None
+        # In-process (thread-pool) execution already counted the fires
+        # in the shared registry; shipping them would double-count.
+        and multiprocessing.parent_process() is not None
+        else None
+    )
+    if sink is not None or session is not None or fault_events:
         obs = {}
         if sink is not None:
             obs["spans"] = sink.drain()
         if session is not None:
             obs["warm"] = session.as_obs()
+        if fault_events:
+            obs["faults"] = fault_events
     return status, payload, error, time.perf_counter() - start, obs
 
 
@@ -569,7 +650,10 @@ def batch_groups(
 
 
 def batch_entry(
-    jobs: list[Job], timeout: float | None, traces: list[dict | None] | None = None
+    jobs: list[Job],
+    timeout: float | None,
+    traces: list[dict | None] | None = None,
+    faults: tuple | None = None,
 ) -> list[tuple[str, dict | None, str | None, float, float, dict | None]]:
     """Run a compatible job group through one stacked kernel call.
 
@@ -602,6 +686,7 @@ def batch_entry(
     from repro.sizing.kernels import get_smp_plan
     from repro.sizing.smp import smp_headroom
 
+    injector = install_from_args(faults)
     n = len(jobs)
     raws: list[tuple | None] = [None] * n
     setup_seconds = [0.0] * n
@@ -742,6 +827,14 @@ def batch_entry(
                 setup_seconds[pos] + (time.perf_counter() - start),
                 batched_seconds, job_obs(pos),
             )
+    if injector is not None and multiprocessing.parent_process() is not None:
+        # Worker-process fault events ride home on the first job's obs
+        # blob (batch-level faults have no single owning job anyway).
+        events = injector.drain_events()
+        if events and raws and raws[0] is not None:
+            first = dict(raws[0][5] or {})
+            first["faults"] = events
+            raws[0] = (*raws[0][:5], first)
     return raws
 
 
@@ -990,6 +1083,7 @@ def run_campaign(
         return {"trace_id": trace_id, "parent_id": root_id}
 
     def finish(outcome: JobOutcome, obs: dict | None = None) -> None:
+        observe_faults(get_registry(), (obs or {}).get("faults"))
         outcome, warm_blob = apply_warm(outcome, obs)
         if tracing:
             trace_id, root_id = trace_ids[outcome.index]
@@ -1025,6 +1119,11 @@ def run_campaign(
         else:
             pending.append((index, job, key))
 
+    fault_injector = active_faults()
+    fault_args = (
+        fault_injector.config_args() if fault_injector is not None else None
+    )
+
     if batch and pending:
         groups, pending = batch_groups(pending)
         for group in groups:
@@ -1032,6 +1131,7 @@ def run_campaign(
                 [job for _, job, _ in group],
                 timeout,
                 traces=[carrier_for(index) for index, _, _ in group],
+                faults=fault_args,
             )
             for (index, job, key), raw in zip(group, raws):
                 status, payload, error, wall, batched_seconds, obs = raw
@@ -1066,34 +1166,77 @@ def run_campaign(
                 error=error,
             ), obs)
     elif pending:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = {
-                pool.submit(
-                    pool_entry, job, timeout, carrier_for(index), warm_corpus
-                ): (index, job, key)
-                for index, job, key in pending
-            }
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in done:
-                    index, job, key = futures[future]
-                    obs = None
-                    try:
-                        status, payload, error, wall, obs = future.result()
-                    except Exception as exc:  # pool broke under this job
-                        status, payload, wall = "failed", None, 0.0
-                        error = f"{type(exc).__name__}: {exc}"
+        queue_items = list(pending)
+        restarts = 0
+        while queue_items:
+            broken: list[tuple[int, Job, str | None]] = []
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                futures = {
+                    pool.submit(
+                        pool_entry, job, timeout, carrier_for(index),
+                        warm_corpus, fault_args,
+                    ): (index, job, key)
+                    for index, job, key in queue_items
+                }
+                remaining = set(futures)
+                while remaining:
+                    done, remaining = wait(
+                        remaining, return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
+                        index, job, key = futures[future]
+                        obs = None
+                        try:
+                            status, payload, error, wall, obs = future.result()
+                        except BrokenExecutor:
+                            # A worker died (SIGKILL, OOM, injected
+                            # kill): every in-flight job's future breaks
+                            # at once.  Collect them for a fresh pool
+                            # instead of failing the campaign.
+                            broken.append((index, job, key))
+                            continue
+                        except Exception as exc:
+                            status, payload, wall = "failed", None, 0.0
+                            error = f"{type(exc).__name__}: {exc}"
+                        finish(JobOutcome(
+                            index=index,
+                            job=job,
+                            key=key,
+                            status=status,
+                            cached=False,
+                            wall_seconds=wall,
+                            payload=payload,
+                            error=error,
+                        ), obs)
+            if not broken:
+                break
+            # A worker killed between its cache put and returning may
+            # already have stored its result — re-probe before re-running
+            # so the crash-resume replays instead of recomputing.
+            queue_items = []
+            for index, job, key in sorted(broken):
+                hit = probe_cache(job, key, cache, index=index)
+                if hit is not None:
+                    finish(hit)
+                else:
+                    queue_items.append((index, job, key))
+            restarts += 1
+            if queue_items and restarts >= MAX_POOL_RESTARTS:
+                for index, job, key in queue_items:
                     finish(JobOutcome(
                         index=index,
                         job=job,
                         key=key,
-                        status=status,
+                        status="failed",
                         cached=False,
-                        wall_seconds=wall,
-                        payload=payload,
-                        error=error,
-                    ), obs)
+                        wall_seconds=0.0,
+                        payload=None,
+                        error=(
+                            f"worker process died repeatedly; gave up "
+                            f"after {restarts} pool restarts"
+                        ),
+                    ))
+                break
 
     result.outcomes = [slot for slot in slots if slot is not None]
     return result

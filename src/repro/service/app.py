@@ -58,7 +58,12 @@ import socket
 import tempfile
 import threading
 import time
-from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from contextlib import nullcontext
 from dataclasses import replace
 from pathlib import Path
@@ -66,6 +71,9 @@ from typing import Iterator
 
 from repro.circuit.bench_io import loads_bench
 from repro.errors import ReproError, ServiceError
+from repro.faults.injector import active as active_faults
+from repro.faults.injector import install as install_faults
+from repro.faults.injector import observe_faults
 from repro.flow.registry import get_backend
 from repro.obs.metrics import MetricsRegistry, get_registry, observe_spans
 from repro.obs.trace import (
@@ -92,7 +100,7 @@ from repro.runner.executor import (
 from repro.runner.spec import Job, normalize_options
 from repro.service.admission import AdmissionController
 from repro.service.jobs import JOB_STATUSES, JobRecord, JobStore
-from repro.service.queue import WorkQueue
+from repro.service.queue import MAX_ATTEMPTS, WorkQueue
 
 __all__ = ["SizingService", "build_job"]
 
@@ -251,6 +259,14 @@ class SizingService:
     divergence monitor guaranteeing results bitwise identical to a
     cold run (see :mod:`repro.runner.corpus`).  Batched drains run
     cold — stacked solves have no per-job seeding point.
+
+    Failure handling: ``max_attempts`` bounds how many times the queue
+    re-leases a job before poison-parking it in the dead-letter state;
+    ``faults``/``fault_seed`` install a deterministic fault-injection
+    schedule (``--faults``; see :mod:`repro.faults`) for chaos drills.
+    A worker death (real or injected) never bricks the replica — the
+    broken process pool is swapped for a fresh one and the job retried
+    once (``repro_pool_rebuilds_total``).
     """
 
     def __init__(
@@ -268,6 +284,9 @@ class SizingService:
         batch_drain: int | None = None,
         trace: bool = True,
         warm_corpus: str | None = None,
+        max_attempts: int = MAX_ATTEMPTS,
+        faults: str | None = None,
+        fault_seed: int = 0,
     ):
         if jobs < 1:
             raise ServiceError(f"jobs must be >= 1, got {jobs}", status=500)
@@ -277,6 +296,7 @@ class SizingService:
             )
         self.batch_drain = batch_drain
         self.warm_corpus = warm_corpus
+        self.fault_spec = faults or None
         if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
         self.cache = cache
@@ -284,6 +304,21 @@ class SizingService:
         self.timeout = timeout
         self.sync_wait = sync_wait
         self.run_dir = Path(run_dir) if run_dir is not None else None
+        if self.fault_spec is not None:
+            # ``serve --faults``: the injector is process-global (and
+            # exported through the environment + explicit pool-task
+            # args, so forkserver/spawn workers inherit the identical
+            # schedule).  The state dir makes ``*MAX`` fault caps hold
+            # fleet-wide across worker restarts.
+            install_faults(
+                self.fault_spec,
+                seed=fault_seed,
+                state_dir=(
+                    self.run_dir / "faults"
+                    if self.run_dir is not None
+                    else None
+                ),
+            )
         self.trace = bool(trace)
         self.trace_sink = (
             SpanSink(self.run_dir / "trace.jsonl")
@@ -332,12 +367,17 @@ class SizingService:
             "HTTP requests served, by method, route and status code.",
             ("method", "route", "code"),
         )
+        self._m_pool_rebuilds = self.metrics.counter(
+            "repro_pool_rebuilds_total",
+            "Fresh worker pools swapped in after a worker process died.",
+        )
         self.queue_path = Path(queue) if queue is not None else None
         if self.queue_path is not None:
             self.store: JobStore | WorkQueue = WorkQueue(
                 self.queue_path,
                 visibility_timeout=visibility_timeout,
                 metrics=self.metrics,
+                max_attempts=max_attempts,
             )
         else:
             self.store = JobStore(self.run_dir)
@@ -388,6 +428,59 @@ class SizingService:
         return ProcessPoolExecutor(
             max_workers=jobs, mp_context=multiprocessing.get_context(method)
         )
+
+    def _rebuild_pool(self, broken) -> None:
+        """Swap a broken executor for a fresh pool (idempotent).
+
+        Many threads can observe the same death; only the first one to
+        arrive swaps the pool, the rest see the already-fresh executor
+        and simply resubmit.
+        """
+        with self._lock:
+            if self._pool is not broken:
+                return
+            self._pool = self._make_pool(self.jobs, self.timeout)
+            self._m_pool_rebuilds.inc()
+        broken.shutdown(wait=False)
+
+    def _run_pooled(self, fn, *args):
+        """Run one task on the worker pool, surviving a dead worker.
+
+        A worker process killed mid-job (the OOM killer, a
+        ``worker:kill`` fault) breaks the whole
+        :class:`ProcessPoolExecutor` — without recovery every later
+        request would fail for the rest of the process lifetime.  All
+        execution paths funnel through here: one death costs one retry
+        on a fresh pool.  Retrying is safe because workers are pure
+        compute — results are stored parent-side in :meth:`_finish`,
+        so a killed attempt left no partial state behind.
+        """
+        pool = self._pool
+        try:
+            return pool.submit(fn, *args).result()
+        except BrokenExecutor:
+            self._rebuild_pool(pool)
+            pool = self._pool
+            try:
+                return pool.submit(fn, *args).result()
+            except BrokenExecutor:
+                # Leave a healthy pool behind even when giving up on
+                # this job; the caller records the failure.
+                self._rebuild_pool(pool)
+                raise
+
+    @staticmethod
+    def _fault_args() -> tuple | None:
+        """The active fault injector's config, for pool-task hand-off.
+
+        Workers started by forkserver/spawn snapshot the environment
+        when the *start method* initializes, which may predate a test's
+        ``install()`` — so every pool task carries the injector config
+        explicitly (see
+        :func:`repro.faults.injector.install_from_args`).
+        """
+        injector = active_faults()
+        return injector.config_args() if injector is not None else None
 
     # -- request handling ---------------------------------------------
 
@@ -495,6 +588,7 @@ class SizingService:
         the campaign driver) and hands back the job's staged corpus
         record, stored alongside the cache entry.
         """
+        observe_faults(get_registry(), (obs or {}).get("faults"))
         outcome, warm_blob = apply_warm(outcome, obs)
         store_outcome(outcome, self.cache, warm=warm_blob)
         self.admission.observe_drain(outcome.wall_seconds)
@@ -575,11 +669,14 @@ class SizingService:
             if self.queue_path is not None:
                 return self._await_queued(record)
             self.store.mark_running(record.id)
-            future = self._pool.submit(
-                pool_entry, record.job, self.timeout, self._carrier(),
-                self.warm_corpus,
-            )
-            outcome, obs = self._outcome_from(record, future.result())
+            try:
+                raw = self._run_pooled(
+                    pool_entry, record.job, self.timeout, self._carrier(),
+                    self.warm_corpus, self._fault_args(),
+                )
+            except Exception as exc:  # pool broke twice under this job
+                raw = ("failed", None, f"{type(exc).__name__}: {exc}", 0.0)
+            outcome, obs = self._outcome_from(record, raw)
             return self._finish(record, outcome, obs)
 
     def _await_queued(self, record: JobRecord) -> JobRecord:
@@ -603,15 +700,19 @@ class SizingService:
                 # drain worker (here or in another replica) will claim
                 # it.
                 return self.store.get(record.id)
-            future = self._pool.submit(
+            pool = self._pool
+            future = pool.submit(
                 pool_entry, record.job, self.timeout, self._carrier(),
-                self.warm_corpus,
+                self.warm_corpus, self._fault_args(),
             )
         self.store.mark_running(record.id)
 
         def _done(done_future: Future) -> None:
             try:
                 raw = done_future.result()
+            except BrokenExecutor as exc:  # worker died under this job
+                self._rebuild_pool(pool)
+                raw = ("failed", None, f"{type(exc).__name__}: {exc}", 0.0)
             except Exception as exc:  # pool broke under this job
                 raw = ("failed", None, f"{type(exc).__name__}: {exc}", 0.0)
             outcome, obs = self._outcome_from(record, raw)
@@ -714,11 +815,11 @@ class SizingService:
                 self._emit_root(record, finished, tid, root)
                 return
             try:
-                raw = self._pool.submit(
+                raw = self._run_pooled(
                     pool_entry, record.job, self.timeout, self._carrier(),
-                    self.warm_corpus,
-                ).result()
-            except Exception as exc:  # pool broke under this job
+                    self.warm_corpus, self._fault_args(),
+                )
+            except Exception as exc:  # pool broke twice under this job
                 raw = ("failed", None, f"{type(exc).__name__}: {exc}", 0.0)
             outcome, obs = self._outcome_from(record, raw)
             finished = self._finish(record, outcome, obs)
@@ -797,13 +898,14 @@ class SizingService:
             members = [live[pos] for pos, _job, _key in group]
             traces = [carriers[pos] for pos, _job, _key in group]
             try:
-                raws = self._pool.submit(
+                raws = self._run_pooled(
                     batch_entry,
                     [r.job for r in members],
                     self.timeout,
                     traces,
-                ).result()
-            except Exception as exc:  # pool broke under this batch
+                    self._fault_args(),
+                )
+            except Exception as exc:  # pool broke twice under this batch
                 raws = [
                     (
                         "failed", None, f"{type(exc).__name__}: {exc}",
@@ -825,11 +927,11 @@ class SizingService:
             record = live[pos]
             carrier = carriers[pos]
             try:
-                raw = self._pool.submit(
+                raw = self._run_pooled(
                     pool_entry, record.job, self.timeout, carrier,
-                    self.warm_corpus,
-                ).result()
-            except Exception as exc:  # pool broke under this job
+                    self.warm_corpus, self._fault_args(),
+                )
+            except Exception as exc:  # pool broke twice under this job
                 raw = ("failed", None, f"{type(exc).__name__}: {exc}", 0.0)
             outcome, obs = self._outcome_from(record, raw)
             finished = self._finish(record, outcome, obs)
@@ -912,6 +1014,48 @@ class SizingService:
 
     # -- discovery + introspection ------------------------------------
 
+    def _cache_breaker(self):
+        """The shared-tier circuit breaker, when the cache has one.
+
+        Only the tiered backend carries a breaker (its shared L2 is
+        the one dependency that can fail independently); every other
+        configuration returns None.
+        """
+        backend = getattr(self.cache, "backend", None)
+        return getattr(backend, "breaker", None)
+
+    def health(self) -> dict:
+        """Liveness + degradation snapshot for ``GET /v1/healthz``.
+
+        ``status`` is ``"ok"`` or ``"degraded"``: degraded while the
+        shared-cache circuit breaker is not closed (the replica is
+        serving from its local tier only) or while the work queue has
+        poison-parked jobs awaiting operator attention (``python -m
+        repro queue inspect``).  Degraded is still HTTP 200 — the
+        replica answers correctly, just without its full redundancy;
+        load balancers key on ``status``, operators read ``reasons``.
+        """
+        reasons: list[str] = []
+        breaker = self._cache_breaker()
+        if breaker is not None and breaker.state != "closed":
+            reasons.append(
+                f"shared cache tier breaker {breaker.name!r} is "
+                f"{breaker.state}; serving from the local tier only"
+            )
+        if isinstance(self.store, WorkQueue):
+            poisoned = self.store.poisoned_count()
+            if poisoned:
+                reasons.append(
+                    f"{poisoned} job(s) poison-parked in the dead-letter "
+                    "queue; inspect/requeue with 'python -m repro queue'"
+                )
+        return {
+            "status": "degraded" if reasons else "ok",
+            "reasons": reasons,
+            "workers": self.jobs,
+            "mode": "queue" if self.queue_path is not None else "local",
+        }
+
     def stats(self) -> dict:
         """Service counters for ``/v1/stats`` — a view over the registry.
 
@@ -936,6 +1080,8 @@ class SizingService:
         cache_hits = int(self._m_cache_hits.total())
         executed = int(self._m_executed.total())
         batched_jobs = int(self._m_batched.total())
+        breaker = self._cache_breaker()
+        injector = active_faults()
         return {
             "uptime_seconds": time.time() - self._started_at,
             "jobs": self.store.counts(),
@@ -958,9 +1104,10 @@ class SizingService:
             "queue": (
                 {
                     "mode": "queue",
-                    "path": str(self.queue_path),
                     "depth": self.store.depth(),
                     "worker_id": self.worker_id,
+                    "poisoned": self.store.poisoned_count(),
+                    **self.store.describe(),
                 }
                 if self.queue_path is not None
                 else {"mode": "local", "depth": self.store.depth()}
@@ -968,6 +1115,13 @@ class SizingService:
             "admission": self.admission.counters(),
             "warmstart": warmstart_counts(),
             "flow": flow,
+            "breaker": breaker.snapshot() if breaker is not None else None,
+            "faults": (
+                {"spec": injector.spec, "injected": injector.counts()}
+                if injector is not None
+                else None
+            ),
+            "pool_rebuilds": int(self._m_pool_rebuilds.total()),
         }
 
     def metrics_text(self) -> str:

@@ -13,7 +13,10 @@ Replies arrive in the ``repro.service/2`` envelope and every method
 returns the unwrapped ``data`` object, so callers never see transport
 framing.  Admission rejections (429) are retried automatically,
 sleeping the server-stated ``Retry-After``, up to ``retries`` times —
-pass ``retries=0`` to observe raw backpressure.
+pass ``retries=0`` to observe raw backpressure.  Transport failures
+(stale sockets, resets, truncated responses) are retried with
+exponential backoff + jitter (:mod:`repro.faults.retry`) before
+surfacing as a 503-grade error.
 
 Usage::
 
@@ -37,12 +40,25 @@ import urllib.parse
 from typing import Iterator
 
 from repro.errors import ServiceError
+from repro.faults.retry import RetryPolicy, call_with_retry
 from repro.obs.trace import TRACE_HEADER
 
 __all__ = ["ServiceClient"]
 
 #: Statuses that mean "still in flight" on the wire.
 _LIVE_STATUSES = ("queued", "running")
+
+#: Backoff for transport-level failures: stale keep-alive sockets,
+#: connection resets, and truncated responses (``IncompleteRead`` is an
+#: ``HTTPException``).  Resending is safe on every endpoint — reads are
+#: idempotent and ``POST /v1/size`` is deterministic and
+#: content-addressed, so a duplicate submission lands on the same job.
+_TRANSPORT_RETRY = RetryPolicy(
+    attempts=3,
+    base_delay=0.05,
+    max_delay=1.0,
+    retryable=(http.client.HTTPException, OSError),
+)
 
 
 class ServiceClient:
@@ -126,30 +142,33 @@ class ServiceClient:
     def _roundtrip(
         self, method: str, path: str, payload: bytes | None, headers: dict,
     ) -> tuple[int, dict, bytes]:
-        """One exchange on the pooled connection.
+        """One exchange on the pooled connection, retried with backoff.
 
-        A stale socket (the server timed the keep-alive out between
-        calls) fails on the first byte; reconnect once and resend —
-        safe even for ``POST /v1/size``, whose effect is deterministic
-        and content-addressed.
+        Transport failures — a stale keep-alive socket the server timed
+        out between calls, a connection reset, a response truncated
+        mid-body — drop the connection and resend on a fresh one under
+        ``_TRANSPORT_RETRY`` (exponential backoff with jitter).  Safe
+        even for ``POST /v1/size``, whose effect is deterministic and
+        content-addressed.
         """
-        for attempt in (0, 1):
+
+        def _exchange() -> tuple[int, dict, bytes]:
             conn = self._connection()
             try:
                 conn.request(method, path, body=payload, headers=headers)
                 resp = conn.getresponse()
                 body = resp.read()
-                resp_headers = {
-                    name.lower(): value for name, value in resp.getheaders()
-                }
-                if resp_headers.get("connection") == "close":
-                    self._drop_connection()
-                return resp.status, resp_headers, body
             except (http.client.HTTPException, OSError):
                 self._drop_connection()
-                if attempt:
-                    raise
-        raise AssertionError("unreachable")
+                raise
+            resp_headers = {
+                name.lower(): value for name, value in resp.getheaders()
+            }
+            if resp_headers.get("connection") == "close":
+                self._drop_connection()
+            return resp.status, resp_headers, body
+
+        return call_with_retry(_exchange, _TRANSPORT_RETRY, "http.client")
 
     def _request(
         self, method: str, path: str, body: dict | None = None,

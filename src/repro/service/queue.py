@@ -18,8 +18,17 @@ Rows double as the durable job record: terminal status, summary,
 error, wall time and the (JSON) result payload live in the row, which
 is what lets ``GET /v1/jobs/<id>`` answer on any replica for a job
 another replica executed — even with caching disabled.  A job whose
-lease expired :data:`MAX_ATTEMPTS` times is failed permanently rather
-than crash-looping the fleet.
+lease expired ``max_attempts`` times (default :data:`MAX_ATTEMPTS`,
+operator-tunable via ``serve --max-attempts``) is failed permanently
+rather than crash-looping the fleet; every reclaim and failure is
+appended to the row's ``history`` column, so the dead-letter tooling
+(``python -m repro queue inspect``) can show *why* a job went poison
+and ``queue requeue`` can send it back after a fix.
+
+Queue sqlite operations run under a shared retry policy
+(:mod:`repro.faults.retry`): ``database is locked`` under replica
+contention — or an injected ``queue.lease:busy`` fault — is backed
+off and retried instead of surfacing to the drain loop.
 """
 
 from __future__ import annotations
@@ -31,6 +40,8 @@ import time
 from pathlib import Path
 
 from repro.errors import ServiceError
+from repro.faults.injector import probe
+from repro.faults.retry import RetryPolicy, call_with_retry
 from repro.runner.executor import JobOutcome
 from repro.runner.progress import job_summary
 from repro.runner.spec import Job
@@ -38,9 +49,15 @@ from repro.service.jobs import JobRecord
 
 __all__ = ["MAX_ATTEMPTS", "WorkQueue"]
 
-#: Lease claims per job before it is failed permanently — a job that
-#: kills its worker three times is poison, not unlucky.
+#: Default lease claims per job before it is failed permanently — a
+#: job that kills its worker three times is poison, not unlucky.
 MAX_ATTEMPTS = 3
+
+#: Backoff for contended/injected sqlite failures on queue operations.
+_QUEUE_RETRY = RetryPolicy(
+    attempts=4, base_delay=0.02, max_delay=0.5,
+    retryable=(sqlite3.OperationalError,),
+)
 
 _SCHEMA = """
     CREATE TABLE IF NOT EXISTS jobs (
@@ -73,6 +90,7 @@ _MIGRATIONS = (
     ("duration_s", "REAL"),
     ("trace", "TEXT"),
     ("warm", "TEXT"),
+    ("history", "TEXT"),
 )
 
 
@@ -83,7 +101,8 @@ class WorkQueue:
     ``visibility_timeout`` is how long a lease holds before the job is
     considered abandoned and re-claimable (make it comfortably longer
     than the worst job, or pair it with a per-job ``timeout`` so jobs
-    cannot outlive their lease).
+    cannot outlive their lease); ``max_attempts`` is how many lease
+    claims a job gets before it is failed permanently (poison).
     """
 
     def __init__(
@@ -91,14 +110,20 @@ class WorkQueue:
         path: str | Path,
         visibility_timeout: float = 600.0,
         metrics=None,
+        max_attempts: int = MAX_ATTEMPTS,
     ):
         if visibility_timeout <= 0:
             raise ServiceError(
                 f"visibility_timeout must be positive, "
                 f"got {visibility_timeout}", status=500,
             )
+        if int(max_attempts) < 1:
+            raise ServiceError(
+                f"max_attempts must be >= 1, got {max_attempts}", status=500,
+            )
         self.path = Path(path)
         self.visibility_timeout = visibility_timeout
+        self.max_attempts = int(max_attempts)
         self._local = threading.local()
         # Monotonic admit anchors for duration_s (this process only).
         self._anchor_lock = threading.Lock()
@@ -162,10 +187,23 @@ class WorkQueue:
 
     @staticmethod
     def _record(row: sqlite3.Row) -> JobRecord:
-        """Materialize one row as the service's common JobRecord."""
+        """Materialize one row as the service's common JobRecord.
+
+        Raises :class:`~repro.errors.ServiceError` (500) when the
+        row's ``job`` column does not parse — a torn write from a
+        crashed replica.  :meth:`lease` quarantines such rows instead
+        of crash-looping on them; :meth:`list` skips them.
+        """
+        try:
+            job = Job.from_dict(json.loads(row["job"]))
+        except Exception as exc:
+            raise ServiceError(
+                f"job {row['id']!r} has an unreadable record "
+                f"(torn write?): {exc}", status=500,
+            ) from exc
         return JobRecord(
             id=row["id"],
-            job=Job.from_dict(json.loads(row["job"])),
+            job=job,
             key=row["key"],
             created_at=row["created_at"],
             status=row["status"],
@@ -178,6 +216,31 @@ class WorkQueue:
             trace=row["trace"],
             warm=json.loads(row["warm"]) if row["warm"] else None,
             payload=json.loads(row["payload"]) if row["payload"] else None,
+        )
+
+    @staticmethod
+    def _history(row: sqlite3.Row) -> list[dict]:
+        """The row's parsed attempt history (empty when absent/torn)."""
+        raw = row["history"] if "history" in row.keys() else None
+        if not raw:
+            return []
+        try:
+            history = json.loads(raw)
+        except json.JSONDecodeError:
+            return []
+        return history if isinstance(history, list) else []
+
+    @staticmethod
+    def _append_history(
+        conn: sqlite3.Connection, seq: int, row: sqlite3.Row, entry: dict,
+    ) -> None:
+        """Append one event to the row's history inside the caller's
+        transaction (bounded: the newest 50 events are kept)."""
+        history = WorkQueue._history(row)
+        history.append(entry)
+        conn.execute(
+            "UPDATE jobs SET history = ? WHERE seq = ?",
+            (json.dumps(history[-50:]), seq),
         )
 
     # -- the JobStore-compatible surface ------------------------------
@@ -197,20 +260,26 @@ class WorkQueue:
         """
         created_at = time.time()
         created_mono = time.monotonic()
-        with self._txn() as conn:
-            cursor = conn.execute(
-                "INSERT INTO jobs (id, job, label, key, client, status, "
-                "created_at, trace) VALUES ('', ?, ?, ?, ?, 'queued', ?, ?)",
-                (
-                    json.dumps(job.to_dict()), job.label(), key, client,
-                    created_at, trace,
-                ),
-            )
-            seq = cursor.lastrowid
-            job_id = f"j{seq:06d}"
-            conn.execute(
-                "UPDATE jobs SET id = ? WHERE seq = ?", (job_id, seq)
-            )
+
+        def _insert() -> str:
+            probe("queue.publish")
+            with self._txn() as conn:
+                cursor = conn.execute(
+                    "INSERT INTO jobs (id, job, label, key, client, status, "
+                    "created_at, trace) VALUES ('', ?, ?, ?, ?, 'queued', ?, ?)",
+                    (
+                        json.dumps(job.to_dict()), job.label(), key, client,
+                        created_at, trace,
+                    ),
+                )
+                seq = cursor.lastrowid
+                new_id = f"j{seq:06d}"
+                conn.execute(
+                    "UPDATE jobs SET id = ? WHERE seq = ?", (new_id, seq)
+                )
+            return new_id
+
+        job_id = call_with_retry(_insert, _QUEUE_RETRY, "queue.publish")
         with self._anchor_lock:
             self._created_mono[job_id] = created_mono
         return JobRecord(
@@ -250,28 +319,44 @@ class WorkQueue:
             else outcome.duration_s
         )
         warm = outcome.warm_summary()
-        with self._txn() as conn:
-            conn.execute(
-                "UPDATE jobs SET status = ?, cached = ?, wall_seconds = ?, "
-                "duration_s = ?, summary = ?, error = ?, payload = ?, "
-                "finished_at = ?, warm = ?, lease_owner = NULL, "
-                "lease_expires = NULL WHERE id = ?",
-                (
-                    outcome.status,
-                    int(outcome.cached),
-                    outcome.wall_seconds,
-                    duration_s,
-                    json.dumps(summary) if summary is not None else None,
-                    outcome.error,
+
+        def _write() -> None:
+            probe("queue.publish")
+            with self._txn() as conn:
+                conn.execute(
+                    "UPDATE jobs SET status = ?, cached = ?, wall_seconds = ?, "
+                    "duration_s = ?, summary = ?, error = ?, payload = ?, "
+                    "finished_at = ?, warm = ?, lease_owner = NULL, "
+                    "lease_expires = NULL WHERE id = ?",
                     (
-                        json.dumps(outcome.payload)
-                        if outcome.payload is not None else None
+                        outcome.status,
+                        int(outcome.cached),
+                        outcome.wall_seconds,
+                        duration_s,
+                        json.dumps(summary) if summary is not None else None,
+                        outcome.error,
+                        (
+                            json.dumps(outcome.payload)
+                            if outcome.payload is not None else None
+                        ),
+                        time.time(),
+                        json.dumps(warm) if warm is not None else None,
+                        job_id,
                     ),
-                    time.time(),
-                    json.dumps(warm) if warm is not None else None,
-                    job_id,
-                ),
-            )
+                )
+                if outcome.status in ("failed", "timeout"):
+                    row = conn.execute(
+                        "SELECT * FROM jobs WHERE id = ?", (job_id,)
+                    ).fetchone()
+                    if row is not None:
+                        self._append_history(conn, row["seq"], row, {
+                            "event": outcome.status,
+                            "error": outcome.error,
+                            "attempt": row["attempts"],
+                            "ts": time.time(),
+                        })
+
+        call_with_retry(_write, _QUEUE_RETRY, "queue.publish")
         return self.get(job_id)
 
     def counts(self) -> dict[str, int]:
@@ -318,8 +403,14 @@ class WorkQueue:
             f"SELECT * FROM jobs {where} ORDER BY seq LIMIT ?",  # noqa: S608
             (*params, limit + 1),
         ).fetchall()
-        records = [self._record(row) for row in rows[:limit]]
-        next_after = records[-1].id if len(rows) > limit else None
+        page = rows[:limit]
+        records = []
+        for row in page:
+            try:
+                records.append(self._record(row))
+            except ServiceError:
+                continue  # torn row — visible via `queue inspect`, not here
+        next_after = page[-1]["id"] if len(rows) > limit else None
         return records, next_after
 
     def wait(
@@ -347,6 +438,77 @@ class WorkQueue:
 
     # -- the queue surface (drain workers) ----------------------------
 
+    def _claim_one(self, owner: str):
+        """One lease transaction: ``("empty"|"skip"|"claimed", row)``.
+
+        ``skip`` means the candidate was disposed of (poisoned or
+        quarantined) and the caller should look again.  The
+        ``queue.lease`` fault probe fires inside the retried scope, so
+        an injected ``busy`` is backed off exactly like real lock
+        contention.
+        """
+        probe("queue.lease")
+        now = time.time()
+        with self._txn() as conn:
+            row = conn.execute(
+                "SELECT * FROM jobs WHERE status = 'queued' "
+                "OR (status = 'running' AND lease_expires IS NOT NULL "
+                "AND lease_expires < ?) ORDER BY seq LIMIT 1",
+                (now,),
+            ).fetchone()
+            if row is None:
+                return "empty", None
+            if row["attempts"] >= self.max_attempts:
+                error = (
+                    f"lease expired {row['attempts']} times "
+                    f"(visibility timeout {self.visibility_timeout:g}s); "
+                    f"job failed permanently"
+                )
+                conn.execute(
+                    "UPDATE jobs SET status = 'failed', error = ?, "
+                    "finished_at = ?, lease_owner = NULL, "
+                    "lease_expires = NULL WHERE seq = ?",
+                    (error, now, row["seq"]),
+                )
+                self._append_history(conn, row["seq"], row, {
+                    "event": "poison", "error": error,
+                    "attempt": row["attempts"], "ts": now,
+                })
+                if self._m_poison is not None:
+                    self._m_poison.inc()
+                return "skip", None
+            if row["status"] == "running":
+                self._append_history(conn, row["seq"], row, {
+                    "event": "reclaim",
+                    "from_owner": row["lease_owner"],
+                    "attempt": row["attempts"],
+                    "ts": now,
+                })
+                if self._m_reclaims is not None:
+                    self._m_reclaims.inc()
+            conn.execute(
+                "UPDATE jobs SET status = 'running', lease_owner = ?, "
+                "lease_expires = ?, attempts = attempts + 1 "
+                "WHERE seq = ?",
+                (owner, now + self.visibility_timeout, row["seq"]),
+            )
+            claimed = conn.execute(
+                "SELECT * FROM jobs WHERE seq = ?", (row["seq"],)
+            ).fetchone()
+        return "claimed", claimed
+
+    def _quarantine_row(self, seq: int, error: str) -> None:
+        """Permanently fail a row whose job column does not parse."""
+        with self._txn() as conn:
+            conn.execute(
+                "UPDATE jobs SET status = 'failed', error = ?, "
+                "finished_at = ?, lease_owner = NULL, lease_expires = NULL "
+                "WHERE seq = ?",
+                (error, time.time(), seq),
+            )
+        if self._m_poison is not None:
+            self._m_poison.inc()
+
     def lease(self, owner: str) -> JobRecord | None:
         """Claim the oldest runnable job for ``owner``, or None.
 
@@ -354,46 +516,111 @@ class WorkQueue:
         (its worker is presumed dead).  The claim is one atomic write
         transaction, so two workers — in different processes — can
         never lease the same job twice concurrently.  A job at its
-        :data:`MAX_ATTEMPTS` claim is failed permanently instead of
-        being leased again.
+        ``max_attempts``-th claim is failed permanently instead of
+        being leased again, and a row whose job spec does not parse (a
+        torn write from a crashed replica) is quarantined as a
+        permanent failure — visible to the dead-letter tooling, never
+        crash-looping the drain workers.
         """
         while True:
-            now = time.time()
-            with self._txn() as conn:
-                row = conn.execute(
-                    "SELECT * FROM jobs WHERE status = 'queued' "
-                    "OR (status = 'running' AND lease_expires IS NOT NULL "
-                    "AND lease_expires < ?) ORDER BY seq LIMIT 1",
-                    (now,),
-                ).fetchone()
-                if row is None:
-                    return None
-                if row["attempts"] >= MAX_ATTEMPTS:
-                    conn.execute(
-                        "UPDATE jobs SET status = 'failed', error = ?, "
-                        "finished_at = ?, lease_owner = NULL, "
-                        "lease_expires = NULL WHERE seq = ?",
-                        (
-                            f"lease expired {row['attempts']} times "
-                            f"(visibility timeout "
-                            f"{self.visibility_timeout:g}s); job failed "
-                            f"permanently",
-                            now,
-                            row["seq"],
-                        ),
-                    )
-                    if self._m_poison is not None:
-                        self._m_poison.inc()
-                    continue  # look for the next candidate
-                if row["status"] == "running" and self._m_reclaims is not None:
-                    self._m_reclaims.inc()
-                conn.execute(
-                    "UPDATE jobs SET status = 'running', lease_owner = ?, "
-                    "lease_expires = ?, attempts = attempts + 1 "
-                    "WHERE seq = ?",
-                    (owner, now + self.visibility_timeout, row["seq"]),
+            state, row = call_with_retry(
+                lambda: self._claim_one(owner), _QUEUE_RETRY, "queue.lease",
+            )
+            if state == "empty":
+                return None
+            if state == "skip":
+                continue
+            try:
+                return self._record(row)
+            except ServiceError as exc:
+                self._quarantine_row(row["seq"], str(exc))
+
+    # -- dead-letter surface ------------------------------------------
+
+    def failed_jobs(self, limit: int = 100) -> list[dict]:
+        """Permanently failed jobs with their attempt history.
+
+        Returns plain dicts (not :class:`JobRecord`) so rows whose job
+        column is torn are still inspectable — the whole point of the
+        dead-letter view is to show jobs that *cannot* be handled
+        normally.
+        """
+        rows = self._connect().execute(
+            "SELECT * FROM jobs WHERE status = 'failed' "
+            "ORDER BY seq LIMIT ?", (limit,),
+        ).fetchall()
+        out = []
+        for row in rows:
+            out.append({
+                "id": row["id"],
+                "label": row["label"],
+                "key": row["key"],
+                "client": row["client"],
+                "attempts": row["attempts"],
+                "error": row["error"],
+                "created_at": row["created_at"],
+                "finished_at": row["finished_at"],
+                "history": self._history(row),
+            })
+        return out
+
+    def requeue(self, job_id: str) -> JobRecord:
+        """Send a permanently failed job back to the queue.
+
+        Resets the attempt counter (the operator presumably fixed the
+        cause) and appends a ``requeue`` event to the job's history.
+        Only ``failed`` jobs can be requeued.
+        """
+        with self._txn() as conn:
+            row = conn.execute(
+                "SELECT * FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+            if row is None:
+                raise ServiceError(f"no such job {job_id!r}", status=404)
+            if row["status"] != "failed":
+                raise ServiceError(
+                    f"job {job_id!r} is {row['status']!r}, not 'failed'; "
+                    f"only failed jobs can be requeued", status=400,
                 )
-                claimed = conn.execute(
-                    "SELECT * FROM jobs WHERE seq = ?", (row["seq"],)
-                ).fetchone()
-            return self._record(claimed)
+            try:
+                Job.from_dict(json.loads(row["job"]))
+            except Exception as exc:
+                raise ServiceError(
+                    f"job {job_id!r} has an unreadable record and cannot "
+                    f"be requeued: {exc}", status=400,
+                ) from exc
+            self._append_history(conn, row["seq"], row, {
+                "event": "requeue", "ts": time.time(),
+            })
+            conn.execute(
+                "UPDATE jobs SET status = 'queued', attempts = 0, "
+                "error = NULL, summary = NULL, payload = NULL, "
+                "finished_at = NULL, lease_owner = NULL, "
+                "lease_expires = NULL WHERE seq = ?",
+                (row["seq"],),
+            )
+        return self.get(job_id)
+
+    def poisoned_count(self) -> int:
+        """Dead-letter rows that got there by exhausting lease attempts.
+
+        Ordinary one-shot failures (a solver error, a timeout) keep
+        ``attempts`` below the poison threshold; a crash-looping job
+        arrives here at ``attempts >= max_attempts``.  This is the
+        queue-side degradation signal ``/v1/healthz`` reports until an
+        operator inspects and requeues the parked jobs.
+        """
+        row = self._connect().execute(
+            "SELECT COUNT(*) AS n FROM jobs "
+            "WHERE status = 'failed' AND attempts >= ?",
+            (self.max_attempts,),
+        ).fetchone()
+        return int(row["n"])
+
+    def describe(self) -> dict:
+        """Operator-facing queue configuration (for ``/v1/stats``)."""
+        return {
+            "path": str(self.path),
+            "visibility_timeout": self.visibility_timeout,
+            "max_attempts": self.max_attempts,
+        }

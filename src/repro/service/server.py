@@ -12,7 +12,9 @@ surface onto one shared :class:`~repro.service.app.SizingService`:
 ``GET /v1/jobs/<id>/events``    long-poll SSE stream of status changes
 ``GET /v1/circuits``            the benchmark suite + accepted tokens
 ``GET /v1/backends``            registered flow backends + capabilities
-``GET /v1/healthz``             liveness probe
+``GET /v1/healthz``             liveness probe; reports ``degraded``
+                                when the shared-cache breaker is open
+                                or jobs sit in the dead-letter queue
 ``GET /v1/stats``               job counts, cache hits, queue + admission
                                 counters, aggregated SolveStats
 ==============================  =========================================
@@ -40,6 +42,7 @@ from dataclasses import asdict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.errors import ReproError, ServiceError
+from repro.faults.injector import decide as fault_decide
 from repro.flow.registry import registered_backends
 from repro.generators.iscas import SUITE
 from repro.obs.trace import (
@@ -49,6 +52,7 @@ from repro.obs.trace import (
     trace_scope,
 )
 from repro.service.app import SizingService
+from repro.service.queue import MAX_ATTEMPTS
 from repro.sizing.serialize import canonical_json
 
 __all__ = ["WIRE_SCHEMA", "SizingHTTPServer", "make_server", "serve"]
@@ -101,6 +105,22 @@ class _Handler(BaseHTTPRequestHandler):
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
+        self._write_payload(data)
+
+    def _write_payload(self, data: bytes) -> None:
+        """Write a response body, honoring the truncation fault probe.
+
+        When an installed injector's ``http.response:truncate`` rule
+        fires, only half the advertised ``Content-Length`` is written
+        and the connection drops — exactly what a mid-flight network
+        failure looks like to the client (an ``IncompleteRead``),
+        which is what the client's retry loop exists to absorb.
+        """
+        if fault_decide("http.response"):
+            self.wfile.write(data[: len(data) // 2])
+            self.wfile.flush()
+            self.close_connection = True
+            return
         self.wfile.write(data)
 
     def _send_data(self, status: int, data: dict) -> None:
@@ -246,14 +266,7 @@ class _Handler(BaseHTTPRequestHandler):
             elif method == "GET" and path == "/v1/backends":
                 self._send_data(200, _backends_body())
             elif method == "GET" and path == "/v1/healthz":
-                self._send_data(200, {
-                    "status": "ok",
-                    "workers": service.jobs,
-                    "mode": (
-                        "queue" if service.queue_path is not None
-                        else "local"
-                    ),
-                })
+                self._send_data(200, service.health())
             elif method == "GET" and path == "/v1/stats":
                 self._send_data(200, service.stats())
             elif method == "GET" and path == "/v1/metrics":
@@ -298,7 +311,7 @@ class _Handler(BaseHTTPRequestHandler):
         )
         self.send_header("Content-Length", str(len(data)))
         self.end_headers()
-        self.wfile.write(data)
+        self._write_payload(data)
 
     def _get_jobs(self, service: SizingService, params: dict) -> None:
         status = _one(params, "status")
@@ -499,6 +512,10 @@ def serve(
     batch_drain: int | None = None,
     trace: bool = True,
     warm_corpus: str | None = None,
+    visibility_timeout: float = 600.0,
+    max_attempts: int = MAX_ATTEMPTS,
+    faults: str | None = None,
+    fault_seed: int = 0,
 ) -> int:
     """Run the sizing service until interrupted (the CLI entry point).
 
@@ -512,7 +529,15 @@ def serve(
     stacked kernel calls; ``trace=False`` (``--no-trace``) disables
     span collection; ``warm_corpus`` (a backend spec) turns on corpus
     warm starts for cache misses (results stay bitwise identical to
-    cold runs).  Returns the process exit code.
+    cold runs).
+
+    Failure knobs: ``visibility_timeout`` is the queue lease duration
+    before a dead replica's jobs are re-claimed; ``max_attempts``
+    bounds re-leases before a job is poison-parked (``--max-attempts``,
+    replacing the old hardwired constant); ``faults``/``fault_seed``
+    install a deterministic fault-injection schedule for chaos drills
+    (``--faults "worker:kill@0.05*2;cache.get:io_error@0.1"``).
+    Returns the process exit code.
     """
     from repro.runner import DEFAULT_CACHE_DIR
 
@@ -524,6 +549,8 @@ def serve(
         queue=queue, max_queue_depth=max_queue_depth,
         quota_rate=quota_rate, quota_burst=quota_burst,
         batch_drain=batch_drain, trace=trace, warm_corpus=warm_corpus,
+        visibility_timeout=visibility_timeout, max_attempts=max_attempts,
+        faults=faults, fault_seed=fault_seed,
     )
     server = make_server(service, host=host, port=port)
     host_shown, port_shown = server.server_address[:2]

@@ -1,0 +1,380 @@
+"""Unit tests for the fault-injection harness and the hardening it
+exercises: spec grammar, seeded determinism, fleet-wide caps, the
+shared retry policy, the circuit breaker, and the portable watchdog
+timeout."""
+
+import os
+import sqlite3
+import threading
+import time
+
+import pytest
+
+from repro.errors import JobTimeoutError, ReproError
+from repro.faults import (
+    CircuitBreaker,
+    FaultInjector,
+    FaultRule,
+    RetryPolicy,
+    call_with_retry,
+    format_spec,
+    parse_spec,
+)
+from repro.faults import injector as injector_mod
+from repro.faults.injector import install, install_from_args, uninstall
+from repro.runner.backends import DiskBackend, SqliteBackend, TieredBackend
+from repro.runner.executor import _with_timeout
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_injector():
+    """Every test starts and ends with fault injection off."""
+    uninstall()
+    yield
+    uninstall()
+
+
+class TestSpecGrammar:
+    def test_full_clause_round_trips(self):
+        text = "cache.get:io_error@0.05;worker:kill@0.02*2;solver:delay=0.5@1"
+        rules = parse_spec(text)
+        assert [r.site for r in rules] == ["cache.get", "worker", "solver"]
+        assert rules[1] == FaultRule(
+            site="worker", kind="kill", rate=0.02, max_count=2
+        )
+        assert rules[2].arg == 0.5 and rules[2].sleep_seconds == 0.5
+        assert parse_spec(format_spec(rules)) == rules
+
+    def test_empty_and_trailing_clauses_are_ignored(self):
+        assert parse_spec("") == ()
+        assert parse_spec(" ; ;") == ()
+        assert len(parse_spec("worker:kill@1;")) == 1
+
+    def test_default_sleeps(self):
+        hang, delay = parse_spec("worker:hang@1;solver:delay@1")
+        assert hang.sleep_seconds == 30.0
+        assert delay.sleep_seconds == 0.01
+
+    @pytest.mark.parametrize("bad", [
+        "worker",                      # no kind at all
+        "worker:kill",                 # missing @RATE
+        "worker:sigsegv@0.1",          # unknown kind
+        "worker:kill@0",               # rate outside (0, 1]
+        "worker:kill@1.5",             # rate outside (0, 1]
+        "worker:kill@oops",            # junk rate
+        "worker:kill@0.1*0",           # max below 1
+        "worker:kill@0.1*two",         # junk max
+        "solver:delay=-1@0.1",         # negative sleep
+        "solver:delay=abc@0.1",        # junk arg
+    ])
+    def test_malformed_clause_raises(self, bad):
+        with pytest.raises(ReproError):
+            parse_spec(bad)
+
+
+class TestInjectorDeterminism:
+    def test_same_seed_same_schedule(self):
+        rules = parse_spec("x:error@0.3")
+        pattern = []
+        for _ in range(2):
+            inj = FaultInjector(rules, seed=7)
+            fires = []
+            for _ in range(200):
+                try:
+                    inj.fire("x")
+                    fires.append(0)
+                except RuntimeError:
+                    fires.append(1)
+            pattern.append(fires)
+        assert pattern[0] == pattern[1]
+        assert sum(pattern[0]) > 0  # the schedule actually fires
+
+    def test_different_seed_different_schedule(self):
+        rules = parse_spec("x:error@0.3")
+
+        def schedule(seed):
+            inj = FaultInjector(rules, seed=seed)
+            out = []
+            for _ in range(200):
+                try:
+                    inj.fire("x")
+                    out.append(0)
+                except RuntimeError:
+                    out.append(1)
+            return out
+
+        assert schedule(1) != schedule(2)
+
+    def test_kinds_raise_their_exception(self):
+        inj = FaultInjector(parse_spec("a:io_error@1;b:busy@1;c:error@1"))
+        with pytest.raises(OSError):
+            inj.fire("a")
+        with pytest.raises(sqlite3.OperationalError):
+            inj.fire("b")
+        with pytest.raises(RuntimeError):
+            inj.fire("c")
+        inj.fire("unknown-site")  # silently nothing
+
+    def test_truncate_is_a_decision_not_an_action(self):
+        inj = FaultInjector(parse_spec("http.response:truncate@1"))
+        inj.fire("http.response")  # action probe ignores decision kinds
+        assert inj.decide("http.response") is True
+        assert inj.decide("elsewhere") is False
+
+    def test_counts_and_drain_events(self):
+        inj = FaultInjector(parse_spec("x:error@1*3"))
+        for _ in range(5):
+            with pytest.raises(RuntimeError):
+                inj.fire("x")
+            if inj.counts()["x:error"] == 3:
+                break
+        assert inj.counts() == {"x:error": 3}
+        events = inj.drain_events()
+        assert len(events) == 3
+        assert all(e["site"] == "x" and e["kind"] == "error" for e in events)
+        assert inj.drain_events() == []  # drained
+
+    def test_local_cap_stops_fires(self):
+        inj = FaultInjector(parse_spec("x:error@1*2"))
+        fired = 0
+        for _ in range(10):
+            try:
+                inj.fire("x")
+            except RuntimeError:
+                fired += 1
+        assert fired == 2
+
+    def test_shared_cap_holds_across_processes(self, tmp_path):
+        # Two injectors simulating two worker processes: the O_EXCL
+        # marker files bound the *total* fires, even though each
+        # process redraws the identical RNG stream.
+        rules = parse_spec("x:error@1*2")
+        a = FaultInjector(rules, seed=0, state_dir=tmp_path)
+        b = FaultInjector(rules, seed=0, state_dir=tmp_path)
+        fired = 0
+        for inj in (a, b, a, b, a, b):
+            try:
+                inj.fire("x")
+            except RuntimeError:
+                fired += 1
+        assert fired == 2
+        assert len(list(tmp_path.glob("cap-x.error.*"))) == 2
+
+    def test_fault_log_written(self, tmp_path):
+        inj = FaultInjector(parse_spec("x:error@1*1"), state_dir=tmp_path)
+        with pytest.raises(RuntimeError):
+            inj.fire("x")
+        logs = list(tmp_path.glob("faults-*.jsonl"))
+        assert len(logs) == 1 and '"site": "x"' in logs[0].read_text()
+
+
+class TestInstallation:
+    def test_install_probe_uninstall(self):
+        install("x:error@1", propagate=False)
+        with pytest.raises(RuntimeError):
+            injector_mod.probe("x")
+        uninstall()
+        injector_mod.probe("x")  # no-op again
+
+    def test_env_propagation_round_trip(self):
+        install("x:error@1*5", seed=3)
+        assert os.environ[injector_mod.ENV_SPEC] == "x:error@1*5"
+        assert os.environ[injector_mod.ENV_SEED] == "3"
+        uninstall()
+        assert injector_mod.ENV_SPEC not in os.environ
+
+    def test_install_from_args_reuses_identical_config(self):
+        inj = install("x:error@0.5", seed=9, propagate=False)
+        again = install_from_args(inj.config_args())
+        assert again is inj  # same RNG stream continues
+        other = install_from_args(("x:error@0.5", 10, None))
+        assert other is not inj
+
+    def test_config_args_pickle_shape(self, tmp_path):
+        inj = install(
+            "x:error@0.5*2", seed=4, state_dir=tmp_path, propagate=False
+        )
+        assert inj.config_args() == ("x:error@0.5*2", 4, str(tmp_path))
+        assert inj.spec == "x:error@0.5*2"
+
+
+class TestRetryPolicy:
+    def test_retries_then_succeeds(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError("transient")
+            return "ok"
+
+        policy = RetryPolicy(attempts=3, base_delay=0.001, jitter=0.0)
+        assert call_with_retry(flaky, policy, "test") == "ok"
+        assert len(calls) == 3
+
+    def test_raises_after_exhaustion_and_counts_strikes(self):
+        strikes = []
+        policy = RetryPolicy(attempts=3, base_delay=0.001, jitter=0.0)
+        with pytest.raises(OSError):
+            call_with_retry(
+                lambda: (_ for _ in ()).throw(OSError("down")),
+                policy, "test",
+                on_retry=lambda exc, attempt: strikes.append(attempt),
+            )
+        # on_retry observes every failure, including the final one.
+        assert strikes == [0, 1, 2]
+
+    def test_non_retryable_raises_immediately(self):
+        calls = []
+
+        def wrong():
+            calls.append(1)
+            raise ValueError("not transient")
+
+        with pytest.raises(ValueError):
+            call_with_retry(wrong, RetryPolicy(attempts=5), "test")
+        assert len(calls) == 1
+
+    def test_delay_is_exponential_capped_and_jittered(self):
+        policy = RetryPolicy(
+            attempts=9, base_delay=0.1, max_delay=0.5, jitter=0.0
+        )
+        assert policy.delay(0) == pytest.approx(0.1)
+        assert policy.delay(1) == pytest.approx(0.2)
+        assert policy.delay(4) == pytest.approx(0.5)  # capped
+        noisy = RetryPolicy(base_delay=0.1, jitter=0.5)
+        d = noisy.delay(0)
+        assert 0.1 <= d <= 0.15
+
+
+class TestCircuitBreaker:
+    def test_trip_reprobe_recover(self):
+        now = [0.0]
+        breaker = CircuitBreaker(
+            "dep", failure_threshold=2, reset_timeout=10.0,
+            clock=lambda: now[0],
+        )
+        assert breaker.allow() and breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "closed"  # one strike is not an outage
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()  # fail fast while open
+
+        now[0] = 11.0  # reset timer elapses
+        assert breaker.allow()  # the single half-open trial
+        assert breaker.state == "half-open"
+        assert not breaker.allow()  # only one trial in flight
+        breaker.record_success()
+        assert breaker.state == "closed" and breaker.allow()
+
+    def test_failed_trial_reopens(self):
+        now = [0.0]
+        breaker = CircuitBreaker(
+            "dep", failure_threshold=1, reset_timeout=5.0,
+            clock=lambda: now[0],
+        )
+        breaker.record_failure()
+        now[0] = 6.0
+        assert breaker.allow()
+        breaker.record_failure()  # trial failed
+        assert breaker.state == "open"
+        assert not breaker.allow()  # timer restarted
+        assert breaker.snapshot()["opens"] == 2
+
+    def test_success_resets_strike_count(self):
+        breaker = CircuitBreaker("dep", failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # strikes did not accumulate
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker("dep", failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker("dep", reset_timeout=0)
+
+
+class TestTieredBreakerDegradation:
+    def _tiered(self, tmp_path, shared=None):
+        breaker = CircuitBreaker(
+            "test.shared", failure_threshold=2, reset_timeout=0.05
+        )
+        retry = RetryPolicy(
+            attempts=2, base_delay=0.001, jitter=0.0,
+            retryable=(OSError, sqlite3.Error),
+        )
+        return TieredBackend(
+            DiskBackend(tmp_path / "l1"),
+            shared or SqliteBackend(tmp_path / "l2.db"),
+            breaker=breaker,
+            retry=retry,
+        ), breaker
+
+    def test_open_breaker_degrades_to_local_only(self, tmp_path):
+        tiered, breaker = self._tiered(tmp_path)
+        tiered.put("k", {"cache_layout": 1, "payload": {"v": 1}})
+        assert tiered.get("k")["payload"] == {"v": 1}
+
+        install("cache.get:io_error@1", propagate=False)
+        # Shared-tier reads now fail; retries strike the breaker open.
+        assert tiered.get("missing") is None
+        assert tiered.get("missing") is None
+        assert breaker.state == "open"
+        # L1 still answers: the injected fault fires in _shared_call's
+        # probe, but an open breaker skips the shared tier entirely.
+        uninstall()
+        assert tiered.get("k")["payload"] == {"v": 1}
+
+    def test_half_open_reprobe_recovers(self, tmp_path):
+        tiered, breaker = self._tiered(tmp_path)
+        install("cache.get:io_error@1*4", propagate=False)
+        tiered.get("a")
+        tiered.get("b")
+        assert breaker.state == "open"
+        uninstall()  # the dependency "recovers"
+        time.sleep(0.06)  # past reset_timeout
+        tiered.put("k", {"cache_layout": 1, "payload": {"v": 2}})
+        assert tiered.get("k")["payload"] == {"v": 2}
+        assert breaker.state == "closed"
+
+
+class TestWatchdogTimeout:
+    def test_times_out_off_main_thread(self):
+        # On a non-main thread SIGALRM cannot arm; the watchdog must
+        # still enforce the budget.
+        result = []
+
+        def run():
+            try:
+                _with_timeout(lambda: time.sleep(5), 0.05)
+            except JobTimeoutError as exc:
+                result.append(str(exc))
+
+        worker = threading.Thread(target=run)
+        worker.start()
+        worker.join(timeout=10)
+        assert result and "watchdog" in result[0]
+
+    def test_returns_value_and_propagates_errors(self):
+        def run():
+            out = _with_timeout(lambda: 42, 0.5)
+            result.append(out)
+            try:
+                _with_timeout(
+                    lambda: (_ for _ in ()).throw(ValueError("boom")), 0.5
+                )
+            except ValueError as exc:
+                result.append(str(exc))
+
+        result = []
+        worker = threading.Thread(target=run)
+        worker.start()
+        worker.join(timeout=10)
+        assert result == [42, "boom"]
+
+    def test_main_thread_uses_sigalrm(self):
+        with pytest.raises(JobTimeoutError) as err:
+            _with_timeout(lambda: time.sleep(5), 0.05)
+        assert "watchdog" not in str(err.value)

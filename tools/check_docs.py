@@ -19,7 +19,8 @@ cannot rot silently.  Dependency-free on purpose: the checks are
   ``python <repo-script>.py`` must name a script that exists — this is
   what keeps the user guide copy-pasteable;
 * **docstrings** — every public module/class/function in
-  ``src/repro/{service,runner,flow,sizing}`` must carry a docstring,
+  ``src/repro/{service,faults,runner,flow,sizing}`` must carry a
+  docstring,
   and the committed ``docs/API.md`` must match a fresh
   ``tools/gen_api.py`` render;
 * **examples** (``--examples``) — the scripts in

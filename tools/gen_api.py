@@ -34,7 +34,7 @@ SRC = ROOT / "src"
 OUT = ROOT / "docs" / "API.md"
 
 #: Packages whose public surface is documented and docstring-gated.
-API_PACKAGES = ("service", "obs", "runner", "flow", "sizing")
+API_PACKAGES = ("service", "faults", "obs", "runner", "flow", "sizing")
 
 HEADER = """\
 # API reference
@@ -42,8 +42,8 @@ HEADER = """\
 Generated from docstrings by `tools/gen_api.py` — do not edit by hand
 (`tools/check_docs.py` fails when this file is stale; regenerate with
 `python tools/gen_api.py`).  Covers the public surface of
-`repro.service`, `repro.obs`, `repro.runner`, `repro.flow` and
-`repro.sizing`; see
+`repro.service`, `repro.faults`, `repro.obs`, `repro.runner`,
+`repro.flow` and `repro.sizing`; see
 [`USER_GUIDE.md`](USER_GUIDE.md) for task-oriented walkthroughs and
 [`ARCHITECTURE.md`](ARCHITECTURE.md) for the paper-to-code map.
 """
